@@ -1,0 +1,40 @@
+"""Ablation A2 — result caching at the VPS layer.
+
+The paper names caching (with parallelization) as the other key technique
+for acceptable response times.  We run the same UR query against a cold
+and a warm cache and compare pages fetched and network seconds.
+"""
+
+from __future__ import annotations
+
+from repro.core.webbase import WebBase
+
+QUERY = "SELECT make, model, year, price, contact WHERE make = 'jaguar'"
+
+
+def test_ablation_caching(benchmark):
+    webbase = WebBase.build(caching=True)
+    server = webbase.world.server
+    clock = webbase.executor.browser.clock
+
+    # Cold run: populate the cache.
+    pages_before = sum(s.pages_ok for s in server.stats.values())
+    network_before = clock.network_seconds
+    cold = webbase.query(QUERY)
+    cold_pages = sum(s.pages_ok for s in server.stats.values()) - pages_before
+    cold_network = clock.network_seconds - network_before
+
+    # Warm runs: everything served from the cache.
+    pages_before = sum(s.pages_ok for s in server.stats.values())
+    network_before = clock.network_seconds
+    warm = benchmark(webbase.query, QUERY)
+    warm_pages = sum(s.pages_ok for s in server.stats.values()) - pages_before
+
+    print("\nAblation — VPS result cache (query: %s)" % QUERY)
+    print("  cold: %4d pages fetched, %6.2fs simulated network" % (cold_pages, cold_network))
+    print("  warm: %4d pages fetched  (cache: %s)" % (warm_pages, webbase.cache.stats))
+
+    assert warm == cold
+    assert cold_pages > 0
+    assert warm_pages == 0  # not a single page re-fetched
+    assert webbase.cache.hits > 0

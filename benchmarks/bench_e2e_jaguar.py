@@ -1,0 +1,37 @@
+"""Example 2.1 — the running used-Jaguar query, end to end.
+
+"Make a list of used Jaguars advertised in New York City area sites, such
+that each car is a 1993 or later model, has good safety ratings, and its
+selling price is less than its Blue Book value" — expressed against the
+structured universal relation, planned into maximal objects, and evaluated
+through all three layers down to live navigation.
+"""
+
+from __future__ import annotations
+
+JAGUAR_QUERY = (
+    "SELECT make, model, year, price, bb_price, safety, contact "
+    "WHERE make = 'jaguar' AND year >= 1993 AND condition = 'good' "
+    "AND safety IN ('good', 'excellent') AND price < bb_price"
+)
+
+
+def test_example21_jaguar_query(benchmark, webbase):
+    plan = webbase.plan(JAGUAR_QUERY)
+    print("\nExample 2.1 — the used-Jaguar query")
+    print(plan.describe())
+
+    result = benchmark(webbase.query, JAGUAR_QUERY)
+
+    print(result.pretty(limit=10))
+    print("  (%d bargains found)" % len(result))
+
+    assert len(result) > 0
+    for row in result.to_dicts():
+        assert row["make"] == "jaguar"
+        assert row["year"] >= 1993
+        assert row["price"] < row["bb_price"]
+        assert row["safety"] in ("good", "excellent")
+    # Both ad sources (classifieds and dealers) contribute via the union
+    # of maximal objects.
+    assert len(plan.feasible_objects) == 2

@@ -1,0 +1,35 @@
+"""Section 7 — the per-site timing table.
+
+Regenerates the paper's table for ``SELECT make,model,year,price WHERE
+make=ford AND model=escort`` over the ten car-related sites: pages
+navigated, cpu time (measured) and elapsed time (cpu + simulated network
+seconds from each site's latency model).
+
+Shape expectations (we cannot match a 1999 testbed's absolute numbers):
+elapsed > cpu everywhere (network dominates), deeper sites cost more, and
+the total motivates the parallelization the paper's conclusions call for.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import format_timing_table, site_query_timings
+from repro.sites.world import TIMING_TABLE_HOSTS
+
+
+def test_sec7_timing_table(benchmark, webbase):
+    timings = benchmark(site_query_timings, webbase)
+
+    print("\nSection 7 — per-site timings for make=ford, model=escort")
+    print(format_timing_table(timings))
+    total_elapsed = sum(t.elapsed_seconds for t in timings)
+    print("  total elapsed (sequential): %.2fs" % total_elapsed)
+
+    assert [t.host for t in timings] == TIMING_TABLE_HOSTS
+    for t in timings:
+        assert t.rows > 0, t.host
+        assert t.pages >= 3, t.host
+        # The paper's elapsed/cpu shape: network time dominates cpu time.
+        assert t.elapsed_seconds > t.cpu_seconds
+    # Sites differ: the table is not flat.
+    page_counts = {t.pages for t in timings}
+    assert len(page_counts) > 1

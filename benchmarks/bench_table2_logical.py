@@ -1,0 +1,52 @@
+"""Table 2 — Logical level relations and their definitions.
+
+Regenerates the five site-independent logical relations as views over the
+VPS and times their evaluation (which performs live navigation at every
+underlying site, including the newsday ⋈ newsday_car_features dependent
+join).
+"""
+
+from __future__ import annotations
+
+EXPECTED_LOGICAL = {
+    "classifieds": {"make", "model", "year", "price", "contact", "features"},
+    "dealers": {"make", "model", "year", "price", "contact", "features", "zip"},
+    "blue_price": {"make", "model", "year", "condition", "bb_price"},
+    "reliability": {"make", "model", "year", "safety"},
+    "interest": {"zip", "duration", "rate"},
+}
+
+PROBES = {
+    "classifieds": {"make": "saab"},
+    "dealers": {"make": "saab"},
+    "blue_price": {"make": "ford", "model": "escort", "condition": "good"},
+    "reliability": {"make": "ford"},
+    "interest": {"zip": "10001"},
+}
+
+
+def test_table2_logical_relations(benchmark, webbase):
+    for name, attrs in EXPECTED_LOGICAL.items():
+        assert set(webbase.logical.base_schema(name).attrs) == attrs, name
+
+    def evaluate_all():
+        return {
+            name: len(webbase.fetch_logical(name, given))
+            for name, given in PROBES.items()
+        }
+
+    counts = benchmark(evaluate_all)
+    assert all(count > 0 for count in counts.values()), counts
+
+    print("\nTable 2 — Logical level relations")
+    for name in ("classifieds", "dealers", "blue_price", "reliability", "interest"):
+        relation = webbase.logical.relation(name)
+        print(
+            "  %-12s(%s)   bindings=%s   e.g. %d tuples"
+            % (
+                name,
+                ", ".join(relation.schema),
+                [sorted(m) for m in relation.binding_sets],
+                counts[name],
+            )
+        )

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and prints the reproduced artifact; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.webbase import WebBase
+from repro.sites.world import World, build_world
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return build_world()
+
+
+@pytest.fixture(scope="session")
+def webbase() -> WebBase:
+    return WebBase.build()

@@ -1,0 +1,101 @@
+"""Power tools: Datalog views, the plan optimizer, the query builder, and
+persisted navigation maps.
+
+Run:  python examples/power_tools.py
+
+Everything beyond the core paper pipeline that a webbase operator would
+reach for day to day.
+"""
+
+from repro import QueryBuilder, WebBase
+from repro.logical.datalog import define_datalog_views
+from repro.logical.schema import LogicalSchema
+from repro.navigation.serialize import dumps, loads
+from repro.relational.algebra import Base, Join, Select
+from repro.relational.conditions import Attr, Comparison, Const, conj, eq
+from repro.relational.optimize import optimize
+
+
+def main() -> None:
+    webbase = WebBase.build()
+
+    print("=== 1. Datalog views over the VPS ===")
+    logical = LogicalSchema(webbase.vps)
+    define_datalog_views(
+        logical,
+        """
+        % Bargain hunting as a Datalog view: newsday ads joined with the
+        % blue book.  Atom arguments are positional, following each VPS
+        % relation's schema order:
+        %   newsday(contact, make, model, price, url, year)
+        %   kellys(bb_price, condition, make, model, year)
+        bargains(Make, Model, Year, Price, Bb) :-
+            newsday(Contact, Make, Model, Price, Url, Year),
+            kellys(Bb, 'good', Make, Model, Year).
+        """,
+    )
+    relation = logical.relation("bargains")
+    print("view schema:", tuple(relation.schema))
+    print("view bindings:", [sorted(m) for m in relation.binding_sets])
+    result = logical.fetch("bargains", {"make": "jaguar"})
+    print(result.pretty(limit=5))
+
+    print("\n=== 2. The algebraic optimizer at work ===")
+    expr = Select(
+        Join(Base("classifieds"), Base("blue_price")),
+        conj(
+            eq("make", "jaguar"),
+            eq("condition", "good"),
+            Comparison(Attr("year"), ">=", Const(1996)),
+            Comparison(Attr("price"), "<", Attr("bb_price")),
+        ),
+    )
+    optimized = optimize(expr, webbase.logical)
+    print("rewrites:")
+    print(optimized.explain())
+
+    print("\n=== 3. Building a query through the concept hierarchy ===")
+    builder = QueryBuilder(webbase.ur)
+    print("top-level concepts:", builder.concepts())
+    print("under 'Value':", builder.attributes_of("Value"))
+    result = (
+        builder.select("Car", "price", "bb_price")
+        .where("make", "=", "jaguar")
+        .where("condition", "=", "good")
+        .where("price", "<", "@bb_price")
+        .run()
+    )
+    print(result.pretty(limit=5))
+
+    print("\n=== 4. Persisting navigation maps ===")
+    original = webbase.builders["www.newsday.com"].map
+    blob = dumps(original)
+    restored = loads(blob)
+    print(
+        "serialized %d bytes; restored map: %d nodes, %d edges (identical: %s)"
+        % (
+            len(blob),
+            len(restored.nodes),
+            len(restored.edges),
+            restored.edges == original.edges,
+        )
+    )
+
+    print("\n=== 5. Multiple handles (alternative access forms) ===")
+    relation = webbase.vps.relation("usedcarmart")
+    for handle in relation.handles:
+        print(
+            "  handle mandatory=%s -> goal %s"
+            % (sorted(handle.mandatory), handle.goal)
+        )
+    print(
+        "by make: %d tuples; by zip: %d tuples"
+        % (
+            len(webbase.fetch_vps("usedcarmart", {"make": "ford"})),
+            len(webbase.fetch_vps("usedcarmart", {"zip": "10001"})),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: build a webbase and query it like a Web shopper.
+
+Run:  python examples/quickstart.py
+
+Builds the simulated car-domain Web (twelve sites), maps every site by
+example, assembles the three layers, and answers ad-hoc queries against
+the universal relation — no joins written by the user, ever.
+"""
+
+from repro import WebBase
+
+
+def main() -> None:
+    print("Assembling the webbase (mapping 12 sites by example)...")
+    webbase = WebBase.build()
+
+    print("\n=== The three layers ===")
+    print(webbase.vps_summary())
+    print()
+    print(webbase.logical_summary())
+    print()
+    print("Universal relation attributes:", ", ".join(webbase.ur.attributes))
+
+    print("\n=== Ad-hoc query #1: cheap Ford Escorts ===")
+    query = (
+        "SELECT make, model, year, price, contact "
+        "WHERE make = 'ford' AND model = 'escort' AND price < 5000"
+    )
+    print(query)
+    print(webbase.query(query).pretty())
+
+    print("\n=== Ad-hoc query #2: what's my Civic worth? ===")
+    query = (
+        "SELECT make, model, year, condition, bb_price "
+        "WHERE make = 'honda' AND model = 'civic' AND condition = 'good' "
+        "AND year >= 1996"
+    )
+    print(query)
+    print(webbase.query(query).pretty())
+
+    print("\n=== How the system answered: the plan ===")
+    plan = webbase.plan(
+        "SELECT make, model, price, safety WHERE make = 'toyota' AND year >= 1995"
+    )
+    print(plan.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "A Layered Architecture for Querying Dynamic
+Web Content" (Davulcu, Freire, Kifer, Ramakrishnan; SIGMOD 1999).
+
+A *webbase*: a database system over Web content reachable only through
+HTML forms, built as three layers over a (here: simulated) raw Web —
+
+* the **virtual physical schema**: relations populated by navigation
+  expressions in a Transaction F-logic calculus, derived automatically
+  from navigation maps that a designer builds *by example* while browsing;
+* the **logical schema**: site-independent relational views with binding
+  propagation;
+* the **external schema**: a structured universal relation with concept
+  hierarchies and compatibility rules, queried as ``SELECT ... WHERE ...``.
+
+Quickstart::
+
+    from repro import WebBase
+    webbase = WebBase.build()
+    print(webbase.query(
+        "SELECT make, model, year, price, contact "
+        "WHERE make = 'jaguar' AND year >= 1993"
+    ).pretty())
+"""
+
+from repro.core.webbase import WebBase
+from repro.sites.world import World, build_world
+from repro.ur.builder import QueryBuilder
+
+__version__ = "0.1.0"
+
+__all__ = ["QueryBuilder", "WebBase", "World", "build_world", "__version__"]

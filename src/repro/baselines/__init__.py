@@ -1,0 +1,28 @@
+"""Baselines the paper positions the webbase against: link-only Web query
+languages (WebSQL/W3QL-style) and canned form interfaces."""
+
+from repro.baselines.canned import (
+    CannedError,
+    CannedQuery,
+    coverage,
+    used_car_canned_catalog,
+)
+from repro.baselines.websql import (
+    CrawlResult,
+    PathPattern,
+    crawl,
+    dynamic_content_coverage,
+    select_documents,
+)
+
+__all__ = [
+    "CannedError",
+    "CannedQuery",
+    "CrawlResult",
+    "PathPattern",
+    "coverage",
+    "crawl",
+    "dynamic_content_coverage",
+    "select_documents",
+    "used_car_canned_catalog",
+]

@@ -1,0 +1,139 @@
+"""The canned-interface baseline for the external schema.
+
+"Naive users are usually given canned queries needed to perform a set of
+specific tasks.  These canned interfaces served well in the case of
+fairly structured corporate environments, but they are too limiting for
+the wide audience of Web users."
+
+A :class:`CannedQuery` is exactly such an interface: a fixed query
+template with a small set of fill-in parameters.  :func:`coverage`
+measures how many of a workload's ad-hoc questions a canned catalog can
+answer at all — the quantitative version of "too limiting" that the
+structured UR is designed to fix.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+from repro.ur.planner import StructuredUR
+from repro.ur.query import URQuery, parse_query
+
+
+class CannedError(Exception):
+    """A canned query was invoked with the wrong parameters."""
+
+
+@dataclass(frozen=True)
+class CannedQuery:
+    """A fixed query with ``{placeholder}`` slots for its parameters."""
+
+    name: str
+    description: str
+    template: str
+    params: tuple[str, ...]
+
+    def instantiate(self, **values: str) -> URQuery:
+        missing = set(self.params) - set(values)
+        if missing:
+            raise CannedError("missing parameters: %s" % sorted(missing))
+        extra = set(values) - set(self.params)
+        if extra:
+            raise CannedError("unknown parameters: %s" % sorted(extra))
+        text = self.template
+        for key, value in values.items():
+            text = text.replace("{%s}" % key, str(value))
+        return parse_query(text)
+
+    def run(self, ur: StructuredUR, **values: str) -> Relation:
+        return ur.answer(self.instantiate(**values))
+
+    def answers(self, question: URQuery) -> bool:
+        """Whether some instantiation of this template is the question.
+
+        A canned form can only vary its parameter slots; the question must
+        match the template with constants in exactly those positions.
+        """
+        pattern = re.escape(self.template)
+        for param in self.params:
+            pattern = pattern.replace(re.escape("{%s}" % param), r"[^'\s]+")
+        # Compare on the parsed-normalized text of the question.
+        question_text = _normalize(question)
+        return re.fullmatch(pattern, question_text) is not None
+
+
+def _normalize(query: URQuery) -> str:
+    """Render a URQuery in the canonical template notation."""
+    from repro.relational.conditions import And, Comparison
+
+    text = "SELECT " + ", ".join(query.outputs)
+    if query.condition is None:
+        return text
+    parts = (
+        query.condition.parts
+        if isinstance(query.condition, And)
+        else (query.condition,)
+    )
+    rendered = []
+    for part in parts:
+        if not isinstance(part, Comparison):
+            return text + " WHERE <complex>"
+        rendered.append("%s %s %s" % (_side(part.left), part.op, _side(part.right)))
+    return text + " WHERE " + " AND ".join(rendered)
+
+
+def _side(operand) -> str:
+    from repro.relational.conditions import Attr
+
+    if isinstance(operand, Attr):
+        return operand.name
+    literal = operand.literal
+    return "'%s'" % literal if isinstance(literal, str) else str(literal)
+
+
+def used_car_canned_catalog() -> list[CannedQuery]:
+    """The kind of canned shopping interface a 1999 portal would offer."""
+    return [
+        CannedQuery(
+            name="find_by_make_model",
+            description="List ads for a make and model",
+            template=(
+                "SELECT make, model, year, price, contact "
+                "WHERE make = '{make}' AND model = '{model}'"
+            ),
+            params=("make", "model"),
+        ),
+        CannedQuery(
+            name="find_by_make_under_price",
+            description="List ads for a make under a price ceiling",
+            template=(
+                "SELECT make, model, year, price, contact "
+                "WHERE make = '{make}' AND price < {max_price}"
+            ),
+            params=("make", "max_price"),
+        ),
+        CannedQuery(
+            name="blue_book_value",
+            description="Blue-book value of a car",
+            template=(
+                "SELECT make, model, year, condition, bb_price "
+                "WHERE make = '{make}' AND model = '{model}' "
+                "AND condition = '{condition}'"
+            ),
+            params=("make", "model", "condition"),
+        ),
+    ]
+
+
+def coverage(catalog: list[CannedQuery], workload: list[str]) -> tuple[float, list[str]]:
+    """The fraction of workload questions some canned query answers, plus
+    the unanswerable remainder."""
+    unanswered = []
+    for question_text in workload:
+        question = parse_query(question_text)
+        if not any(c.answers(question) for c in catalog):
+            unanswered.append(question_text)
+    answered = len(workload) - len(unanswered)
+    return (answered / len(workload) if workload else 1.0), unanswered

@@ -1,0 +1,156 @@
+"""Command-line interface to the webbase.
+
+::
+
+    python -m repro query "SELECT make, model, price WHERE make = 'ford'"
+    python -m repro plan  "SELECT make, bb_price WHERE condition = 'good'"
+    python -m repro schema vps|logical|ur
+    python -m repro expression newsday
+    python -m repro map www.newsday.com [--dot]
+    python -m repro timing
+    python -m repro baselines
+
+Every invocation builds the simulated Web and maps it by example (fast
+and deterministic); ``--seed`` and ``--ads-per-host`` change the world.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.core.stats import format_timing_table, site_query_timings
+from repro.core.webbase import WebBase
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A webbase over a simulated dynamic Web (SIGMOD 1999 reproduction).",
+    )
+    parser.add_argument("--seed", type=int, default=1999, help="world seed")
+    parser.add_argument(
+        "--ads-per-host", type=int, default=120, help="listing depth per site"
+    )
+    parser.add_argument(
+        "--cache", action="store_true", help="enable the VPS result cache"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="answer a universal-relation query")
+    query.add_argument("text", help="SELECT attrs WHERE conditions")
+    query.add_argument("--limit", type=int, default=25, help="rows to print")
+
+    plan = sub.add_parser("plan", help="show a query's maximal objects")
+    plan.add_argument("text")
+
+    schema = sub.add_parser("schema", help="print a layer's schema")
+    schema.add_argument("layer", choices=["vps", "logical", "ur"])
+
+    expression = sub.add_parser(
+        "expression", help="show a relation's navigation expression"
+    )
+    expression.add_argument("relation")
+
+    navmap = sub.add_parser("map", help="render a site's navigation map")
+    navmap.add_argument("host")
+    navmap.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    sub.add_parser("timing", help="the Section 7 per-site timing table")
+    sub.add_parser("baselines", help="link-only and canned-interface baselines")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    webbase = WebBase.build(
+        seed=args.seed, ads_per_host=args.ads_per_host, caching=args.cache
+    )
+
+    if args.command == "query":
+        result = webbase.query(args.text)
+        print(result.pretty(limit=args.limit))
+        print("(%d rows)" % len(result))
+        return 0
+
+    if args.command == "plan":
+        plan = webbase.plan(args.text)
+        print(plan.describe())
+        for obj in plan.feasible_objects:
+            if obj.rewrites:
+                print("  optimizer on %s:" % " ⋈ ".join(obj.relations))
+                for rewrite in obj.rewrites:
+                    print("    %s" % rewrite)
+        return 0
+
+    if args.command == "schema":
+        if args.layer == "vps":
+            print(webbase.vps_summary())
+        elif args.layer == "logical":
+            print(webbase.logical_summary())
+        else:
+            print(webbase.ur.hierarchy.pretty())
+            print("\nmaximal objects:")
+            for obj in webbase.ur.maximal_objects():
+                print("  %s" % " ⋈ ".join(sorted(obj)))
+        return 0
+
+    if args.command == "expression":
+        try:
+            print(webbase.navigation_expression(args.relation))
+        except KeyError:
+            print("no VPS relation %r; known: %s" % (
+                args.relation, ", ".join(webbase.vps.relation_names)))
+            return 1
+        return 0
+
+    if args.command == "map":
+        builder = webbase.builders.get(args.host)
+        if builder is None:
+            print("no map for host %r; known: %s" % (
+                args.host, ", ".join(sorted(webbase.builders))))
+            return 1
+        from repro.navigation.visualize import to_dot, to_text
+
+        print(to_dot(builder.map) if args.dot else to_text(builder.map))
+        return 0
+
+    if args.command == "timing":
+        print(format_timing_table(site_query_timings(webbase)))
+        return 0
+
+    if args.command == "baselines":
+        from repro.baselines.canned import coverage, used_car_canned_catalog
+        from repro.baselines.websql import (
+            PathPattern,
+            crawl,
+            dynamic_content_coverage,
+        )
+        from repro.web.browser import Browser
+
+        result = crawl(
+            Browser(webbase.world.server),
+            "http://www.newsday.com/",
+            PathPattern(max_depth=4),
+        )
+        link_cov = dynamic_content_coverage(webbase.world, result, "www.newsday.com")
+        print(
+            "link-only crawl of www.newsday.com: %d pages, sees %.0f%% of the ads"
+            % (result.pages_fetched, link_cov * 100)
+        )
+        workload = [
+            "SELECT make, model, price, bb_price WHERE make = 'jaguar' "
+            "AND condition = 'good' AND price < bb_price",
+            "SELECT make, model, year, price, contact WHERE make = 'ford' AND model = 'escort'",
+        ]
+        fraction, unanswered = coverage(used_car_canned_catalog(), workload)
+        print("canned catalog answers %.0f%% of the sample workload" % (fraction * 100))
+        for task in unanswered:
+            print("  cannot express: %s" % task)
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

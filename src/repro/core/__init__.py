@@ -1,0 +1,31 @@
+"""The webbase core: the layered architecture assembled and instrumented."""
+
+from repro.core.parallel import (
+    ParallelOutcome,
+    parallel_site_query,
+    sequential_site_query,
+)
+from repro.core.sessions import SESSIONS, build_all_builders, build_all_maps
+from repro.core.stats import (
+    SiteTiming,
+    format_timing_table,
+    primary_relation,
+    site_given,
+    site_query_timings,
+)
+from repro.core.webbase import WebBase
+
+__all__ = [
+    "ParallelOutcome",
+    "SESSIONS",
+    "SiteTiming",
+    "WebBase",
+    "build_all_builders",
+    "build_all_maps",
+    "format_timing_table",
+    "parallel_site_query",
+    "primary_relation",
+    "sequential_site_query",
+    "site_given",
+    "site_query_timings",
+]

@@ -1,0 +1,139 @@
+"""Query reports: observability and provenance for UR evaluation.
+
+A webbase query fans out across sites; operators need to see where
+answers came from and what they cost.  :func:`run_with_report` evaluates
+a UR query *per maximal object* (instead of folding everything into one
+union) and accounts for the Web work each object caused: answer counts,
+pages fetched per host, simulated network seconds, and measured cpu time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.webbase import WebBase
+from repro.relational.algebra import evaluate
+from repro.relational.bindings import BindingError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.ur.planner import PlanError, URPlan
+from repro.web.clock import CpuTimer
+
+
+@dataclass
+class ObjectReport:
+    """One maximal object's contribution and cost."""
+
+    relations: tuple[str, ...]
+    rows: int
+    pages_by_host: dict[str, int]
+    network_seconds: float
+    cpu_seconds: float
+    skipped: str = ""
+
+    @property
+    def pages(self) -> int:
+        return sum(self.pages_by_host.values())
+
+
+@dataclass
+class QueryReport:
+    """The full accounting of one UR query."""
+
+    query_text: str
+    answer: Relation
+    objects: list[ObjectReport] = field(default_factory=list)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(o.pages for o in self.objects)
+
+    @property
+    def total_network_seconds(self) -> float:
+        return sum(o.network_seconds for o in self.objects)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return sum(o.cpu_seconds for o in self.objects)
+
+    def pretty(self) -> str:
+        lines = ["query: %s" % self.query_text]
+        for obj in self.objects:
+            if obj.skipped:
+                lines.append("  %s: skipped (%s)" % (" ⋈ ".join(obj.relations), obj.skipped))
+                continue
+            hosts = ", ".join(
+                "%s:%d" % (host, pages)
+                for host, pages in sorted(obj.pages_by_host.items())
+                if pages
+            )
+            lines.append(
+                "  %s: %d row(s), %d page(s) [%s], %.2fs network, %.3fs cpu"
+                % (
+                    " ⋈ ".join(obj.relations),
+                    obj.rows,
+                    obj.pages,
+                    hosts or "cache",
+                    obj.network_seconds,
+                    obj.cpu_seconds,
+                )
+            )
+        lines.append(
+            "total: %d answer row(s), %d page(s), %.2fs network, %.3fs cpu"
+            % (
+                len(self.answer),
+                self.total_pages,
+                self.total_network_seconds,
+                self.total_cpu_seconds,
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_with_report(webbase: WebBase, query_text: str) -> QueryReport:
+    """Evaluate a UR query object by object, accounting for the Web work."""
+    plan: URPlan = webbase.plan(query_text)
+    server = webbase.world.server
+    clock = webbase.executor.browser.clock
+    outputs = plan.query.outputs
+    answer = Relation(Schema(outputs), [])
+    report = QueryReport(query_text=query_text, answer=answer)
+    evaluated = 0
+    for obj in plan.objects:
+        if not obj.feasible:
+            report.objects.append(
+                ObjectReport(obj.relations, 0, {}, 0.0, 0.0, skipped=obj.note)
+            )
+            continue
+        pages_before = {host: server.stats[host].pages_ok for host in server.stats}
+        network_before = clock.network_seconds
+        timer = CpuTimer().start()
+        try:
+            piece = evaluate(obj.expression, webbase.logical)
+        except BindingError as exc:
+            timer.stop()
+            report.objects.append(
+                ObjectReport(obj.relations, 0, {}, 0.0, 0.0, skipped=str(exc))
+            )
+            continue
+        cpu = timer.stop()
+        pages = {
+            host: server.stats[host].pages_ok - pages_before[host]
+            for host in server.stats
+            if server.stats[host].pages_ok != pages_before[host]
+        }
+        report.objects.append(
+            ObjectReport(
+                relations=obj.relations,
+                rows=len(piece),
+                pages_by_host=pages,
+                network_seconds=clock.network_seconds - network_before,
+                cpu_seconds=cpu,
+            )
+        )
+        answer = answer.union(piece)
+        evaluated += 1
+    if evaluated == 0:
+        raise PlanError("no maximal object was evaluable; plan:\n%s" % plan.describe())
+    report.answer = answer
+    return report

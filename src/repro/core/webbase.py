@@ -1,0 +1,117 @@
+"""The webbase facade: the paper's architecture, assembled.
+
+:class:`WebBase` wires the three layers together over a simulated Web:
+
+* the designer sessions build navigation maps by example;
+* the maps compile into navigation expressions and handles — the
+  **virtual physical schema**;
+* Table 2's view definitions form the **logical schema** (optionally
+  behind a result cache);
+* the UsedCarUR concept hierarchy and compatibility rules form the
+  **external schema**, queried with ``SELECT ... WHERE ...``.
+
+>>> webbase = WebBase.build()
+>>> answers = webbase.query("SELECT make, model, price WHERE make = 'ford' AND model = 'escort'")
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.sessions import build_all_builders
+from repro.logical import car_logical_schema
+from repro.logical.schema import LogicalSchema
+from repro.navigation.builder import MapBuilder
+from repro.navigation.compiler import CompiledSite, compile_map
+from repro.navigation.executor import NavigationExecutor
+from repro.relational.relation import Relation
+from repro.sites.world import World, build_world
+from repro.ur.planner import StructuredUR, URPlan
+from repro.ur.usedcars import build_used_car_ur
+from repro.vps.cache import CachingVps
+from repro.vps.schema import VpsSchema
+
+
+class WebBase:
+    """A fully assembled webbase over the simulated car-domain Web."""
+
+    def __init__(self, world: World, caching: bool = False) -> None:
+        self.world = world
+        self.builders: dict[str, MapBuilder] = build_all_builders(world)
+        self.compiled: dict[str, CompiledSite] = {
+            host: compile_map(builder.map) for host, builder in self.builders.items()
+        }
+        self.executor = NavigationExecutor(world.server)
+        self.vps = VpsSchema(self.executor)
+        for compiled in self.compiled.values():
+            self.vps.add_compiled_site(compiled)
+        self.cache: CachingVps | None = CachingVps(self.vps) if caching else None
+        self.logical: LogicalSchema = car_logical_schema(self.cache or self.vps)
+        self.ur: StructuredUR = build_used_car_ur(self.logical)
+
+    @classmethod
+    def build(
+        cls, seed: int = 1999, ads_per_host: int = 120, caching: bool = False
+    ) -> "WebBase":
+        """Build the simulated Web and assemble the webbase over it."""
+        return cls(build_world(seed=seed, ads_per_host=ads_per_host), caching=caching)
+
+    # -- querying, layer by layer ------------------------------------------------
+
+    def query(self, text: str) -> Relation:
+        """Answer an end-user query against the universal relation."""
+        return self.ur.answer(text)
+
+    def plan(self, text: str) -> URPlan:
+        """Show how a UR query decomposes into maximal objects."""
+        return self.ur.plan(text)
+
+    def query_report(self, text: str):
+        """Answer a query with per-object provenance and cost accounting."""
+        from repro.core.report import run_with_report
+
+        return run_with_report(self, text)
+
+    def fetch_logical(self, name: str, given: dict[str, Any]) -> Relation:
+        """Query one logical relation directly (site-independent view)."""
+        return self.logical.fetch(name, given)
+
+    def fetch_vps(self, name: str, given: dict[str, Any]) -> Relation:
+        """Query one VPS relation directly (one site's form interface)."""
+        return (self.cache or self.vps).fetch(name, given)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def vps_summary(self) -> str:
+        lines = ["virtual physical schema (%d relations):" % len(self.vps.relations)]
+        for name in self.vps.relation_names:
+            relation = self.vps.relation(name)
+            handles = "; ".join(
+                "mandatory=%s optional=%s"
+                % (sorted(h.mandatory), sorted(h.selection - h.mandatory))
+                for h in relation.handles
+            )
+            lines.append(
+                "  %s(%s) @ %s  [%s]"
+                % (name, ", ".join(relation.schema), relation.host, handles)
+            )
+        return "\n".join(lines)
+
+    def logical_summary(self) -> str:
+        lines = ["logical schema (%d relations):" % len(self.logical.relations)]
+        for name in self.logical.relation_names:
+            relation = self.logical.relation(name)
+            lines.append(
+                "  %s(%s)  bindings=%s"
+                % (
+                    name,
+                    ", ".join(relation.schema),
+                    [sorted(m) for m in relation.binding_sets],
+                )
+            )
+        return "\n".join(lines)
+
+    def navigation_expression(self, relation: str) -> str:
+        """The compiled Transaction F-logic program for a VPS relation —
+        the expressions 'nobody, except the system builder, needs to see'."""
+        return self.vps.relation(relation).handles[0].expression

@@ -1,0 +1,12 @@
+"""Additional application domains built on the webbase framework.
+
+The paper expects webbases "designed for application domains (such as
+cars, jobs, houses) by the experts in those domains"; this package holds
+the non-car domains, each assembled purely from the library's public
+machinery.
+"""
+
+from repro.domains.hardware import HardwareWebBase, build_hardware_world
+from repro.domains.jobs import JobsWebBase, build_jobs_world
+
+__all__ = ["HardwareWebBase", "JobsWebBase", "build_hardware_world", "build_jobs_world"]

@@ -1,0 +1,278 @@
+"""Formula AST for the serial-Horn Transaction F-logic subset.
+
+The connectives follow Section 4 of the paper:
+
+* ``Serial`` — the serial conjunction ``a (x) b``: "execute a, then b";
+* ``Choice`` — disjunction: "execute a or b, non-deterministically";
+* ``Pred`` — an atomic goal: a defined predicate, a builtin, or one of the
+  F-logic primitives ``isa(O, Class)`` (``O : Class``) and
+  ``attr(O, A, V)`` (``O[A -> V]``);
+* ``Ins``/``Del`` — Transaction Logic's elementary updates, inserting or
+  deleting a fact in the object store (the database state);
+* ``Naf`` — negation as failure over query-only goals (an extension used
+  for page-shape tests).
+
+Rules are serial-Horn: ``head <- body`` with an atomic head.  The pretty
+printer renders formulas in the textual syntax accepted by
+:mod:`repro.flogic.syntax`, so programs round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.flogic.terms import Struct, Term, Var, rename_term, variables_of
+
+
+class Formula:
+    """Marker base class for formula nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Pred(Formula):
+    """An atomic goal ``name(args...)``."""
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return (self.name, len(self.args))
+
+    def __repr__(self) -> str:
+        return format_formula(self)
+
+
+@dataclass(frozen=True)
+class Serial(Formula):
+    """Serial conjunction: execute the parts left to right."""
+
+    parts: tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return format_formula(self)
+
+
+@dataclass(frozen=True)
+class Choice(Formula):
+    """Non-deterministic choice among the parts."""
+
+    parts: tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return format_formula(self)
+
+
+@dataclass(frozen=True)
+class Naf(Formula):
+    """Negation as failure of a query-only goal (state must not change)."""
+
+    goal: Formula
+
+    def __repr__(self) -> str:
+        return format_formula(self)
+
+
+@dataclass(frozen=True)
+class Ins(Formula):
+    """Elementary update: insert an ``isa`` or ``attr`` fact."""
+
+    kind: str  # 'isa' | 'attr'
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return format_formula(self)
+
+
+@dataclass(frozen=True)
+class Del(Formula):
+    """Elementary update: delete an ``attr`` fact."""
+
+    kind: str
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return format_formula(self)
+
+
+TRUE = Pred("true")
+FAIL = Pred("fail")
+
+
+def serial(*parts: Formula) -> Formula:
+    """Build a (flattened) serial conjunction; a single part stays bare."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, Serial):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Serial(tuple(flat))
+
+
+def choice(*parts: Formula) -> Formula:
+    """Build a (flattened) choice; a single part stays bare."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, Choice):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return FAIL
+    if len(flat) == 1:
+        return flat[0]
+    return Choice(tuple(flat))
+
+
+def isa(obj: Term, cls: Term) -> Pred:
+    """The F-logic membership molecule ``obj : cls``."""
+    return Pred("isa", (obj, cls))
+
+
+def attr(obj: Term, attribute: Term, value: Term) -> Pred:
+    """The F-logic data molecule ``obj[attribute -> value]``."""
+    return Pred("attr", (obj, attribute, value))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A serial-Horn rule ``head <- body``.  Facts have body TRUE."""
+
+    head: Pred
+    body: Formula = TRUE
+
+    def rename(self, tag: int) -> "Rule":
+        """A variant of this rule with all variables freshly tagged."""
+        head = Pred(self.head.name, tuple(rename_term(a, tag) for a in self.head.args))
+        return Rule(head, rename_formula(self.body, tag))
+
+    def __repr__(self) -> str:
+        return format_rule(self)
+
+
+def rename_formula(formula: Formula, tag: int) -> Formula:
+    if isinstance(formula, Pred):
+        return Pred(formula.name, tuple(rename_term(a, tag) for a in formula.args))
+    if isinstance(formula, Serial):
+        return Serial(tuple(rename_formula(p, tag) for p in formula.parts))
+    if isinstance(formula, Choice):
+        return Choice(tuple(rename_formula(p, tag) for p in formula.parts))
+    if isinstance(formula, Naf):
+        return Naf(rename_formula(formula.goal, tag))
+    if isinstance(formula, Ins):
+        return Ins(formula.kind, tuple(rename_term(a, tag) for a in formula.args))
+    if isinstance(formula, Del):
+        return Del(formula.kind, tuple(rename_term(a, tag) for a in formula.args))
+    raise TypeError("cannot rename %r" % (formula,))
+
+
+def formula_variables(formula: Formula) -> set[Var]:
+    """All variables occurring in ``formula``."""
+    if isinstance(formula, Pred):
+        found: set[Var] = set()
+        for arg in formula.args:
+            found |= variables_of(arg)
+        return found
+    if isinstance(formula, (Serial, Choice)):
+        found = set()
+        for part in formula.parts:
+            found |= formula_variables(part)
+        return found
+    if isinstance(formula, Naf):
+        return formula_variables(formula.goal)
+    if isinstance(formula, (Ins, Del)):
+        found = set()
+        for arg in formula.args:
+            found |= variables_of(arg)
+        return found
+    raise TypeError("unknown formula %r" % (formula,))
+
+
+class Program:
+    """An indexed collection of rules (a navigation-expression knowledge base)."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self._by_indicator: dict[tuple[str, int], list[Rule]] = {}
+        self.rules: list[Rule] = []
+        for rule in rules or []:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+        self._by_indicator.setdefault(rule.head.indicator, []).append(rule)
+
+    def extend(self, rules: "list[Rule] | Program") -> None:
+        source = rules.rules if isinstance(rules, Program) else rules
+        for rule in source:
+            self.add(rule)
+
+    def rules_for(self, indicator: tuple[str, int]) -> list[Rule]:
+        return self._by_indicator.get(indicator, [])
+
+    def defines(self, indicator: tuple[str, int]) -> bool:
+        return indicator in self._by_indicator
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def pretty(self) -> str:
+        return "\n".join(format_rule(rule) for rule in self.rules)
+
+
+# -- pretty printing -----------------------------------------------------------
+
+
+def format_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return repr(term)
+    if isinstance(term, Struct):
+        if not term.args:
+            return term.functor
+        return "%s(%s)" % (term.functor, ", ".join(format_term(a) for a in term.args))
+    if isinstance(term, str):
+        if term and term[0].islower() and all(c.isalnum() or c == "_" for c in term):
+            return term
+        return "'%s'" % term.replace("\\", "\\\\").replace("'", "\\'")
+    if isinstance(term, tuple):
+        return "[%s]" % ", ".join(format_term(t) for t in term)
+    if isinstance(term, bool):
+        return "true" if term else "false"
+    if isinstance(term, (int, float)):
+        return repr(term)
+    return "<%s>" % term.__class__.__name__
+
+
+def format_formula(formula: Formula, parenthesize: bool = False) -> str:
+    if isinstance(formula, Pred):
+        if formula.name == "isa" and len(formula.args) == 2:
+            return "%s : %s" % (format_term(formula.args[0]), format_term(formula.args[1]))
+        if formula.name == "attr" and len(formula.args) == 3:
+            return "%s[%s -> %s]" % tuple(format_term(a) for a in formula.args)
+        if not formula.args:
+            return formula.name
+        return "%s(%s)" % (formula.name, ", ".join(format_term(a) for a in formula.args))
+    if isinstance(formula, Serial):
+        text = " * ".join(format_formula(p, parenthesize=True) for p in formula.parts)
+        return "(%s)" % text if parenthesize else text
+    if isinstance(formula, Choice):
+        text = " ; ".join(format_formula(p, parenthesize=True) for p in formula.parts)
+        return "(%s)" % text
+    if isinstance(formula, Naf):
+        return "not %s" % format_formula(formula.goal, parenthesize=True)
+    if isinstance(formula, Ins):
+        return "ins_%s(%s)" % (formula.kind, ", ".join(format_term(a) for a in formula.args))
+    if isinstance(formula, Del):
+        return "del_%s(%s)" % (formula.kind, ", ".join(format_term(a) for a in formula.args))
+    raise TypeError("cannot format %r" % (formula,))
+
+
+def format_rule(rule: Rule) -> str:
+    if rule.body == TRUE:
+        return "%s." % format_formula(rule.head)
+    return "%s <- %s." % (format_formula(rule.head), format_formula(rule.body))

@@ -1,0 +1,198 @@
+"""The F-logic object store: frames, class membership, and signatures.
+
+F-logic "extends classical logic by making it possible to represent complex
+objects on a par with traditional flat relations".  The store holds three
+kinds of facts:
+
+* ``isa(object, class)`` — class membership (``form01 : action``);
+* ``sub(class, superclass)`` — the class hierarchy (``form <:: action``);
+* ``attr(object, attribute, value)`` — attribute values; whether an
+  attribute is scalar (``->``) or multi-valued (``->>``) is recorded in the
+  class *signature*.
+
+Stores are persistent (immutable): ``ins``/``delete`` return new stores
+sharing structure with the old one.  That is what makes Transaction Logic's
+backtracking over database states trivial — the interpreter simply keeps
+references to earlier states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.flogic.terms import Subst, Term, Var, unify, walk
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Declared attribute of a class: ``cls[attr => result]`` (scalar) or
+    ``cls[attr =>> result]`` (multi-valued)."""
+
+    cls: str
+    attr: str
+    result: str
+    scalar: bool = True
+
+
+class SignatureError(Exception):
+    """A scalar attribute received a second, different value."""
+
+
+class ObjectStore:
+    """An immutable collection of isa/sub/attr facts plus signatures."""
+
+    def __init__(
+        self,
+        isa: frozenset[tuple[Any, str]] = frozenset(),
+        sub: frozenset[tuple[str, str]] = frozenset(),
+        attrs: frozenset[tuple[Any, str, Any]] = frozenset(),
+        signatures: frozenset[Signature] = frozenset(),
+    ) -> None:
+        self._isa = isa
+        self._sub = sub
+        self._attrs = attrs
+        self._signatures = signatures
+
+    # -- construction --------------------------------------------------------
+
+    def with_subclass(self, cls: str, superclass: str) -> "ObjectStore":
+        return ObjectStore(
+            self._isa, self._sub | {(cls, superclass)}, self._attrs, self._signatures
+        )
+
+    def with_signature(self, sig: Signature) -> "ObjectStore":
+        return ObjectStore(self._isa, self._sub, self._attrs, self._signatures | {sig})
+
+    def with_member(self, obj: Any, cls: str) -> "ObjectStore":
+        return ObjectStore(
+            self._isa | {(obj, cls)}, self._sub, self._attrs, self._signatures
+        )
+
+    def with_attr(self, obj: Any, attr: str, value: Any) -> "ObjectStore":
+        """Add an attribute value, enforcing scalar signatures."""
+        sig = self.signature_for(obj, attr)
+        if sig is not None and sig.scalar:
+            for existing in self.values(obj, attr):
+                if existing != value:
+                    raise SignatureError(
+                        "scalar attribute %s of %r already holds %r"
+                        % (attr, obj, existing)
+                    )
+        return ObjectStore(
+            self._isa, self._sub, self._attrs | {(obj, attr, value)}, self._signatures
+        )
+
+    def without_attr(self, obj: Any, attr: str, value: Any) -> "ObjectStore":
+        return ObjectStore(
+            self._isa, self._sub, self._attrs - {(obj, attr, value)}, self._signatures
+        )
+
+    # -- class hierarchy ------------------------------------------------------
+
+    def superclasses(self, cls: str) -> set[str]:
+        """``cls`` plus all transitive superclasses."""
+        closed = {cls}
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            for sub, sup in self._sub:
+                if sub == current and sup not in closed:
+                    closed.add(sup)
+                    frontier.append(sup)
+        return closed
+
+    def classes_of(self, obj: Any) -> set[str]:
+        """All classes ``obj`` belongs to, closed under the hierarchy."""
+        direct = {cls for member, cls in self._isa if member == obj}
+        closed: set[str] = set()
+        for cls in direct:
+            closed |= self.superclasses(cls)
+        return closed
+
+    def is_member(self, obj: Any, cls: str) -> bool:
+        return cls in self.classes_of(obj)
+
+    # -- attribute access ------------------------------------------------------
+
+    def values(self, obj: Any, attr: str) -> list[Any]:
+        return [v for o, a, v in self._attrs if o == obj and a == attr]
+
+    def value(self, obj: Any, attr: str) -> Any:
+        """The single value of a scalar attribute; raises if absent/ambiguous."""
+        found = self.values(obj, attr)
+        if len(found) != 1:
+            raise KeyError(
+                "attribute %s of %r has %d values" % (attr, obj, len(found))
+            )
+        return found[0]
+
+    def signature_for(self, obj: Any, attr: str) -> Signature | None:
+        """The signature governing ``obj.attr``, if any class declares one."""
+        classes = self.classes_of(obj)
+        for sig in self._signatures:
+            if sig.attr == attr and sig.cls in classes:
+                return sig
+        return None
+
+    def signatures_of(self, cls: str) -> list[Signature]:
+        wanted = self.superclasses(cls)
+        return sorted(
+            (s for s in self._signatures if s.cls in wanted),
+            key=lambda s: (s.cls, s.attr),
+        )
+
+    # -- logical queries (used by the engine) -----------------------------------
+
+    def query_isa(self, obj: Term, cls: Term, subst: Subst) -> Iterator[dict]:
+        """Solve ``obj : cls`` — yields extended substitutions."""
+        obj_w = walk(obj, subst)
+        cls_w = walk(cls, subst)
+        if not isinstance(obj_w, Var) and not isinstance(cls_w, Var):
+            if self.is_member(obj_w, cls_w):
+                yield dict(subst)
+            return
+        for member, direct_cls in sorted(self._isa, key=lambda f: (repr(f[0]), f[1])):
+            for cls_name in sorted(self.superclasses(direct_cls)):
+                one = unify(obj, member, subst)
+                if one is None:
+                    continue
+                two = unify(cls, cls_name, one)
+                if two is not None:
+                    yield two
+
+    def query_attr(self, obj: Term, attr: Term, value: Term, subst: Subst) -> Iterator[dict]:
+        """Solve ``obj[attr -> value]`` — yields extended substitutions."""
+        for o, a, v in sorted(self._attrs, key=lambda f: (repr(f[0]), f[1], repr(f[2]))):
+            one = unify(obj, o, subst)
+            if one is None:
+                continue
+            two = unify(attr, a, one)
+            if two is None:
+                continue
+            three = unify(value, v, two)
+            if three is not None:
+                yield three
+
+    # -- misc ---------------------------------------------------------------
+
+    @property
+    def fact_count(self) -> int:
+        return len(self._isa) + len(self._attrs)
+
+    @property
+    def attr_fact_count(self) -> int:
+        return len(self._attrs)
+
+    def all_objects(self) -> set[Any]:
+        objs = {o for o, _ in self._isa}
+        objs |= {o for o, _, _ in self._attrs}
+        return objs
+
+    def describe(self, obj: Any) -> dict[str, list[Any]]:
+        """All attributes of ``obj`` as a dict (testing/debugging aid)."""
+        out: dict[str, list[Any]] = {}
+        for o, a, v in self._attrs:
+            if o == obj:
+                out.setdefault(a, []).append(v)
+        return out

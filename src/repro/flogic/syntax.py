@@ -1,0 +1,295 @@
+"""Textual syntax for the navigation calculus.
+
+The paper stresses that nobody but the system needs to *see* navigation
+expressions, but a concrete syntax is invaluable for tests, debugging and
+documentation.  This module parses the notation the pretty printer in
+:mod:`repro.flogic.formulas` emits, so programs round-trip:
+
+.. code-block:: text
+
+    travel(X, Y) <- hop(X, Y) ; hop(X, Z) * travel(Z, Y).
+    page : web_page.
+    form01[method -> 'POST'].
+    run(P) <- P : data_page * not P[empty -> true] * ins_attr(P, seen, true).
+
+* ``*`` is the serial conjunction, ``;`` the choice, ``not`` negation as
+  failure; parentheses group.
+* ``O : C`` is the membership molecule, ``O[A -> V]`` the data molecule.
+* Variables start with an upper-case letter or ``_``; ``_`` alone is an
+  anonymous (always fresh) variable.
+* Atoms are lower-case names or quoted strings; both parse to Python
+  strings.  Numbers parse to int/float.  ``[a, b]`` is a tuple constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flogic.formulas import (
+    Choice,
+    Del,
+    Formula,
+    Ins,
+    Naf,
+    Pred,
+    Program,
+    Rule,
+    Serial,
+    attr,
+    choice,
+    isa,
+    serial,
+)
+from repro.flogic.terms import Struct, Term, Var
+
+
+class SyntaxParseError(Exception):
+    """The source text does not conform to the calculus grammar."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # name | var | number | string | punct | end
+    value: str
+    pos: int
+
+
+_PUNCT = ["<-", "->", "(", ")", "[", "]", ",", ".", "*", ";", ":"]
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "%":  # comment to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n and source[j] != "'":
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise SyntaxParseError("unterminated string at %d" % i)
+            tokens.append(_Token("string", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A dot not followed by a digit terminates the number
+                    # (it is the rule-ending period).
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(_Token("number", source[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "var" if (word[0].isupper() or word[0] == "_") else "name"
+            tokens.append(_Token(kind, word, i))
+            i = j
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(_Token("punct", punct, i))
+                i += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise SyntaxParseError("unexpected character %r at %d" % (ch, i))
+    tokens.append(_Token("end", "", n))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self._anon_counter = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, value: str) -> _Token:
+        token = self.next()
+        if token.value != value:
+            raise SyntaxParseError(
+                "expected %r at %d, got %r" % (value, token.pos, token.value)
+            )
+        return token
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token.kind == "punct" and token.value == value
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek().kind != "end":
+            program.add(self.parse_rule())
+        return program
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_unary()
+        if not isinstance(head, Pred):
+            raise SyntaxParseError("rule head must be atomic, got %r" % (head,))
+        if self.at_punct("<-"):
+            self.next()
+            body = self.parse_choice()
+        else:
+            body = Pred("true")
+        self.expect(".")
+        return Rule(head, body)
+
+    def parse_choice(self) -> Formula:
+        parts = [self.parse_serial()]
+        while self.at_punct(";"):
+            self.next()
+            parts.append(self.parse_serial())
+        return choice(*parts)
+
+    def parse_serial(self) -> Formula:
+        parts = [self.parse_unary()]
+        while self.at_punct("*"):
+            self.next()
+            parts.append(self.parse_unary())
+        return serial(*parts)
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "name" and token.value == "not":
+            self.next()
+            return Naf(self.parse_unary())
+        if self.at_punct("("):
+            self.next()
+            inner = self.parse_choice()
+            self.expect(")")
+            return self._maybe_molecule_on(inner)
+        return self.parse_molecule_or_pred()
+
+    def parse_molecule_or_pred(self) -> Formula:
+        term = self.parse_term()
+        return self._molecule_from(term)
+
+    def _maybe_molecule_on(self, inner: Formula) -> Formula:
+        # "(expr)" cannot start a molecule; just return it.
+        return inner
+
+    def _molecule_from(self, term: Term) -> Formula:
+        if self.at_punct(":"):
+            self.next()
+            cls = self.parse_term()
+            return isa(term, cls)
+        if self.at_punct("["):
+            self.next()
+            attribute = self.parse_term()
+            self.expect("->")
+            value = self.parse_term()
+            self.expect("]")
+            return attr(term, attribute, value)
+        # Otherwise the term must be predicate-shaped.
+        if isinstance(term, Struct):
+            if term.functor.startswith(("ins_", "del_")):
+                op, _, kind = term.functor.partition("_")
+                if kind not in ("isa", "attr"):
+                    raise SyntaxParseError("unknown update %r" % term.functor)
+                cls = Ins if op == "ins" else Del
+                return cls(kind, term.args)
+            return Pred(term.functor, term.args)
+        if isinstance(term, bool):
+            # 'true'/'false' parse as booleans in term position; in formula
+            # position they are the trivial goals.
+            return Pred("true") if term else Pred("fail")
+        if isinstance(term, str):
+            return Pred(term)
+        raise SyntaxParseError("formula expected, got term %r" % (term,))
+
+    def parse_term(self) -> Term:
+        token = self.next()
+        if token.kind == "var":
+            if token.value == "_":
+                self._anon_counter += 1
+                return Var("_Anon%d" % self._anon_counter)
+            return Var(token.value)
+        if token.kind == "number":
+            text = token.value
+            return float(text) if "." in text else int(text)
+        if token.kind == "string":
+            return token.value
+        if token.kind == "name":
+            if self.at_punct("("):
+                self.next()
+                args = self.parse_term_list(")")
+                return Struct(token.value, tuple(args))
+            if token.value == "true":
+                return True
+            if token.value == "false":
+                return False
+            return token.value  # atom == Python string
+        if token.kind == "punct" and token.value == "[":
+            items = self.parse_term_list("]")
+            return tuple(items)
+        raise SyntaxParseError("term expected at %d, got %r" % (token.pos, token.value))
+
+    def parse_term_list(self, closer: str) -> list[Term]:
+        items: list[Term] = []
+        if self.at_punct(closer):
+            self.next()
+            return items
+        items.append(self.parse_term())
+        while self.at_punct(","):
+            self.next()
+            items.append(self.parse_term())
+        self.expect(closer)
+        return items
+
+
+def parse_rules(source: str) -> Program:
+    """Parse a full program (a sequence of rules)."""
+    return _Parser(source).parse_program()
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a single formula (no trailing period)."""
+    parser = _Parser(source)
+    formula = parser.parse_choice()
+    if parser.peek().kind != "end":
+        raise SyntaxParseError("trailing input after formula")
+    return formula
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term."""
+    parser = _Parser(source)
+    term = parser.parse_term()
+    if parser.peek().kind != "end":
+        raise SyntaxParseError("trailing input after term")
+    return term

@@ -1,0 +1,38 @@
+"""The logical layer: site independence over the virtual physical schema."""
+
+from repro.logical.datalog import (
+    DatalogError,
+    DatalogRule,
+    compile_program,
+    compile_rule,
+    define_datalog_views,
+    parse_datalog,
+)
+from repro.logical.mapping import car_logical_schema
+from repro.logical.schema import LogicalRelation, LogicalSchema
+from repro.logical.standardize import (
+    edit_distance,
+    fuzzy_match,
+    parse_money,
+    to_int,
+    to_percent,
+    to_usd,
+)
+
+__all__ = [
+    "DatalogError",
+    "DatalogRule",
+    "LogicalRelation",
+    "LogicalSchema",
+    "car_logical_schema",
+    "compile_program",
+    "compile_rule",
+    "define_datalog_views",
+    "edit_distance",
+    "fuzzy_match",
+    "parse_datalog",
+    "parse_money",
+    "to_int",
+    "to_percent",
+    "to_usd",
+]

@@ -1,0 +1,125 @@
+"""Vocabulary and representation standardization for the logical layer.
+
+"Data collected from different sources resides in different relations,
+thus semantic and representational discrepancies are likely to exist ...
+prices could be represented using different currencies and semantically
+identical attributes can have different names.  These differences are
+smoothed out at the logical layer."
+
+This module supplies the smoothing: money parsing (with currency
+conversion), numeric casts, percentage parsing — all tolerant of the raw
+display strings VPS relations hold — and the fuzzy attribute-name matcher
+used when no explicit mapping was provided.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# 1999-vintage conversion rates into USD.
+USD_PER_CURRENCY: dict[str, float] = {
+    "USD": 1.0,
+    "CAD": 1.0 / 1.48,
+}
+
+
+def parse_money(text: Any) -> tuple[float, str] | None:
+    """Parse a displayed price into (amount, currency).
+
+    Handles ``$12,500``, ``12500``, ``CAD 18,500``, ``USD 9,000``.
+    Returns None when the text is not a price.
+    """
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        return (float(text), "USD")
+    raw = str(text).strip()
+    currency = "USD"
+    for code in USD_PER_CURRENCY:
+        if raw.upper().startswith(code):
+            currency = code
+            raw = raw[len(code) :].strip()
+            break
+    raw = raw.lstrip("$").replace(",", "").strip()
+    try:
+        return (float(raw), currency)
+    except ValueError:
+        return None
+
+
+def to_usd(text: Any) -> int | None:
+    """A displayed price as an integer USD amount, or None."""
+    parsed = parse_money(text)
+    if parsed is None:
+        return None
+    amount, currency = parsed
+    return int(round(amount * USD_PER_CURRENCY[currency]))
+
+
+def to_int(text: Any) -> int | None:
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text
+    try:
+        return int(str(text).strip())
+    except ValueError:
+        return None
+
+
+def to_percent(text: Any) -> float | None:
+    """``'7.25%'`` or ``'7.25'`` -> 7.25."""
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        return float(text)
+    raw = str(text).strip().rstrip("%")
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance (iterative two-row implementation)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + (ca != cb),  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def fuzzy_match(name: str, candidates: list[str], max_relative_distance: float = 0.4) -> str | None:
+    """The closest candidate attribute name, or None if nothing is close.
+
+    The paper: "If a mapping is not provided for a certain attribute name,
+    we employ fuzzy matching techniques, which evidently are not full-proof."
+    Substring containment counts as very close (``zip`` vs ``zip_code``).
+    """
+    name = name.lower()
+    best: tuple[float, str] | None = None
+    for candidate in candidates:
+        lowered = candidate.lower()
+        if name == lowered:
+            return candidate
+        if name in lowered or lowered in name:
+            distance = 0.1
+        else:
+            distance = edit_distance(name, lowered) / max(len(name), len(lowered))
+        if distance <= max_relative_distance and (best is None or distance < best[0]):
+            best = (distance, candidate)
+    return best[1] if best else None

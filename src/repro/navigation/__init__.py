@@ -1,0 +1,86 @@
+"""Navigation maps, mapping by example, and navigation-expression execution."""
+
+from repro.navigation.builder import AutomationReport, DesignerHints, MapBuilder
+from repro.navigation.compiler import (
+    CompileError,
+    CompiledRelation,
+    CompiledSite,
+    compile_map,
+)
+from repro.navigation.executor import ExecutorError, NavigationExecutor
+from repro.navigation.extract import (
+    ExtractionError,
+    LabeledWrapper,
+    PageWrapper,
+    TableWrapper,
+    canonical_attr,
+    induce_wrapper,
+    wrapper_from_headers,
+)
+from repro.navigation.model import (
+    Edge,
+    FormEdge,
+    FormKey,
+    FormModel,
+    LinkEdge,
+    PageNode,
+    PageSignature,
+    WidgetModel,
+    flogic_base_store,
+)
+from repro.navigation.maintenance import (
+    Change,
+    MaintenanceReport,
+    apply_auto_changes,
+    check_site,
+)
+from repro.navigation.navmap import MapError, NavigationMap
+from repro.navigation.serialize import (
+    SerializeError,
+    load_map,
+    map_from_dict,
+    map_to_dict,
+    save_map,
+)
+from repro.navigation.visualize import to_dot, to_text
+
+__all__ = [
+    "AutomationReport",
+    "Change",
+    "CompileError",
+    "CompiledRelation",
+    "CompiledSite",
+    "DesignerHints",
+    "Edge",
+    "ExecutorError",
+    "ExtractionError",
+    "FormEdge",
+    "FormKey",
+    "FormModel",
+    "LabeledWrapper",
+    "LinkEdge",
+    "MaintenanceReport",
+    "MapBuilder",
+    "MapError",
+    "NavigationExecutor",
+    "NavigationMap",
+    "PageNode",
+    "PageSignature",
+    "PageWrapper",
+    "SerializeError",
+    "TableWrapper",
+    "WidgetModel",
+    "apply_auto_changes",
+    "canonical_attr",
+    "check_site",
+    "compile_map",
+    "flogic_base_store",
+    "induce_wrapper",
+    "load_map",
+    "map_from_dict",
+    "map_to_dict",
+    "save_map",
+    "to_dot",
+    "to_text",
+    "wrapper_from_headers",
+]

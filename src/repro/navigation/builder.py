@@ -1,0 +1,203 @@
+"""The navigation map builder: mapping by example.
+
+"The main idea behind mapping by example is to discover the structure (or
+schema) of a site while the webbase designer moves from page to page,
+filling forms and following links."
+
+:class:`MapBuilder` subscribes to a :class:`~repro.web.browser.Browser`
+(standing in for the paper's JavaScript event handlers) and incrementally
+constructs a :class:`~repro.navigation.navmap.NavigationMap`:
+
+* every page load inserts (or re-finds) a node;
+* every follow/submit action inserts an edge;
+* widget-based inference runs automatically: radio buttons are mandatory,
+  selects without an empty option are mandatory, select/radio domains are
+  read off the widgets;
+* the few facts that need a human — mandatory text fields, attribute
+  renames, the extraction example — arrive through :class:`DesignerHints`
+  and :meth:`MapBuilder.mark_data_page`, and are counted as *manual* facts
+  for the Section 7 automation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.navigation.extract import canonical_attr, induce_wrapper
+from repro.navigation.model import FormKey, FormModel, WidgetModel
+from repro.navigation.navmap import MapError, NavigationMap
+from repro.web.browser import ActionEvent, BrowserObserver
+from repro.web.page import FormSpec, WebPage, Widget
+
+
+@dataclass
+class DesignerHints:
+    """The designer-supplied facts for one site.
+
+    ``attr_renames`` maps canonicalized raw names (widget names, column
+    headers, block labels) to the attribute names the designer prefers —
+    the paper's "facts to standardize attribute and domain value names".
+    ``mandatory_text`` lists the (renamed) attributes whose free-text
+    widgets the designer declared mandatory.
+    """
+
+    attr_renames: dict[str, str] = field(default_factory=dict)
+    mandatory_text: set[str] = field(default_factory=set)
+
+    @property
+    def fact_count(self) -> int:
+        return len(self.attr_renames) + len(self.mandatory_text)
+
+
+@dataclass
+class AutomationReport:
+    """The Section 7 accounting: how much of the map was built by hand."""
+
+    objects: int
+    attributes: int
+    manual_facts: int
+
+    @property
+    def manual_ratio(self) -> float:
+        """Manual share of all facts in the map (the paper reports <5%)."""
+        total = self.attributes + self.manual_facts
+        return self.manual_facts / total if total else 0.0
+
+
+class MapBuilder(BrowserObserver):
+    """Builds a navigation map for one host from observed browsing."""
+
+    def __init__(self, host: str, hints: DesignerHints | None = None) -> None:
+        self.host = host
+        self.hints = hints or DesignerHints()
+        self.map = NavigationMap(host=host)
+        self.manual_facts = self.hints.fact_count
+        self._last_page: WebPage | None = None
+
+    # -- browser events ------------------------------------------------------
+
+    def on_page(self, page: WebPage) -> None:
+        if page.url.host != self.host:
+            return
+        node, _created = self.map.node_for_page(page)
+        self._last_page = page
+        node.seen_link_names.update(
+            link.name.strip().lower() for link in page.links
+        )
+        for form in page.forms:
+            key = FormKey.of(form)
+            if key not in node.forms:
+                node.forms[key] = self._model_form(form)
+
+    def on_action(self, event: ActionEvent) -> None:
+        if event.source.url.host != self.host or event.target.url.host != self.host:
+            return
+        source = self.map.node_by_signature(event.source)
+        target = self.map.node_by_signature(event.target)
+        if source is None or target is None:
+            raise MapError("action between pages that were never loaded")
+        if event.kind == "follow" and event.link is not None:
+            from repro.navigation.model import LinkEdge
+
+            row_link = self._is_row_link(source, event.source, event.link.name)
+            edge = LinkEdge(source.node_id, target.node_id, event.link.name, row_link)
+            # A later observation may reveal an edge to be a row link (e.g.
+            # the wrapper was induced after the link was first followed).
+            stale = LinkEdge(source.node_id, target.node_id, event.link.name, not row_link)
+            if row_link and stale in self.map.edges:
+                self.map.replace_edge(stale, edge)
+            else:
+                self.map.add_edge(edge)
+        elif event.kind == "submit" and event.form is not None:
+            from repro.navigation.model import FormEdge
+
+            self.map.add_edge(
+                FormEdge(source.node_id, target.node_id, FormKey.of(event.form))
+            )
+
+    # -- designer operations ---------------------------------------------------
+
+    def mark_data_page(self, relation_name: str, example: dict[str, str]) -> None:
+        """Declare the current page a data page by pointing at one tuple.
+
+        The designer names the relation and gives one example tuple; the
+        wrapper is induced from it.  Counted as two manual facts (the name
+        and the example), matching the paper's designer-supplied
+        extraction script.
+        """
+        if self._last_page is None:
+            raise MapError("no page loaded on %s yet" % self.host)
+        node = self.map.node_by_signature(self._last_page)
+        if node is None:
+            raise MapError("current page is not in the map")
+        wrapper = induce_wrapper(self._last_page, example)
+        node.wrapper = wrapper
+        node.relation_name = relation_name
+        self.manual_facts += 2
+
+    def automation_report(self) -> AutomationReport:
+        return AutomationReport(
+            objects=self.map.object_count(),
+            attributes=self.map.attribute_count(),
+            manual_facts=self.manual_facts,
+        )
+
+    # -- inference ---------------------------------------------------------------
+
+    def _model_form(self, form: FormSpec) -> FormModel:
+        model = FormModel(
+            key=FormKey.of(form),
+            action=form.action,
+            method=form.method,
+            hidden_state=form.hidden_state,
+        )
+        for widget in form.widgets:
+            if widget.kind == "hidden":
+                continue
+            attr = canonical_attr(widget.name, self.hints.attr_renames)
+            model.widgets.append(
+                WidgetModel(
+                    name=widget.name,
+                    attr=attr,
+                    kind=widget.kind,
+                    mandatory=self._infer_mandatory(widget, attr),
+                    domain=widget.domain,
+                    default=widget.default,
+                    label=widget.label,
+                )
+            )
+        return model
+
+    def _infer_mandatory(self, widget: Widget, attr: str) -> bool:
+        """The paper's widget-based inference, plus designer hints for text.
+
+        * radio buttons: "we can safely assume it is mandatory";
+        * selects with no empty option: every submission carries a value,
+          so the server treats the attribute as always present;
+        * text fields: mandatory only if the designer says so.
+        """
+        if widget.kind == "radio":
+            return True
+        if widget.kind == "select":
+            return "" not in widget.domain
+        if widget.kind == "text":
+            return attr in self.hints.mandatory_text
+        return False
+
+    def _is_row_link(self, node, page: WebPage, link_name: str) -> bool:
+        """A link that belongs to data rows connects to a detail relation.
+
+        Primary signal: the source node's wrapper has a link-valued column
+        displaying this link.  Fallback (wrapper not induced yet): the link
+        name occurs more than once on the page — once per row.
+        """
+        wanted = link_name.strip().lower()
+        if node.wrapper is not None:
+            link_attrs = getattr(node.wrapper, "link_attrs", ())
+            if any(name.strip().lower() == wanted for _attr, name in link_attrs):
+                return True
+            return False
+        occurrences = sum(
+            1 for l in page.links if l.name.strip().lower() == wanted
+        )
+        return occurrences > 1

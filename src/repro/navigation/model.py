@@ -1,0 +1,205 @@
+"""The process-oriented object model of navigation maps (Figure 3).
+
+Navigation maps are labeled directed graphs whose nodes model page
+*structure* (not individual pages — every paginated result page of one
+listing is the same node) and whose edges model *actions*: following a
+link or submitting a form.
+
+Node identity is the :class:`PageSignature`: the host, the URL path, and
+the set of forms present.  Two pages with the same signature are the same
+node — this is how the builder decides "whether actions and Web page
+objects are new before adding them to a map", and how the refinement page
+and the data page behind the same CGI script become distinct nodes (they
+carry different forms).
+
+:func:`map_to_store` lowers a map into the F-logic object store using the
+class signatures of Figure 3 (``action``, ``web_page``, ``data_page``,
+``link``, ``form``, ``attr_val_pair``), which is what the paper's
+automation statistics count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.flogic.store import ObjectStore, Signature
+from repro.web.http import Url
+from repro.web.page import FormSpec, WebPage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.navigation.extract import PageWrapper
+
+
+@dataclass(frozen=True)
+class FormKey:
+    """Structural identity of a form: where it posts and what it asks."""
+
+    action_path: str
+    method: str
+    widgets: frozenset[str]
+
+    @classmethod
+    def of(cls, form: FormSpec) -> "FormKey":
+        return cls(
+            action_path=form.action.path,
+            method=form.method,
+            widgets=frozenset(w.name for w in form.widgets if w.kind != "hidden"),
+        )
+
+    def matches(self, form: FormSpec) -> bool:
+        return FormKey.of(form) == self
+
+    @property
+    def ident(self) -> str:
+        return "%s|%s|%s" % (self.action_path, self.method, ",".join(sorted(self.widgets)))
+
+
+@dataclass(frozen=True)
+class PageSignature:
+    """Structural identity of a page node."""
+
+    host: str
+    path: str
+    form_keys: frozenset[FormKey]
+
+    @classmethod
+    def of(cls, page: WebPage) -> "PageSignature":
+        return cls(
+            host=page.url.host,
+            path=page.url.path,
+            form_keys=frozenset(FormKey.of(f) for f in page.forms),
+        )
+
+
+@dataclass
+class WidgetModel:
+    """What the map remembers about one form widget (an ``attr_val_pair``).
+
+    ``attr`` is the canonical attribute name (after designer renames);
+    ``mandatory`` is the widget-based inference, possibly overridden by a
+    designer hint; ``domain`` is read off select options / radio values.
+    """
+
+    name: str
+    attr: str
+    kind: str
+    mandatory: bool
+    domain: tuple[str, ...] = ()
+    default: str = ""
+    label: str = ""
+
+
+@dataclass
+class FormModel:
+    """A form object in the map (the paper's ``form`` class)."""
+
+    key: FormKey
+    action: Url
+    method: str
+    widgets: list[WidgetModel] = field(default_factory=list)
+    hidden_state: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def attrs(self) -> list[str]:
+        return [w.attr for w in self.widgets]
+
+    @property
+    def mandatory_attrs(self) -> set[str]:
+        return {w.attr for w in self.widgets if w.mandatory}
+
+    def widget_for_attr(self, attr: str) -> WidgetModel:
+        for w in self.widgets:
+            if w.attr == attr:
+                return w
+        raise KeyError("form %s has no attribute %r" % (self.key.ident, attr))
+
+
+@dataclass
+class PageNode:
+    """A node of the navigation map."""
+
+    node_id: str
+    signature: PageSignature
+    sample_url: Url
+    title: str
+    forms: dict[FormKey, FormModel] = field(default_factory=dict)
+    wrapper: "PageWrapper | None" = None
+    relation_name: str | None = None
+    # Display names of every link observed on instances of this page —
+    # followed or not.  Maintenance uses this to tell genuinely new links
+    # from links the designer merely chose not to explore.
+    seen_link_names: set[str] = field(default_factory=set)
+
+    @property
+    def is_data(self) -> bool:
+        """Data pages have a data extraction method (Figure 3)."""
+        return self.wrapper is not None
+
+
+@dataclass(frozen=True)
+class LinkEdge:
+    """A ``follow`` action: an edge labeled with the link's display name.
+
+    ``row_link`` marks links that occur once per data row on a data page
+    (e.g. the "Car Features" link); these connect a listing relation to a
+    detail relation rather than being part of the listing's own path.
+    """
+
+    source: str
+    target: str
+    link_name: str
+    row_link: bool = False
+
+    @property
+    def label(self) -> str:
+        return "link(%s)" % self.link_name
+
+
+@dataclass(frozen=True)
+class FormEdge:
+    """A ``submit`` action: an edge labeled with the submitted form."""
+
+    source: str
+    target: str
+    form_key: FormKey
+
+    @property
+    def label(self) -> str:
+        return "form(%s)" % ",".join(sorted(self.form_key.widgets))
+
+
+Edge = LinkEdge | FormEdge
+
+
+# -- lowering into F-logic (Figure 3) -----------------------------------------------
+
+
+def flogic_base_store() -> ObjectStore:
+    """The class hierarchy and signatures of Figure 3."""
+    store = ObjectStore()
+    store = store.with_subclass("form_submit", "action")
+    store = store.with_subclass("link_follow", "action")
+    store = store.with_subclass("data_page", "web_page")
+    for sig in [
+        Signature("action", "object", "object"),
+        Signature("action", "source", "web_page"),
+        Signature("action", "targets", "web_page", scalar=False),
+        Signature("web_page", "address", "url"),
+        Signature("web_page", "title", "string"),
+        Signature("web_page", "actions", "action", scalar=False),
+        Signature("data_page", "extract", "relation"),
+        Signature("link", "name", "string"),
+        Signature("link", "address", "url"),
+        Signature("form", "cgi", "url"),
+        Signature("form", "method", "meth"),
+        Signature("form", "mandatory", "attribute", scalar=False),
+        Signature("form", "optional", "attribute", scalar=False),
+        Signature("form", "state", "attr_val_pair", scalar=False),
+        Signature("attr_val_pair", "attr_name", "string"),
+        Signature("attr_val_pair", "type", "widget"),
+        Signature("attr_val_pair", "default", "object"),
+        Signature("attr_val_pair", "value", "object", scalar=False),
+    ]:
+        store = store.with_signature(sig)
+    return store

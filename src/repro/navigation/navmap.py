@@ -1,0 +1,257 @@
+"""The navigation map: the graph the map builder constructs and the
+compiler consumes.
+
+"A navigation map is a labeled directed graph where the nodes represent
+the structure of static or dynamic Web pages, and the labeled edges
+represent possible actions (i.e., following a link or filling out a form)
+that can be executed from a dynamic page."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flogic.store import ObjectStore
+from repro.navigation.model import (
+    Edge,
+    FormEdge,
+    FormKey,
+    FormModel,
+    LinkEdge,
+    PageNode,
+    PageSignature,
+    flogic_base_store,
+)
+from repro.web.page import WebPage
+
+
+class MapError(Exception):
+    """Inconsistent navigation-map construction or lookup."""
+
+
+@dataclass
+class NavigationMap:
+    """All known access paths through one site."""
+
+    host: str
+    nodes: dict[str, PageNode] = field(default_factory=dict)
+    edges: list[Edge] = field(default_factory=list)
+    root_id: str | None = None
+    _by_signature: dict[PageSignature, str] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    def node_for_page(self, page: WebPage) -> tuple[PageNode, bool]:
+        """The node for ``page``, creating it if its structure is new."""
+        signature = PageSignature.of(page)
+        node_id = self._by_signature.get(signature)
+        if node_id is not None:
+            return self.nodes[node_id], False
+        node_id = "n%d" % len(self.nodes)
+        node = PageNode(
+            node_id=node_id,
+            signature=signature,
+            sample_url=page.url,
+            title=page.title,
+        )
+        self.nodes[node_id] = node
+        self._by_signature[signature] = node_id
+        if self.root_id is None:
+            self.root_id = node_id
+        return node, True
+
+    def node(self, node_id: str) -> PageNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise MapError("no node %r in map of %s" % (node_id, self.host)) from None
+
+    def node_by_signature(self, page: WebPage) -> PageNode | None:
+        node_id = self._by_signature.get(PageSignature.of(page))
+        return self.nodes[node_id] if node_id is not None else None
+
+    def add_edge(self, edge: Edge) -> bool:
+        """Add an edge if new; returns True when it was added."""
+        if edge in self.edges:
+            return False
+        self.edges.append(edge)
+        return True
+
+    def replace_edge(self, old: Edge, new: Edge) -> None:
+        self.edges[self.edges.index(old)] = new
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def root(self) -> PageNode:
+        if self.root_id is None:
+            raise MapError("map of %s has no root" % self.host)
+        return self.nodes[self.root_id]
+
+    def out_edges(self, node_id: str) -> list[Edge]:
+        return [e for e in self.edges if e.source == node_id]
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        return [e for e in self.edges if e.target == node_id]
+
+    def data_nodes(self) -> list[PageNode]:
+        return [n for n in self.nodes.values() if n.is_data]
+
+    def form(self, key: FormKey) -> FormModel:
+        for node in self.nodes.values():
+            if key in node.forms:
+                return node.forms[key]
+        raise MapError("no form %s in map of %s" % (key.ident, self.host))
+
+    def reaches_data(self, node_id: str, _seen: frozenset[str] = frozenset()) -> bool:
+        """True when a data node is reachable from ``node_id`` without
+        crossing row links (which belong to detail relations)."""
+        if node_id in _seen:
+            return False
+        if self.nodes[node_id].is_data:
+            return True
+        seen = _seen | {node_id}
+        for edge in self.out_edges(node_id):
+            if isinstance(edge, LinkEdge) and edge.row_link:
+                continue
+            if self.reaches_data(edge.target, seen):
+                return True
+        return False
+
+    # -- merging ------------------------------------------------------------------
+
+    def merge(self, other: "NavigationMap") -> dict[str, str]:
+        """Fold another session's map of the same host into this one.
+
+        "Since building maps is an incremental process, our tool checks
+        whether actions and Web page objects are new before adding them to
+        a map" — merge is that check applied across designer sessions.
+        Nodes unify by signature; forms, wrappers, relation names and seen
+        links are combined; edges deduplicate (with row-link upgrades).
+        Returns the node-id remapping from ``other`` into this map.
+        """
+        if other.host != self.host:
+            raise MapError(
+                "cannot merge map of %s into map of %s" % (other.host, self.host)
+            )
+        remap: dict[str, str] = {}
+        for node_id in sorted(other.nodes, key=lambda i: int(i[1:])):
+            incoming = other.nodes[node_id]
+            existing_id = self._by_signature.get(incoming.signature)
+            if existing_id is None:
+                new_id = "n%d" % len(self.nodes)
+                node = PageNode(
+                    node_id=new_id,
+                    signature=incoming.signature,
+                    sample_url=incoming.sample_url,
+                    title=incoming.title,
+                )
+                self.nodes[new_id] = node
+                self._by_signature[incoming.signature] = new_id
+                if self.root_id is None:
+                    self.root_id = new_id
+            else:
+                node = self.nodes[existing_id]
+            remap[node_id] = node.node_id
+            for key, form in incoming.forms.items():
+                node.forms.setdefault(key, form)
+            node.seen_link_names |= incoming.seen_link_names
+            if incoming.wrapper is not None:
+                if node.wrapper is None:
+                    node.wrapper = incoming.wrapper
+                    node.relation_name = incoming.relation_name
+                elif (
+                    incoming.relation_name is not None
+                    and node.relation_name != incoming.relation_name
+                ):
+                    raise MapError(
+                        "merge conflict: node %s is relation %r here, %r there"
+                        % (node.node_id, node.relation_name, incoming.relation_name)
+                    )
+        for edge in other.edges:
+            if isinstance(edge, LinkEdge):
+                mapped = LinkEdge(
+                    remap[edge.source], remap[edge.target], edge.link_name, edge.row_link
+                )
+                weaker = LinkEdge(
+                    mapped.source, mapped.target, mapped.link_name, False
+                )
+                if mapped.row_link and weaker in self.edges:
+                    self.replace_edge(weaker, mapped)
+                    continue
+                stronger = LinkEdge(
+                    mapped.source, mapped.target, mapped.link_name, True
+                )
+                if not mapped.row_link and stronger in self.edges:
+                    continue  # keep the stronger knowledge
+                self.add_edge(mapped)
+            else:
+                self.add_edge(
+                    FormEdge(remap[edge.source], remap[edge.target], edge.form_key)
+                )
+        return remap
+
+    # -- statistics & F-logic lowering -----------------------------------------------
+
+    def object_count(self) -> int:
+        """Objects in the F-logic representation (pages, forms, widgets,
+        links, actions) — the unit of the paper's '85 objects' statistic."""
+        store = self.to_store()
+        return len(store.all_objects())
+
+    def attribute_count(self) -> int:
+        return self.to_store().attr_fact_count
+
+    def to_store(self) -> ObjectStore:
+        """Lower the map into F-logic objects per Figure 3."""
+        store = flogic_base_store()
+        for node in self.nodes.values():
+            cls = "data_page" if node.is_data else "web_page"
+            store = store.with_member(node.node_id, cls)
+            store = store.with_attr(node.node_id, "address", str(node.sample_url.without_query()))
+            store = store.with_attr(node.node_id, "title", node.title)
+            if node.is_data and node.relation_name:
+                store = store.with_attr(node.node_id, "extract", node.relation_name)
+            for key, form in node.forms.items():
+                form_id = "%s_form_%s" % (node.node_id, key.action_path.rsplit("/", 1)[-1])
+                store = store.with_member(form_id, "form")
+                store = store.with_attr(form_id, "cgi", str(form.action.without_query()))
+                store = store.with_attr(form_id, "method", form.method)
+                for hidden_name, hidden_value in sorted(form.hidden_state.items()):
+                    store = store.with_attr(form_id, "state", (hidden_name, hidden_value))
+                for widget in form.widgets:
+                    widget_id = "%s_%s" % (form_id, widget.name)
+                    store = store.with_member(widget_id, "attr_val_pair")
+                    store = store.with_attr(widget_id, "attr_name", widget.attr)
+                    store = store.with_attr(widget_id, "type", widget.kind)
+                    if widget.default:
+                        store = store.with_attr(widget_id, "default", widget.default)
+                    for value in widget.domain:
+                        store = store.with_attr(widget_id, "value", value)
+                    bucket = "mandatory" if widget.mandatory else "optional"
+                    store = store.with_attr(form_id, bucket, widget.attr)
+        for index, edge in enumerate(self.edges):
+            action_id = "a%d" % index
+            if isinstance(edge, LinkEdge):
+                store = store.with_member(action_id, "link_follow")
+                link_id = "%s_link" % action_id
+                store = store.with_member(link_id, "link")
+                store = store.with_attr(link_id, "name", edge.link_name)
+                store = store.with_attr(action_id, "object", link_id)
+            else:
+                store = store.with_member(action_id, "form_submit")
+                store = store.with_attr(action_id, "object", "%s_form_%s" % (
+                    edge.source, edge.form_key.action_path.rsplit("/", 1)[-1]))
+            store = store.with_attr(action_id, "source", edge.source)
+            store = store.with_attr(action_id, "targets", edge.target)
+            store = store.with_attr(edge.source, "actions", action_id)
+        return store
+
+    def summary(self) -> str:
+        lines = ["navigation map of %s: %d nodes, %d edges" % (self.host, len(self.nodes), len(self.edges))]
+        for node in self.nodes.values():
+            marker = " [data:%s]" % node.relation_name if node.is_data else ""
+            lines.append("  %s %s%s" % (node.node_id, node.signature.path, marker))
+            for edge in self.out_edges(node.node_id):
+                lines.append("    --%s--> %s" % (edge.label, edge.target))
+        return "\n".join(lines)

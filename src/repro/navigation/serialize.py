@@ -1,0 +1,260 @@
+"""Persisting navigation maps.
+
+Mapping a site is a designer activity done once (the paper: ~30 minutes
+per site); querying happens forever after.  A real deployment therefore
+stores maps between sessions.  This module serializes a
+:class:`~repro.navigation.navmap.NavigationMap` — nodes, signatures,
+forms, widgets, edges and extraction wrappers — to a JSON document and
+back, with a format version for forward compatibility.
+
+Round-trip fidelity is exact: a loaded map compiles to the same program
+and handles as the original (property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.navigation.extract import LabeledWrapper, PageWrapper, TableWrapper
+from repro.navigation.model import (
+    FormEdge,
+    FormKey,
+    FormModel,
+    LinkEdge,
+    PageNode,
+    PageSignature,
+    WidgetModel,
+)
+from repro.navigation.navmap import NavigationMap
+from repro.web.http import parse_url
+
+FORMAT_VERSION = 1
+
+
+class SerializeError(Exception):
+    """The document is not a valid serialized navigation map."""
+
+
+# -- wrappers ----------------------------------------------------------------------
+
+
+def _wrapper_to_dict(wrapper: PageWrapper) -> dict[str, Any]:
+    if isinstance(wrapper, TableWrapper):
+        return {
+            "kind": "table",
+            "attrs": list(wrapper.attrs),
+            "header_attrs": [list(pair) for pair in wrapper.header_attrs],
+            "link_attrs": [list(pair) for pair in wrapper.link_attrs],
+        }
+    if isinstance(wrapper, LabeledWrapper):
+        return {
+            "kind": "labeled",
+            "attrs": list(wrapper.attrs),
+            "label_attrs": [list(pair) for pair in wrapper.label_attrs],
+        }
+    raise SerializeError("cannot serialize wrapper %r" % (wrapper,))
+
+
+def _wrapper_from_dict(data: dict[str, Any]) -> PageWrapper:
+    kind = data.get("kind")
+    if kind == "table":
+        return TableWrapper(
+            attrs=tuple(data["attrs"]),
+            header_attrs=tuple(tuple(pair) for pair in data["header_attrs"]),
+            link_attrs=tuple(tuple(pair) for pair in data["link_attrs"]),
+        )
+    if kind == "labeled":
+        return LabeledWrapper(
+            attrs=tuple(data["attrs"]),
+            label_attrs=tuple(tuple(pair) for pair in data["label_attrs"]),
+        )
+    raise SerializeError("unknown wrapper kind %r" % kind)
+
+
+# -- forms -------------------------------------------------------------------------
+
+
+def _form_key_to_dict(key: FormKey) -> dict[str, Any]:
+    return {
+        "action_path": key.action_path,
+        "method": key.method,
+        "widgets": sorted(key.widgets),
+    }
+
+
+def _form_key_from_dict(data: dict[str, Any]) -> FormKey:
+    return FormKey(data["action_path"], data["method"], frozenset(data["widgets"]))
+
+
+def _form_to_dict(form: FormModel) -> dict[str, Any]:
+    return {
+        "key": _form_key_to_dict(form.key),
+        "action": str(form.action),
+        "method": form.method,
+        "hidden_state": dict(form.hidden_state),
+        "widgets": [
+            {
+                "name": w.name,
+                "attr": w.attr,
+                "kind": w.kind,
+                "mandatory": w.mandatory,
+                "domain": list(w.domain),
+                "default": w.default,
+                "label": w.label,
+            }
+            for w in form.widgets
+        ],
+    }
+
+
+def _form_from_dict(data: dict[str, Any]) -> FormModel:
+    form = FormModel(
+        key=_form_key_from_dict(data["key"]),
+        action=parse_url(data["action"]),
+        method=data["method"],
+        hidden_state=dict(data["hidden_state"]),
+    )
+    for w in data["widgets"]:
+        form.widgets.append(
+            WidgetModel(
+                name=w["name"],
+                attr=w["attr"],
+                kind=w["kind"],
+                mandatory=w["mandatory"],
+                domain=tuple(w["domain"]),
+                default=w["default"],
+                label=w["label"],
+            )
+        )
+    return form
+
+
+# -- the map ------------------------------------------------------------------------
+
+
+def map_to_dict(navmap: NavigationMap) -> dict[str, Any]:
+    """A JSON-ready representation of the map."""
+    nodes = []
+    for node in navmap.nodes.values():
+        nodes.append(
+            {
+                "node_id": node.node_id,
+                "path": node.signature.path,
+                "form_keys": [_form_key_to_dict(k) for k in sorted(node.signature.form_keys, key=lambda k: k.ident)],
+                "sample_url": str(node.sample_url),
+                "title": node.title,
+                "forms": [_form_to_dict(f) for _, f in sorted(node.forms.items(), key=lambda kv: kv[0].ident)],
+                "wrapper": _wrapper_to_dict(node.wrapper) if node.wrapper else None,
+                "relation_name": node.relation_name,
+                "seen_link_names": sorted(node.seen_link_names),
+            }
+        )
+    edges = []
+    for edge in navmap.edges:
+        if isinstance(edge, LinkEdge):
+            edges.append(
+                {
+                    "kind": "link",
+                    "source": edge.source,
+                    "target": edge.target,
+                    "link_name": edge.link_name,
+                    "row_link": edge.row_link,
+                }
+            )
+        else:
+            edges.append(
+                {
+                    "kind": "form",
+                    "source": edge.source,
+                    "target": edge.target,
+                    "form_key": _form_key_to_dict(edge.form_key),
+                }
+            )
+    return {
+        "format": FORMAT_VERSION,
+        "host": navmap.host,
+        "root_id": navmap.root_id,
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def map_from_dict(data: dict[str, Any]) -> NavigationMap:
+    """Rebuild a map from :func:`map_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise SerializeError(
+            "unsupported navigation-map format %r" % data.get("format")
+        )
+    navmap = NavigationMap(host=data["host"])
+    for node_data in data["nodes"]:
+        signature = PageSignature(
+            host=data["host"],
+            path=node_data["path"],
+            form_keys=frozenset(
+                _form_key_from_dict(k) for k in node_data["form_keys"]
+            ),
+        )
+        node = PageNode(
+            node_id=node_data["node_id"],
+            signature=signature,
+            sample_url=parse_url(node_data["sample_url"]),
+            title=node_data["title"],
+        )
+        for form_data in node_data["forms"]:
+            form = _form_from_dict(form_data)
+            node.forms[form.key] = form
+        if node_data["wrapper"] is not None:
+            node.wrapper = _wrapper_from_dict(node_data["wrapper"])
+        node.relation_name = node_data["relation_name"]
+        node.seen_link_names = set(node_data["seen_link_names"])
+        navmap.nodes[node.node_id] = node
+        navmap._by_signature[signature] = node.node_id  # noqa: SLF001 - rebuilding
+    navmap.root_id = data["root_id"]
+    for edge_data in data["edges"]:
+        if edge_data["kind"] == "link":
+            navmap.edges.append(
+                LinkEdge(
+                    edge_data["source"],
+                    edge_data["target"],
+                    edge_data["link_name"],
+                    edge_data["row_link"],
+                )
+            )
+        elif edge_data["kind"] == "form":
+            navmap.edges.append(
+                FormEdge(
+                    edge_data["source"],
+                    edge_data["target"],
+                    _form_key_from_dict(edge_data["form_key"]),
+                )
+            )
+        else:
+            raise SerializeError("unknown edge kind %r" % edge_data["kind"])
+    return navmap
+
+
+def dumps(navmap: NavigationMap, indent: int | None = 2) -> str:
+    """Serialize a map to a JSON string."""
+    return json.dumps(map_to_dict(navmap), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> NavigationMap:
+    """Deserialize a map from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializeError("invalid JSON: %s" % exc) from exc
+    if not isinstance(data, dict):
+        raise SerializeError("expected a JSON object")
+    return map_from_dict(data)
+
+
+def save_map(navmap: NavigationMap, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps(navmap))
+
+
+def load_map(path: str) -> NavigationMap:
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,84 @@
+"""Rendering navigation maps for humans.
+
+The paper's map builder shows the designer "a graphical representation of
+the navigation map as it is being constructed, highlighting in the map
+the node corresponding to the page displayed in the browser".  This
+module provides the two renderings our harness needs: Graphviz DOT (for
+documentation) and a plain-text tree (for terminals), with optional
+highlighting of a current node.
+"""
+
+from __future__ import annotations
+
+from repro.navigation.model import FormEdge, LinkEdge
+from repro.navigation.navmap import NavigationMap
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(navmap: NavigationMap, highlight: str | None = None) -> str:
+    """Graphviz DOT for the map.  Data nodes are doubly circled; the
+    optional ``highlight`` node id is filled (the designer's current page)."""
+    lines = [
+        "digraph navmap {",
+        '  rankdir=LR; node [shape=box, fontname="Helvetica"];',
+        '  label="navigation map of %s";' % _dot_escape(navmap.host),
+    ]
+    for node in navmap.nodes.values():
+        attrs = ['label="%s\\n%s"' % (node.node_id, _dot_escape(node.signature.path))]
+        if node.is_data:
+            attrs.append("peripheries=2")
+            attrs[0] = 'label="%s\\n%s\\n[%s]"' % (
+                node.node_id,
+                _dot_escape(node.signature.path),
+                _dot_escape(node.relation_name or "data"),
+            )
+        if node.node_id == highlight:
+            attrs.append('style=filled fillcolor="lightyellow"')
+        lines.append("  %s [%s];" % (node.node_id, ", ".join(attrs)))
+    for edge in navmap.edges:
+        if isinstance(edge, LinkEdge):
+            style = ' style=dashed color="gray40"' if edge.row_link else ""
+            lines.append(
+                '  %s -> %s [label="link(%s)"%s];'
+                % (edge.source, edge.target, _dot_escape(edge.link_name), style)
+            )
+        elif isinstance(edge, FormEdge):
+            lines.append(
+                '  %s -> %s [label="form(%s)" color="blue"];'
+                % (
+                    edge.source,
+                    edge.target,
+                    _dot_escape(",".join(sorted(edge.form_key.widgets))),
+                )
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(navmap: NavigationMap, highlight: str | None = None) -> str:
+    """An indented text tree from the root (cycles shown once)."""
+    if navmap.root_id is None:
+        return "(empty map)"
+    lines: list[str] = []
+    seen: set[str] = set()
+
+    def visit(node_id: str, depth: int, via: str) -> None:
+        node = navmap.node(node_id)
+        marker = " *" if node_id == highlight else ""
+        data = " [data:%s]" % node.relation_name if node.is_data else ""
+        loop = " (revisited)" if node_id in seen else ""
+        lines.append(
+            "%s%s%s %s%s%s%s"
+            % ("  " * depth, via, node.node_id, node.signature.path, data, marker, loop)
+        )
+        if node_id in seen:
+            return
+        seen.add(node_id)
+        for edge in navmap.out_edges(node_id):
+            visit(edge.target, depth + 1, "--%s--> " % edge.label)
+
+    visit(navmap.root_id, 0, "")
+    return "\n".join(lines)

@@ -1,0 +1,336 @@
+"""Relational algebra over binding-constrained sources.
+
+Expressions are ASTs over base relations provided by a :class:`Catalog`
+(in this system: the VPS layer, whose base relations are Web forms).  The
+evaluator differs from a textbook one in exactly the way Section 5 of the
+paper requires:
+
+* every node knows its *binding sets* (via :mod:`repro.relational.bindings`);
+* base relations are fetched with whatever bound attribute values are
+  available, because that is the only way to access them;
+* joins are *dependent* (bind joins): the side whose bindings are satisfied
+  is evaluated first, and the values of the common attributes are fed into
+  the other side's fetches — "order joins in such a way that the relation
+  newsday ... is computed first".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.relational.bindings import (
+    BindingError,
+    BindingSets,
+    NO_BINDINGS,
+    bind_join,
+    bind_project,
+    bind_rename,
+    bind_select,
+    bind_union,
+    feasible,
+    minimize,
+)
+from repro.relational.conditions import Condition, equality_bindings
+from repro.relational.relation import Relation, RowDict
+from repro.relational.schema import Schema
+
+
+class Catalog(Protocol):
+    """What the algebra needs from the layer below (the VPS)."""
+
+    def base_schema(self, name: str) -> Schema:
+        """Schema of base relation ``name``."""
+
+    def base_binding_sets(self, name: str) -> BindingSets:
+        """Alternative mandatory-attribute sets of base relation ``name``."""
+
+    def fetch(self, name: str, given: dict[str, Any]) -> Relation:
+        """Retrieve ``name`` using the bound values in ``given``."""
+
+
+class Expr:
+    """Base class for algebra expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Base(Expr):
+    """A reference to a catalog base relation."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Fixed(Expr):
+    """A literal relation embedded in the expression (mainly for tests)."""
+
+    relation: Relation
+
+    def __repr__(self) -> str:
+        return "fixed(%r)" % (self.relation,)
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    child: Expr
+    condition: Condition
+
+    def __repr__(self) -> str:
+        return "select[%r](%r)" % (self.condition, self.child)
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    child: Expr
+    attrs: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return "project[%s](%r)" % (", ".join(self.attrs), self.child)
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    child: Expr
+    mapping: tuple[tuple[str, str], ...]  # (old, new) pairs
+
+    @property
+    def mapping_dict(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join("%s->%s" % (a, b) for a, b in self.mapping)
+        return "rename[%s](%r)" % (pairs, self.child)
+
+
+@dataclass(frozen=True)
+class Derive(Expr):
+    """Add or replace an attribute computed per row (value standardization)."""
+
+    child: Expr
+    attr: str
+    fn: Callable[[RowDict], Any] = field(compare=False)
+
+    def __repr__(self) -> str:
+        return "derive[%s](%r)" % (self.attr, self.child)
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return "(%r join %r)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+    relaxed: bool = False
+
+    def __repr__(self) -> str:
+        op = "relaxed-union" if self.relaxed else "union"
+        return "(%r %s %r)" % (self.left, op, self.right)
+
+
+def select(child: Expr, condition: Condition) -> Select:
+    return Select(child, condition)
+
+
+def project(child: Expr, attrs: list[str] | tuple[str, ...]) -> Project:
+    return Project(child, tuple(attrs))
+
+
+def rename(child: Expr, mapping: dict[str, str]) -> Rename:
+    return Rename(child, tuple(sorted(mapping.items())))
+
+
+def union_all(exprs: list[Expr], relaxed: bool = False) -> Expr:
+    if not exprs:
+        raise ValueError("union of nothing")
+    out = exprs[0]
+    for nxt in exprs[1:]:
+        out = Union(out, nxt, relaxed)
+    return out
+
+
+def join_all(exprs: list[Expr]) -> Expr:
+    if not exprs:
+        raise ValueError("join of nothing")
+    out = exprs[0]
+    for nxt in exprs[1:]:
+        out = Join(out, nxt)
+    return out
+
+
+# -- static analyses ---------------------------------------------------------------
+
+
+def schema_of(expr: Expr, catalog: Catalog) -> Schema:
+    """The schema an expression produces, computed without evaluation."""
+    if isinstance(expr, Base):
+        return catalog.base_schema(expr.name)
+    if isinstance(expr, Fixed):
+        return expr.relation.schema
+    if isinstance(expr, Select):
+        return schema_of(expr.child, catalog)
+    if isinstance(expr, Project):
+        return schema_of(expr.child, catalog).project(expr.attrs)
+    if isinstance(expr, Rename):
+        return schema_of(expr.child, catalog).rename(expr.mapping_dict)
+    if isinstance(expr, Derive):
+        child = schema_of(expr.child, catalog)
+        if expr.attr in child:
+            return child
+        return Schema(child.attrs + (expr.attr,))
+    if isinstance(expr, Join):
+        return schema_of(expr.left, catalog).union(schema_of(expr.right, catalog))
+    if isinstance(expr, Union):
+        return schema_of(expr.left, catalog)
+    raise TypeError("unknown expression %r" % (expr,))
+
+
+def binding_sets_of(expr: Expr, catalog: Catalog) -> BindingSets:
+    """The Section-5 binding-propagation rules, applied bottom-up."""
+    if isinstance(expr, Base):
+        return minimize(catalog.base_binding_sets(expr.name))
+    if isinstance(expr, Fixed):
+        return NO_BINDINGS
+    if isinstance(expr, Select):
+        constants = equality_bindings(expr.condition)
+        return bind_select(binding_sets_of(expr.child, catalog), constants)
+    if isinstance(expr, Project):
+        return bind_project(binding_sets_of(expr.child, catalog))
+    if isinstance(expr, Rename):
+        return bind_rename(binding_sets_of(expr.child, catalog), expr.mapping_dict)
+    if isinstance(expr, Derive):
+        return binding_sets_of(expr.child, catalog)
+    if isinstance(expr, Join):
+        return bind_join(
+            binding_sets_of(expr.left, catalog),
+            schema_of(expr.left, catalog).attrs,
+            binding_sets_of(expr.right, catalog),
+            schema_of(expr.right, catalog).attrs,
+        )
+    if isinstance(expr, Union):
+        return bind_union(
+            binding_sets_of(expr.left, catalog),
+            binding_sets_of(expr.right, catalog),
+            relaxed=expr.relaxed,
+        )
+    raise TypeError("unknown expression %r" % (expr,))
+
+
+# -- evaluation ----------------------------------------------------------------------
+
+
+def evaluate(expr: Expr, catalog: Catalog, given: dict[str, Any] | None = None) -> Relation:
+    """Evaluate ``expr`` with the bound attribute values in ``given``.
+
+    ``given`` values are pushed into base fetches (satisfying mandatory
+    attributes and narrowing results at the source) and are additionally
+    applied as equality filters, so the result is exactly the sub-relation
+    consistent with ``given``.
+    """
+    given = dict(given or {})
+    if isinstance(expr, Base):
+        relation = catalog.fetch(expr.name, given)
+        return _filter_given(relation, given)
+    if isinstance(expr, Fixed):
+        return _filter_given(expr.relation, given)
+    if isinstance(expr, Select):
+        constants = equality_bindings(expr.condition)
+        child_given = dict(given)
+        child_given.update(constants)
+        result = evaluate(expr.child, catalog, child_given)
+        # The caller's bound values still constrain the result even when the
+        # selection's own constants contradict them (contradiction => empty).
+        return _filter_given(result.select(expr.condition.evaluate), given)
+    if isinstance(expr, Project):
+        # Bound values for projected-away attributes must be applied before
+        # projecting; evaluate the child with all of them, then project.
+        return evaluate(expr.child, catalog, given).project(expr.attrs)
+    if isinstance(expr, Rename):
+        reverse = {new: old for old, new in expr.mapping}
+        child_given = {reverse.get(a, a): v for a, v in given.items()}
+        return evaluate(expr.child, catalog, child_given).rename(expr.mapping_dict)
+    if isinstance(expr, Derive):
+        child_given = {a: v for a, v in given.items() if a != expr.attr}
+        result = evaluate(expr.child, catalog, child_given).derive(expr.attr, expr.fn)
+        return _filter_given(result, given)
+    if isinstance(expr, Join):
+        return _evaluate_join(expr, catalog, given)
+    if isinstance(expr, Union):
+        left_sets = binding_sets_of(expr.left, catalog)
+        right_sets = binding_sets_of(expr.right, catalog)
+        bound = frozenset(given)
+        left_ok = feasible(left_sets, bound)
+        right_ok = feasible(right_sets, bound)
+        if left_ok and right_ok:
+            left = evaluate(expr.left, catalog, given)
+            right = evaluate(expr.right, catalog, given)
+            return left.union(right)
+        if expr.relaxed and (left_ok or right_ok):
+            side = expr.left if left_ok else expr.right
+            return evaluate(side, catalog, given)
+        raise BindingError(
+            "union not computable with bound attributes %s" % sorted(bound)
+        )
+    raise TypeError("unknown expression %r" % (expr,))
+
+
+def _filter_given(relation: Relation, given: dict[str, Any]) -> Relation:
+    relevant = {a: v for a, v in given.items() if a in relation.schema}
+    if not relevant:
+        return relation
+    return relation.select(lambda row: all(row[a] == v for a, v in relevant.items()))
+
+
+def _evaluate_join(expr: Join, catalog: Catalog, given: dict[str, Any]) -> Relation:
+    bound = frozenset(given)
+    left_schema = schema_of(expr.left, catalog)
+    right_schema = schema_of(expr.right, catalog)
+    common = sorted(left_schema.common(right_schema))
+
+    for first, second, second_schema in (
+        (expr.left, expr.right, right_schema),
+        (expr.right, expr.left, left_schema),
+    ):
+        first_sets = binding_sets_of(first, catalog)
+        if not feasible(first_sets, bound):
+            continue
+        second_sets = binding_sets_of(second, catalog)
+        if feasible(second_sets, bound):
+            # Independent: both sides computable from the given bindings.
+            first_rel = evaluate(first, catalog, given)
+            second_rel = evaluate(second, catalog, given)
+            return first_rel.natural_join(second_rel)
+        if feasible(second_sets, bound | frozenset(common)):
+            # Dependent: feed common-attribute values from the first side.
+            first_rel = evaluate(first, catalog, given)
+            pieces = []
+            for combo in first_rel.distinct_values(common):
+                fed = dict(given)
+                fed.update(dict(zip(common, combo)))
+                pieces.append(evaluate(second, catalog, fed))
+            if pieces:
+                second_rel = pieces[0]
+                for piece in pieces[1:]:
+                    second_rel = second_rel.union(piece)
+            else:
+                second_rel = Relation(second_schema, [])
+            return first_rel.natural_join(second_rel)
+    raise BindingError(
+        "join not computable: bound=%s, left needs %s, right needs %s"
+        % (
+            sorted(bound),
+            [sorted(m) for m in binding_sets_of(expr.left, catalog)],
+            [sorted(m) for m in binding_sets_of(expr.right, catalog)],
+        )
+    )

@@ -1,0 +1,177 @@
+"""Binding propagation and join ordering (Section 5 of the paper).
+
+VPS relations "can only be accessed by supplying values for certain sets of
+mandatory attributes".  Every relational expression over them therefore has
+a set of *bindings*: the alternative sets of attributes whose values must be
+supplied for the expression to be computable.  The paper gives one rule per
+relational operator; this module implements them, plus:
+
+* the *relaxed union* of the paper's footnote (either side's binding is
+  acceptable when the user tolerates partial answers);
+* absorption of selection constants (``σ_make='ford'`` supplies the
+  ``make`` binding), which the paper's evaluator performs implicitly when it
+  substitutes query constants into navigation expressions;
+* the join-ordering search: an order of relations such that each one's
+  mandatory attributes are covered by the initially bound attributes plus
+  the schemas of earlier relations.  With multiple binding sets per
+  relation the problem is NP-complete [Rajaraman-Sagiv-Ullman 1995]; the
+  search is a memoized backtracking over subsets, which is exact and fast
+  at realistic fan-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+BindingSet = frozenset[str]
+BindingSets = frozenset[BindingSet]
+
+
+class BindingError(Exception):
+    """No binding set of the expression is satisfied by the bound attributes."""
+
+
+def binding_sets(*sets: Iterable[str]) -> BindingSets:
+    """Convenience constructor: ``binding_sets({'make'}, {'make','model'})``."""
+    return frozenset(frozenset(s) for s in sets)
+
+
+NO_BINDINGS: BindingSets = frozenset({frozenset()})  # freely accessible
+
+
+def minimize(sets: Iterable[BindingSet]) -> BindingSets:
+    """Drop non-minimal binding sets: if M1 ⊆ M2, M2 is redundant."""
+    pool = sorted(set(frozenset(s) for s in sets), key=len)
+    kept: list[BindingSet] = []
+    for candidate in pool:
+        if not any(existing <= candidate for existing in kept):
+            kept.append(candidate)
+    return frozenset(kept)
+
+
+def feasible(sets: BindingSets, bound: Iterable[str]) -> bool:
+    """True when some binding set is covered by ``bound``."""
+    bound = frozenset(bound)
+    return any(m <= bound for m in sets)
+
+
+def choose_binding(sets: BindingSets, bound: Iterable[str]) -> BindingSet:
+    """The largest satisfied binding set (more bound attributes pushed to the
+    source means fewer tuples fetched); raises if none is satisfied."""
+    bound = frozenset(bound)
+    satisfied = [m for m in sets if m <= bound]
+    if not satisfied:
+        raise BindingError(
+            "bound attributes %s satisfy none of %s"
+            % (sorted(bound), [sorted(m) for m in sets])
+        )
+    return max(satisfied, key=lambda m: (len(m), sorted(m)))
+
+
+# -- the per-operator rules ------------------------------------------------------
+
+
+def bind_select(child: BindingSets, constant_attrs: Iterable[str] = ()) -> BindingSets:
+    """σ rule.  The paper's basic rule passes bindings through unchanged; the
+    attributes fixed by equality constants in the selection are absorbed
+    (they no longer need to be supplied from outside)."""
+    constants = frozenset(constant_attrs)
+    return minimize(m - constants for m in child)
+
+
+def bind_project(child: BindingSets) -> BindingSets:
+    """π rule: bindings pass through unchanged (a mandatory attribute must be
+    supplied even when it is projected away from the output)."""
+    return minimize(child)
+
+
+def bind_rename(child: BindingSets, mapping: dict[str, str]) -> BindingSets:
+    """Renaming carries the binding attributes along."""
+    return minimize(frozenset(mapping.get(a, a) for a in m) for m in child)
+
+
+def bind_union(
+    left: BindingSets, right: BindingSets, relaxed: bool = False
+) -> BindingSets:
+    """∪/∩ rule: M1 ∪ M2 for every pair.  With ``relaxed=True`` (the paper's
+    relaxed union) each side's binding is individually acceptable — the user
+    accepts answers from whichever sources the bindings can reach."""
+    if relaxed:
+        return minimize(set(left) | set(right))
+    return minimize(m1 | m2 for m1 in left for m2 in right)
+
+
+def bind_join(
+    left: BindingSets,
+    left_schema: Iterable[str],
+    right: BindingSets,
+    right_schema: Iterable[str],
+) -> BindingSets:
+    """⋈ rule: for bindings M1, M2, both ``M1 ∪ (M2 − common)`` and
+    ``M2 ∪ (M1 − common)`` are bindings of the join — the side evaluated
+    first feeds the common attributes of the other."""
+    common = frozenset(left_schema) & frozenset(right_schema)
+    out: set[BindingSet] = set()
+    for m1 in left:
+        for m2 in right:
+            out.add(m1 | (m2 - common))
+            out.add(m2 | (m1 - common))
+    return minimize(out)
+
+
+# -- join ordering -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinPart:
+    """One relation participating in a join, for ordering purposes."""
+
+    name: str
+    schema: frozenset[str]
+    bindings: BindingSets
+
+    @classmethod
+    def make(
+        cls, name: str, schema: Iterable[str], bindings: Iterable[Iterable[str]]
+    ) -> "JoinPart":
+        return cls(name, frozenset(schema), binding_sets(*bindings))
+
+
+def order_joins(
+    parts: Sequence[JoinPart], initially_bound: Iterable[str] = ()
+) -> list[int] | None:
+    """An order (list of indices into ``parts``) such that every relation's
+    mandatory attributes are covered when its turn comes, or None.
+
+    Covered means: some binding set ⊆ initially-bound attributes ∪ the union
+    of schemas of relations placed earlier (their values can be fed through
+    the join's common attributes).
+    """
+    start = frozenset(initially_bound)
+    n = len(parts)
+    dead: set[frozenset[int]] = set()
+
+    def search(placed: frozenset[int], bound: frozenset[str], order: list[int]) -> list[int] | None:
+        if len(order) == n:
+            return order
+        if placed in dead:
+            return None
+        for i in range(n):
+            if i in placed:
+                continue
+            if feasible(parts[i].bindings, bound):
+                result = search(
+                    placed | {i}, bound | parts[i].schema, order + [i]
+                )
+                if result is not None:
+                    return result
+        dead.add(placed)
+        return None
+
+    return search(frozenset(), start, [])
+
+
+def orderable(parts: Sequence[JoinPart], initially_bound: Iterable[str] = ()) -> bool:
+    """True when :func:`order_joins` finds an order."""
+    return order_joins(parts, initially_bound) is not None

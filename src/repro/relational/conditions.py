@@ -1,0 +1,197 @@
+"""Selection conditions for the relational layers.
+
+Conditions are small ASTs evaluated against row dicts.  Besides evaluation,
+they expose the two analyses the rest of the system needs:
+
+* :func:`equality_bindings` — the attribute=constant equalities a condition
+  guarantees, which binding propagation absorbs (a selection on ``make =
+  'ford'`` supplies the ``make`` binding to the underlying form);
+* ``attributes`` — every attribute mentioned, which the UR planner uses to
+  decide which logical relations a query touches.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.relational.relation import RowDict
+
+
+class Condition:
+    """Base class for selection conditions."""
+
+    def evaluate(self, row: RowDict) -> bool:
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        raise NotImplementedError
+
+    def __call__(self, row: RowDict) -> bool:
+        return self.evaluate(row)
+
+
+@dataclass(frozen=True)
+class Attr:
+    """An attribute reference inside a condition."""
+
+    name: str
+
+    def value(self, row: RowDict) -> Any:
+        return row[self.name]
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant inside a condition."""
+
+    literal: Any
+
+    def value(self, row: RowDict) -> Any:
+        return self.literal
+
+    def __repr__(self) -> str:
+        return repr(self.literal)
+
+
+Operand = Any  # Attr | Const
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``left op right`` where each side is an :class:`Attr` or :class:`Const`.
+
+    Comparisons between attributes (``Price < BBPrice``) are what make the
+    paper's Jaguar query more than a lookup.
+    """
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError("unknown comparison operator %r" % self.op)
+
+    def evaluate(self, row: RowDict) -> bool:
+        left = self.left.value(row)
+        right = self.right.value(row)
+        if left is None or right is None:
+            return False
+        try:
+            return _OPS[self.op](left, right)
+        except TypeError:
+            return False
+
+    def attributes(self) -> set[str]:
+        found = set()
+        if isinstance(self.left, Attr):
+            found.add(self.left.name)
+        if isinstance(self.right, Attr):
+            found.add(self.right.name)
+        return found
+
+    def __repr__(self) -> str:
+        return "%r %s %r" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    parts: tuple[Condition, ...]
+
+    def evaluate(self, row: RowDict) -> bool:
+        return all(p.evaluate(row) for p in self.parts)
+
+    def attributes(self) -> set[str]:
+        found: set[str] = set()
+        for p in self.parts:
+            found |= p.attributes()
+        return found
+
+    def __repr__(self) -> str:
+        return " AND ".join("(%r)" % p for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    parts: tuple[Condition, ...]
+
+    def evaluate(self, row: RowDict) -> bool:
+        return any(p.evaluate(row) for p in self.parts)
+
+    def attributes(self) -> set[str]:
+        found: set[str] = set()
+        for p in self.parts:
+            found |= p.attributes()
+        return found
+
+    def __repr__(self) -> str:
+        return " OR ".join("(%r)" % p for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    part: Condition
+
+    def evaluate(self, row: RowDict) -> bool:
+        return not self.part.evaluate(row)
+
+    def attributes(self) -> set[str]:
+        return self.part.attributes()
+
+    def __repr__(self) -> str:
+        return "NOT (%r)" % (self.part,)
+
+
+def conj(*parts: Condition) -> Condition:
+    """Conjunction helper that flattens and drops the trivial case."""
+    flat: list[Condition] = []
+    for part in parts:
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def eq(attr: str, value: Any) -> Comparison:
+    """Shorthand for ``attr = constant``."""
+    return Comparison(Attr(attr), "=", Const(value))
+
+
+def equality_bindings(condition: Condition | None) -> dict[str, Any]:
+    """Attribute=constant equalities guaranteed by ``condition``.
+
+    Only conjunctive contexts guarantee an equality (an equality under an
+    ``Or`` or ``Not`` does not); the traversal therefore descends only
+    through ``And``.
+    """
+    found: dict[str, Any] = {}
+    if condition is None:
+        return found
+    stack = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            stack.extend(node.parts)
+        elif isinstance(node, Comparison) and node.op == "=":
+            if isinstance(node.left, Attr) and isinstance(node.right, Const):
+                found[node.left.name] = node.right.literal
+            elif isinstance(node.right, Attr) and isinstance(node.left, Const):
+                found[node.right.name] = node.left.literal
+    return found

@@ -1,0 +1,246 @@
+"""Algebraic query optimization.
+
+Section 1 of the paper: once user queries are composed with navigation
+expressions, "the entire query can be optimized using techniques that are
+akin to relational algebra transformations (but we do not discuss such
+techniques here)".  This module supplies those techniques:
+
+* **selection pushdown** — conjuncts move below projections, renames,
+  unions (distributed to both branches), derives (when they do not
+  mention the derived attribute) and into the sides of joins whose
+  schemas cover them;
+* **selection merging** — stacked selections become one conjunction;
+* **projection collapsing** — nested projections collapse to the
+  outermost one;
+* **no-op elimination** — projections to the full schema disappear.
+
+Pushing selections matters more here than in a classical engine: a
+conjunct pushed into the *outer* side of a dependent join shrinks the set
+of distinct binding combinations, which directly reduces the number of
+Web fetches issued for the inner side.
+
+All rewrites preserve results (property-tested) and never lose binding
+feasibility — pushing a selection down only makes equality constants
+available earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.algebra import (
+    Base,
+    Catalog,
+    Derive,
+    Expr,
+    Fixed,
+    Join,
+    Project,
+    Rename,
+    Select,
+    Union,
+    schema_of,
+)
+from repro.relational.conditions import And, Condition, conj
+
+
+@dataclass
+class Rewrite:
+    """One applied transformation, for explain output."""
+
+    rule: str
+    detail: str
+
+    def __repr__(self) -> str:
+        return "%s: %s" % (self.rule, self.detail)
+
+
+@dataclass
+class Optimized:
+    """The optimizer's result: the rewritten plan plus its derivation."""
+
+    expression: Expr
+    rewrites: list[Rewrite] = field(default_factory=list)
+
+    def explain(self) -> str:
+        if not self.rewrites:
+            return "(no rewrites applied)"
+        return "\n".join("  %r" % r for r in self.rewrites)
+
+
+def _conjuncts(condition: Condition) -> list[Condition]:
+    if isinstance(condition, And):
+        out: list[Condition] = []
+        for part in condition.parts:
+            out.extend(_conjuncts(part))
+        return out
+    return [condition]
+
+
+def _rename_condition(condition: Condition, mapping: dict[str, str]) -> Condition:
+    """Rewrite attribute references through a rename (new -> old)."""
+    from repro.relational.conditions import Attr, Comparison, Not, Or
+
+    if isinstance(condition, Comparison):
+        left = Attr(mapping.get(condition.left.name, condition.left.name)) if isinstance(condition.left, Attr) else condition.left
+        right = Attr(mapping.get(condition.right.name, condition.right.name)) if isinstance(condition.right, Attr) else condition.right
+        return Comparison(left, condition.op, right)
+    if isinstance(condition, And):
+        return And(tuple(_rename_condition(p, mapping) for p in condition.parts))
+    if isinstance(condition, Or):
+        return Or(tuple(_rename_condition(p, mapping) for p in condition.parts))
+    if isinstance(condition, Not):
+        return Not(_rename_condition(condition.part, mapping))
+    raise TypeError("cannot rename condition %r" % (condition,))
+
+
+class _Optimizer:
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.rewrites: list[Rewrite] = []
+
+    def note(self, rule: str, detail: str) -> None:
+        self.rewrites.append(Rewrite(rule, detail))
+
+    # -- the driver -----------------------------------------------------------
+
+    def optimize(self, expr: Expr) -> Expr:
+        expr = self._rewrite(expr)
+        # Iterate to a fixpoint (rewrites expose further opportunities);
+        # bounded because every rule strictly shrinks or pushes down.
+        for _ in range(8):
+            before = expr
+            expr = self._rewrite(expr)
+            if expr == before:
+                break
+        return expr
+
+    def _rewrite(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Base, Fixed)):
+            return expr
+        if isinstance(expr, Select):
+            return self._rewrite_select(expr)
+        if isinstance(expr, Project):
+            return self._rewrite_project(expr)
+        if isinstance(expr, Rename):
+            return Rename(self._rewrite(expr.child), expr.mapping)
+        if isinstance(expr, Derive):
+            return Derive(self._rewrite(expr.child), expr.attr, expr.fn)
+        if isinstance(expr, Join):
+            return Join(self._rewrite(expr.left), self._rewrite(expr.right))
+        if isinstance(expr, Union):
+            return Union(self._rewrite(expr.left), self._rewrite(expr.right), expr.relaxed)
+        raise TypeError("unknown expression %r" % (expr,))
+
+    # -- selection rules ----------------------------------------------------------
+
+    def _rewrite_select(self, expr: Select) -> Expr:
+        child = self._rewrite(expr.child)
+        condition = expr.condition
+
+        if isinstance(child, Select):
+            self.note("merge-selects", "σ(σ(E)) -> σ(E)")
+            return self._rewrite_select(
+                Select(child.child, conj(condition, child.condition))
+            )
+
+        if isinstance(child, Project):
+            # Condition attributes are necessarily within the projection.
+            self.note("push-select-through-project", "σ(π(E)) -> π(σ(E))")
+            return Project(
+                self._rewrite_select(Select(child.child, condition)), child.attrs
+            )
+
+        if isinstance(child, Rename):
+            reverse = {new: old for old, new in child.mapping}
+            try:
+                renamed = _rename_condition(condition, reverse)
+            except TypeError:
+                return Select(child, condition)
+            self.note("push-select-through-rename", "σ(ρ(E)) -> ρ(σ(E))")
+            return Rename(
+                self._rewrite_select(Select(child.child, renamed)), child.mapping
+            )
+
+        if isinstance(child, Union):
+            self.note("push-select-through-union", "σ(E1 ∪ E2) -> σ(E1) ∪ σ(E2)")
+            return Union(
+                self._rewrite_select(Select(child.left, condition)),
+                self._rewrite_select(Select(child.right, condition)),
+                child.relaxed,
+            )
+
+        if isinstance(child, Derive):
+            pushable = []
+            stuck = []
+            for part in _conjuncts(condition):
+                if child.attr in part.attributes():
+                    stuck.append(part)
+                else:
+                    pushable.append(part)
+            if pushable:
+                self.note(
+                    "push-select-through-derive",
+                    "%d conjunct(s) below derive[%s]" % (len(pushable), child.attr),
+                )
+                inner = self._rewrite_select(Select(child.child, conj(*pushable)))
+                derived = Derive(inner, child.attr, child.fn)
+                if stuck:
+                    return Select(derived, conj(*stuck))
+                return derived
+            return Select(child, condition)
+
+        if isinstance(child, Join):
+            left_schema = schema_of(child.left, self.catalog).as_set()
+            right_schema = schema_of(child.right, self.catalog).as_set()
+            left_parts: list[Condition] = []
+            right_parts: list[Condition] = []
+            stuck = []
+            for part in _conjuncts(condition):
+                attrs = part.attributes()
+                if attrs <= left_schema:
+                    left_parts.append(part)
+                elif attrs <= right_schema:
+                    right_parts.append(part)
+                else:
+                    stuck.append(part)
+            if left_parts or right_parts:
+                self.note(
+                    "push-select-into-join",
+                    "%d left, %d right, %d kept"
+                    % (len(left_parts), len(right_parts), len(stuck)),
+                )
+                left = child.left
+                right = child.right
+                if left_parts:
+                    left = self._rewrite_select(Select(left, conj(*left_parts)))
+                if right_parts:
+                    right = self._rewrite_select(Select(right, conj(*right_parts)))
+                joined = Join(left, right)
+                return Select(joined, conj(*stuck)) if stuck else joined
+            return Select(child, condition)
+
+        return Select(child, condition)
+
+    # -- projection rules -----------------------------------------------------------
+
+    def _rewrite_project(self, expr: Project) -> Expr:
+        child = self._rewrite(expr.child)
+
+        if isinstance(child, Project):
+            self.note("collapse-projects", "π(π(E)) -> π(E)")
+            return self._rewrite_project(Project(child.child, expr.attrs))
+
+        child_schema = schema_of(child, self.catalog)
+        if tuple(expr.attrs) == child_schema.attrs:
+            self.note("drop-identity-project", "π over full schema removed")
+            return child
+
+        return Project(child, expr.attrs)
+
+
+def optimize(expr: Expr, catalog: Catalog) -> Optimized:
+    """Apply the rewrite rules to ``expr``; results are always preserved."""
+    optimizer = _Optimizer(catalog)
+    rewritten = optimizer.optimize(expr)
+    return Optimized(expression=rewritten, rewrites=optimizer.rewrites)

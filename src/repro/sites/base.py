@@ -1,0 +1,243 @@
+"""Shared scaffolding for the simulated car-domain sites.
+
+Most classified/dealer sites follow the same skeleton the paper describes
+for Newsday (Figure 2): an entry page with links, a search form, optionally
+a dynamically generated refinement form when too many ads match, then data
+pages with a "More" link for pagination.  :class:`CarSite` implements that
+skeleton once, parameterized by a :class:`SiteVocabulary` so each site keeps
+its own attribute names, column order, price formatting and HTML style —
+the representational discrepancies the logical layer must smooth out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sites.dataset import Ad, CAR_CATALOG, Dataset, MAKES
+from repro.web import html as H
+from repro.web.html import RenderStyle
+from repro.web.http import Request, Response, Url
+from repro.web.server import Site
+
+
+def format_usd(amount: int) -> str:
+    return "${:,}".format(amount)
+
+
+def format_cad(amount_usd: int, cad_per_usd: float) -> str:
+    return "CAD {:,}".format(int(round(amount_usd * cad_per_usd, -1)))
+
+
+@dataclass
+class SiteVocabulary:
+    """Site-specific naming and formatting of the shared ad data.
+
+    ``columns`` maps the canonical ad fields (``make``, ``model``, ``year``,
+    ``price``, ``contact``, ``features``, ``zipcode``) to the column header
+    the site displays, in display order.
+    """
+
+    columns: list[tuple[str, str]] = field(
+        default_factory=lambda: [
+            ("make", "Make"),
+            ("model", "Model"),
+            ("year", "Year"),
+            ("price", "Price"),
+            ("contact", "Contact"),
+        ]
+    )
+    make_field: str = "make"
+    model_field: str = "model"
+    zip_field: str = "zip"
+    price_formatter: str = "usd"  # 'usd' | 'cad'
+    cad_per_usd: float = 1.48
+
+    def format_price(self, amount_usd: int) -> str:
+        if self.price_formatter == "cad":
+            return format_cad(amount_usd, self.cad_per_usd)
+        return format_usd(amount_usd)
+
+    def cell(self, ad: Ad, fieldname: str) -> str:
+        if fieldname == "make":
+            return ad.car.make
+        if fieldname == "model":
+            return ad.car.model
+        if fieldname == "year":
+            return str(ad.car.year)
+        if fieldname == "price":
+            return self.format_price(ad.price)
+        if fieldname == "contact":
+            return ad.contact
+        if fieldname == "features":
+            return ", ".join(ad.features)
+        if fieldname == "zipcode":
+            return ad.zipcode
+        raise KeyError("unknown ad field %r" % fieldname)
+
+
+@dataclass
+class CarSiteConfig:
+    """Topology knobs for a :class:`CarSite`."""
+
+    host: str
+    title: str
+    vocabulary: SiteVocabulary = field(default_factory=SiteVocabulary)
+    style: RenderStyle = field(default_factory=RenderStyle.clean)
+    page_size: int = 10
+    refine_threshold: int | None = 15  # None disables the second form
+    form_method: str = "post"
+    entry_link_name: str = "Used Cars"
+    search_path: str = "/search"
+    results_path: str = "/cgi-bin/results"
+    features_path: str | None = None  # detail pages if set
+    ask_zipcode: bool = False
+    extra_entry_links: list[tuple[str, str]] = field(default_factory=list)
+    make_widget: str = "select"  # 'select' | 'text'
+    model_in_first_form: bool = False
+    # CGI-era pattern: POST submissions redirect to a GET results URL, so
+    # reloading/paginating never re-posts the form.
+    redirect_after_post: bool = False
+
+
+class CarSite(Site):
+    """A classified-ads or dealer site generated from a config and a dataset."""
+
+    def __init__(self, config: CarSiteConfig, dataset: Dataset) -> None:
+        super().__init__(config.host, style=config.style)
+        self.config = config
+        self.dataset = dataset
+        self.route("/", self.entry_page)
+        self.route(config.search_path, self.search_page)
+        self.route(config.results_path, self.results_page)
+        if config.features_path:
+            self.route(config.features_path, self.features_page)
+        for _, path in config.extra_entry_links:
+            self.route(path, self.dead_end_page)
+
+    # -- pages ---------------------------------------------------------------
+
+    def entry_page(self, request: Request) -> H.Element:
+        cfg = self.config
+        items = [(cfg.entry_link_name, cfg.search_path)]
+        items.extend((name, path) for name, path in cfg.extra_entry_links)
+        return H.page(cfg.title, H.bullet_links(items))
+
+    def dead_end_page(self, request: Request) -> H.Element:
+        return H.page(
+            "%s - Other Listings" % self.config.title,
+            H.el("p", "Nothing to see here."),
+        )
+
+    def search_form(self) -> H.Element:
+        """The first search form (the paper's ``form f1``)."""
+        cfg = self.config
+        voc = cfg.vocabulary
+        if cfg.make_widget == "select":
+            make_widget = H.select(voc.make_field, MAKES)
+        else:
+            make_widget = H.text_input(voc.make_field)
+        rows = [H.labeled("Make", make_widget)]
+        if cfg.model_in_first_form:
+            models = sorted({model for _, model, _ in CAR_CATALOG})
+            rows.append(H.labeled("Model", H.select(voc.model_field, [""] + models)))
+        if cfg.ask_zipcode:
+            rows.append(H.labeled("Zip Code", H.text_input(voc.zip_field, size=5)))
+        rows.append(H.submit_button("Search"))
+        return H.form(cfg.results_path, *rows, method=cfg.form_method)
+
+    def search_page(self, request: Request) -> H.Element:
+        return H.page("%s Search" % self.config.title, self.search_form())
+
+    def refine_form(self, make: str, zipcode: str) -> H.Element:
+        """The dynamically generated refinement form (the paper's ``form f2``)."""
+        cfg = self.config
+        voc = cfg.vocabulary
+        models = self.dataset.models_of(make)
+        rows = [
+            H.hidden_input(voc.make_field, make),
+            H.labeled("Model", H.select(voc.model_field, models)),
+            H.labeled("Features", H.text_input("featrs")),
+        ]
+        if zipcode:
+            rows.append(H.hidden_input(voc.zip_field, zipcode))
+        rows.append(H.submit_button("Refine"))
+        return H.form(cfg.results_path, *rows, method=cfg.form_method)
+
+    def select_ads(self, params: dict[str, str]) -> list[Ad]:
+        voc = self.config.vocabulary
+        return self.dataset.ads_for(
+            self.host,
+            make=params.get(voc.make_field) or None,
+            model=params.get(voc.model_field) or None,
+            zipcode=params.get(voc.zip_field) or None,
+        )
+
+    def results_page(self, request: Request) -> "H.Element | Response":
+        cfg = self.config
+        voc = cfg.vocabulary
+        params = request.params
+        if cfg.redirect_after_post and request.method == "POST":
+            target = Url(self.host, cfg.results_path).with_params(params)
+            return Response.redirect(target)
+        make = params.get(voc.make_field, "")
+        model = params.get(voc.model_field, "")
+        ads = self.select_ads(params)
+
+        needs_refinement = (
+            cfg.refine_threshold is not None
+            and not model
+            and len(ads) > cfg.refine_threshold
+        )
+        if needs_refinement:
+            return H.page(
+                "%s - Narrow Your Search" % cfg.title,
+                H.el("p", "%d ads matched; please narrow your search." % len(ads)),
+                self.refine_form(make, params.get(voc.zip_field, "")),
+            )
+        return self.data_page(params, ads)
+
+    def data_page(self, params: dict[str, str], ads: list[Ad]) -> H.Element:
+        """One page of results with an optional "More" continuation link."""
+        cfg = self.config
+        voc = cfg.vocabulary
+        start = int(params.get("start", "0") or 0)
+        chunk = ads[start : start + cfg.page_size]
+
+        headers = [header for _, header in voc.columns]
+        if cfg.features_path:
+            headers.append("Details")
+        table = H.el("table", border="1")
+        table.add(H.el("tr", *[H.el("th", h) for h in headers]))
+        for ad in chunk:
+            cells = [H.el("td", voc.cell(ad, fieldname)) for fieldname, _ in voc.columns]
+            if cfg.features_path:
+                href = "%s?ad=%d" % (cfg.features_path, ad.ad_id)
+                cells.append(H.el("td", H.link(href, "Car Features")))
+            table.add(H.el("tr", *cells))
+
+        body: list[H.Element] = [
+            H.el("p", "Listings %d-%d of %d" % (start + 1, start + len(chunk), len(ads))),
+            table,
+        ]
+        if start + cfg.page_size < len(ads):
+            next_params = dict(params)
+            next_params["start"] = str(start + cfg.page_size)
+            more_url = Url(self.host, cfg.results_path).with_params(next_params)
+            body.append(H.el("p", H.link(str(more_url), "More")))
+        return H.page("%s Listings" % cfg.title, *body)
+
+    def features_page(self, request: Request) -> H.Element:
+        ad_id = request.params.get("ad", "")
+        ad = self.dataset.ad_by_id(int(ad_id)) if ad_id.isdigit() else None
+        if ad is None or ad.host != self.host:
+            return H.page("Unknown Listing", H.el("p", "No such ad."))
+        return H.page(
+            "%s %s details" % (ad.car.make, ad.car.model),
+            H.el(
+                "dl",
+                H.el("dt", "Features"),
+                H.el("dd", ", ".join(ad.features)),
+                H.el("dt", "Picture"),
+                H.el("dd", H.el("img", src=ad.picture), ad.picture),
+            ),
+        )

@@ -1,0 +1,61 @@
+"""The simulated Car and Driver reliability site.
+
+Serves the ``carAndDriver(Car Safety)`` VPS relation of Table 1: safety
+ratings per (make, model, year), looked up by make.
+"""
+
+from __future__ import annotations
+
+from repro.sites.dataset import CAR_CATALOG, Dataset, MAKES, YEARS, Car
+from repro.web import html as H
+from repro.web.http import Request
+from repro.web.server import Site
+
+HOST = "www.caranddriver.com"
+
+
+class CarAndDriverSite(Site):
+    def __init__(self, dataset: Dataset) -> None:
+        super().__init__(HOST)
+        self.dataset = dataset
+        self.route("/", self.entry_page)
+        self.route("/ratings", self.ratings_form_page)
+        self.route("/cgi-bin/ratings", self.ratings_page)
+
+    def entry_page(self, request: Request) -> H.Element:
+        return H.page(
+            "Car and Driver",
+            H.bullet_links(
+                [("Safety Ratings", "/ratings"), ("Road Tests", "/roadtests")]
+            ),
+        )
+
+    def ratings_form_page(self, request: Request) -> H.Element:
+        form = H.form(
+            "/cgi-bin/ratings",
+            H.labeled("Make", H.select("make", MAKES)),
+            H.submit_button("Show Ratings"),
+            method="get",
+        )
+        return H.page("Safety Ratings", form)
+
+    def ratings_page(self, request: Request) -> H.Element:
+        make = request.params.get("make", "").lower()
+        rows = []
+        for catalog_make, model, _ in CAR_CATALOG:
+            if catalog_make != make:
+                continue
+            for year in YEARS:
+                rating = self.dataset.safety_of(Car(make, model, year))
+                if rating is not None:
+                    rows.append([make, model, str(year), rating.safety])
+        if not rows:
+            return H.page("Safety Ratings", H.el("p", "No ratings for %s." % make))
+        return H.page(
+            "Safety Ratings for %s" % make,
+            H.table(["Make", "Model", "Year", "Safety"], rows),
+        )
+
+
+def build(dataset: Dataset) -> CarAndDriverSite:
+    return CarAndDriverSite(dataset)

@@ -1,0 +1,65 @@
+"""The simulated Car Finance site.
+
+Serves the interest-rate VPS relation (Table 1's ``carFinance``): annual
+percentage rates by zip code and loan duration.  In our synthetic world
+rates are car-independent (a simplification documented in DESIGN.md); the
+relation is ``carFinance(ZipCode, Duration, Rate)``.
+
+The zip-code field is free text, so the map builder cannot infer its
+mandatoriness from the widget — this is exactly the case where the paper's
+designer must supply a hint.
+"""
+
+from __future__ import annotations
+
+from repro.sites.dataset import Dataset
+from repro.web import html as H
+from repro.web.http import Request
+from repro.web.server import Site
+
+HOST = "www.carfinance.com"
+
+
+class CarFinanceSite(Site):
+    def __init__(self, dataset: Dataset) -> None:
+        super().__init__(HOST)
+        self.dataset = dataset
+        self.route("/", self.entry_page)
+        self.route("/rates", self.rates_form_page)
+        self.route("/cgi-bin/quote", self.quote_page)
+
+    def entry_page(self, request: Request) -> H.Element:
+        return H.page(
+            "Car Finance",
+            H.bullet_links([("Loan Rates", "/rates"), ("Apply Online", "/apply")]),
+        )
+
+    def rates_form_page(self, request: Request) -> H.Element:
+        form = H.form(
+            "/cgi-bin/quote",
+            H.labeled("Zip Code", H.text_input("zipcode", size=5)),
+            H.labeled("Duration", H.select("duration", ["", "24", "36", "48", "60"])),
+            H.submit_button("Get Quote"),
+            method="post",
+        )
+        return H.page("Loan Rates", form)
+
+    def quote_page(self, request: Request) -> H.Element:
+        zipcode = request.params.get("zipcode", "")
+        duration_param = request.params.get("duration", "")
+        duration = int(duration_param) if duration_param.isdigit() else None
+        rates = self.dataset.rates_for(zipcode, duration)
+        if not rates:
+            return H.page("Loan Quote", H.el("p", "No rates for zip %s." % zipcode))
+        rows = [
+            [r.zipcode, str(r.duration), "%.2f%%" % r.rate]
+            for r in sorted(rates, key=lambda r: r.duration)
+        ]
+        return H.page(
+            "Loan Quote for %s" % zipcode,
+            H.table(["Zip Code", "Duration", "Rate"], rows),
+        )
+
+
+def build(dataset: Dataset) -> CarFinanceSite:
+    return CarFinanceSite(dataset)

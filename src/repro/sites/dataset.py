@@ -1,0 +1,295 @@
+"""The synthetic used-car world behind the simulated Web sites.
+
+The paper evaluates its webbase on ten live car-related sites (classified
+ads, dealers, blue-book prices, reliability ratings, financing).  Offline we
+substitute a deterministic synthetic dataset: one seeded generator produces
+cars, classified ads, dealer inventories, blue-book prices, safety ratings
+and interest rates, and each simulated site serves its own slice of that
+world through its own page topology and vocabulary.
+
+Determinism matters: the benchmark tables must be reproducible run to run,
+and the handle-agreement property (two handles of the same relation return
+the same tuples) is only testable against a stable extension.
+
+The generator guarantees, by construction, that the paper's two running
+queries are non-empty: Ford Escorts exist at every classified/dealer site,
+and there are 1993-or-later Jaguars in the New York area with good safety
+ratings priced below their blue-book value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+# (make, model, base 1999 price in USD) — base prices anchor ad and
+# blue-book prices so the price < blue-book comparison is meaningful.
+CAR_CATALOG: list[tuple[str, str, int]] = [
+    ("ford", "escort", 8900),
+    ("ford", "taurus", 13500),
+    ("ford", "explorer", 19800),
+    ("jaguar", "xj6", 34500),
+    ("jaguar", "xk8", 52000),
+    ("honda", "civic", 11200),
+    ("honda", "accord", 15300),
+    ("toyota", "camry", 16100),
+    ("toyota", "corolla", 11900),
+    ("bmw", "325i", 27400),
+    ("chevrolet", "cavalier", 9800),
+    ("dodge", "caravan", 14700),
+    ("volkswagen", "jetta", 13900),
+    ("mercury", "sable", 12800),
+    ("saab", "900", 21500),
+]
+
+MAKES: list[str] = sorted({make for make, _, _ in CAR_CATALOG})
+
+YEARS: list[int] = list(range(1990, 2000))
+
+NY_ZIPCODES: list[str] = ["10001", "10025", "10451", "11201", "11550", "10304"]
+OTHER_ZIPCODES: list[str] = ["07030", "06902", "19103", "02134", "60601", "94110"]
+
+CONDITIONS: list[str] = ["excellent", "good", "fair"]
+SAFETY_RATINGS: list[str] = ["poor", "fair", "good", "excellent"]
+FEATURE_POOL: list[str] = [
+    "air conditioning",
+    "leather seats",
+    "sunroof",
+    "abs brakes",
+    "cd player",
+    "power windows",
+    "alloy wheels",
+    "cruise control",
+]
+FIRST_NAMES = ["Pat", "Chris", "Alex", "Sam", "Morgan", "Jamie", "Casey", "Robin"]
+LAST_NAMES = ["Lee", "Rivera", "Chen", "Okafor", "Schmidt", "Nguyen", "Brown", "Costa"]
+
+# Hosts that carry classified ads and dealer inventories; every one of the
+# ten timing-table sites that sells cars appears here.
+CLASSIFIED_HOSTS = [
+    "www.newsday.com",
+    "www.nytimes.com",
+    "www.nydailynews.com",
+    "www.carreviews.com",
+]
+DEALER_HOSTS = [
+    "www.carpoint.com",
+    "www.autoweb.com",
+    "www.wwwheels.com",
+    "www.autoconnect.com",
+    "cars.yahoo.com",
+    "www.usedcarmart.com",
+]
+
+# wwwheels is a Canadian site; its prices are listed in CAD and the logical
+# layer converts them back (vocabulary/representation discrepancy, Sec. 5).
+CAD_PER_USD = 1.48
+
+
+@dataclass(frozen=True)
+class Car:
+    """A (make, model, year) triple — the paper's ``Car`` attribute bundle."""
+
+    make: str
+    model: str
+    year: int
+
+
+@dataclass(frozen=True)
+class Ad:
+    """One used-car advertisement carried by a classified or dealer site."""
+
+    ad_id: int
+    host: str
+    car: Car
+    price: int  # USD
+    contact: str
+    zipcode: str
+    features: tuple[str, ...]
+    picture: str
+    condition: str
+
+
+@dataclass(frozen=True)
+class BlueBookEntry:
+    car: Car
+    condition: str
+    bb_price: int
+
+
+@dataclass(frozen=True)
+class SafetyRating:
+    car: Car
+    safety: str
+
+
+@dataclass(frozen=True)
+class FinanceRate:
+    zipcode: str
+    duration: int  # months
+    rate: float  # annual percentage rate
+
+
+def _depreciated(base: int, year: int, rng: random.Random) -> int:
+    """Price for a ``year`` car given its 1999 base, with +-12% spread."""
+    age = 1999 - year
+    value = base * (0.88**age)
+    spread = rng.uniform(0.88, 1.12)
+    return max(500, int(round(value * spread, -1)))
+
+
+class Dataset:
+    """The generated world.  Construct via :func:`generate`."""
+
+    def __init__(
+        self,
+        ads: list[Ad],
+        bluebook: list[BlueBookEntry],
+        safety: list[SafetyRating],
+        rates: list[FinanceRate],
+    ) -> None:
+        self.ads = ads
+        self.bluebook = bluebook
+        self.safety = safety
+        self.rates = rates
+        self._ads_by_host: dict[str, list[Ad]] = {}
+        for ad in ads:
+            self._ads_by_host.setdefault(ad.host, []).append(ad)
+        self._bluebook_index = {(e.car, e.condition): e for e in bluebook}
+        self._safety_index = {r.car: r for r in safety}
+
+    # -- lookups used by site CGI handlers ----------------------------------
+
+    def ads_for(
+        self,
+        host: str,
+        make: str | None = None,
+        model: str | None = None,
+        zipcode: str | None = None,
+    ) -> list[Ad]:
+        """Ads carried by ``host`` matching the given filters."""
+        selected = []
+        for ad in self._ads_by_host.get(host, ()):
+            if make and ad.car.make != make.lower():
+                continue
+            if model and ad.car.model != model.lower():
+                continue
+            if zipcode and ad.zipcode != zipcode:
+                continue
+            selected.append(ad)
+        return selected
+
+    def ad_by_id(self, ad_id: int) -> Ad | None:
+        for ad in self.ads:
+            if ad.ad_id == ad_id:
+                return ad
+        return None
+
+    def models_of(self, make: str) -> list[str]:
+        return sorted({m for mk, m, _ in CAR_CATALOG if mk == make})
+
+    def bluebook_price(self, car: Car, condition: str) -> BlueBookEntry | None:
+        return self._bluebook_index.get((car, condition))
+
+    def safety_of(self, car: Car) -> SafetyRating | None:
+        return self._safety_index.get(car)
+
+    def rates_for(self, zipcode: str, duration: int | None = None) -> list[FinanceRate]:
+        return [
+            r
+            for r in self.rates
+            if r.zipcode == zipcode and (duration is None or r.duration == duration)
+        ]
+
+
+def generate(seed: int = 1999, ads_per_host: int = 120) -> Dataset:
+    """Generate the world deterministically from ``seed``.
+
+    ``ads_per_host`` controls site depth; the default produces several
+    pagination steps per result listing at every site.
+    """
+    rng = random.Random(seed)
+    base_price = {(make, model): price for make, model, price in CAR_CATALOG}
+
+    # Blue-book prices: per (car, condition), centred on the depreciated base.
+    bluebook = []
+    for make, model, base in CAR_CATALOG:
+        for year in YEARS:
+            mid = _depreciated(base, year, random.Random("%s:bb:%s:%s:%d" % (seed, make, model, year)))
+            for condition, factor in (("excellent", 1.10), ("good", 1.00), ("fair", 0.85)):
+                bluebook.append(
+                    BlueBookEntry(Car(make, model, year), condition, int(round(mid * factor, -1)))
+                )
+
+    # Safety ratings: deterministic per car; jaguars from 1993 on are 'good'
+    # or better so the running Jaguar query has answers.
+    safety = []
+    for make, model, _ in CAR_CATALOG:
+        for year in YEARS:
+            car = Car(make, model, year)
+            roll = random.Random("%s:safety:%s:%s:%d" % (seed, make, model, year))
+            if make == "jaguar" and year >= 1993:
+                rating = roll.choice(["good", "excellent"])
+            else:
+                rating = roll.choice(SAFETY_RATINGS)
+            safety.append(SafetyRating(car, rating))
+
+    # Interest rates: per (zipcode, duration).
+    rates = []
+    for zipcode in NY_ZIPCODES + OTHER_ZIPCODES:
+        for duration in (24, 36, 48, 60):
+            roll = random.Random("%s:rate:%s:%d" % (seed, zipcode, duration))
+            rate = round(6.0 + duration / 60.0 + roll.uniform(-0.5, 1.5), 2)
+            rates.append(FinanceRate(zipcode, duration, rate))
+
+    bluebook_index = {(e.car, e.condition): e.bb_price for e in bluebook}
+
+    ads: list[Ad] = []
+    ad_id = 1000
+    for host in CLASSIFIED_HOSTS + DEALER_HOSTS:
+        host_rng = random.Random("%s:ads:%s" % (seed, host))
+        for i in range(ads_per_host):
+            if i < 6:
+                # Guaranteed coverage: Ford Escorts at every site, and NY-area
+                # 1993+ Jaguars priced below blue book at classified sites.
+                if i < 3:
+                    make, model = "ford", "escort"
+                    year = host_rng.choice([1994, 1995, 1996, 1997])
+                else:
+                    make, model = "jaguar", host_rng.choice(["xj6", "xk8"])
+                    year = host_rng.choice([1993, 1994, 1995, 1996])
+                zipcode = host_rng.choice(NY_ZIPCODES)
+            else:
+                make, model, _ = host_rng.choice(CAR_CATALOG)
+                year = host_rng.choice(YEARS)
+                zipcode = host_rng.choice(NY_ZIPCODES + OTHER_ZIPCODES)
+            car = Car(make, model, year)
+            condition = host_rng.choice(CONDITIONS)
+            asking = _depreciated(base_price[(make, model)], year, host_rng)
+            if make == "jaguar" and i < 6:
+                # Undercut blue book so "price < BBPrice" selects these ads.
+                asking = int(bluebook_index[(car, condition)] * 0.9)
+            contact = "%s %s (555-%04d)" % (
+                host_rng.choice(FIRST_NAMES),
+                host_rng.choice(LAST_NAMES),
+                host_rng.randrange(10000),
+            )
+            n_features = host_rng.randrange(1, 4)
+            features = tuple(sorted(host_rng.sample(FEATURE_POOL, n_features)))
+            ads.append(
+                Ad(
+                    ad_id=ad_id,
+                    host=host,
+                    car=car,
+                    price=asking,
+                    contact=contact,
+                    zipcode=zipcode,
+                    features=features,
+                    picture="/pics/%d.jpg" % ad_id,
+                    condition=condition,
+                )
+            )
+            ad_id += 1
+
+    return Dataset(ads=ads, bluebook=bluebook, safety=safety, rates=rates)

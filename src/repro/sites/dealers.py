@@ -1,0 +1,72 @@
+"""The simulated dealer sites: CarPoint and AutoWeb.
+
+Dealer sites expose inventories keyed by zip code (Table 1's
+``carPoint(Dealer Cars Price Features ZipCode Contact)`` and
+``autoWeb(Car Price Features ZipCode Contact)``).  Both sites ask for a
+zip code in the first form; CarPoint refines large result sets through a
+second form, AutoWeb returns everything paginated.
+"""
+
+from __future__ import annotations
+
+from repro.sites.base import CarSite, CarSiteConfig, SiteVocabulary
+from repro.sites.dataset import Dataset
+
+CARPOINT_HOST = "www.carpoint.com"
+AUTOWEB_HOST = "www.autoweb.com"
+
+
+def build_carpoint(dataset: Dataset) -> CarSite:
+    vocabulary = SiteVocabulary(
+        columns=[
+            ("make", "Make"),
+            ("model", "Model"),
+            ("year", "Year"),
+            ("price", "Price"),
+            ("features", "Features"),
+            ("zipcode", "Zip"),
+            ("contact", "Dealer"),
+        ],
+        zip_field="zipcode",
+    )
+    config = CarSiteConfig(
+        host=CARPOINT_HOST,
+        title="CarPoint Used Inventory",
+        vocabulary=vocabulary,
+        page_size=10,
+        refine_threshold=15,
+        form_method="post",
+        entry_link_name="Used Inventory",
+        search_path="/used",
+        results_path="/cgi-bin/inventory",
+        ask_zipcode=True,
+    )
+    return CarSite(config, dataset)
+
+
+def build_autoweb(dataset: Dataset) -> CarSite:
+    vocabulary = SiteVocabulary(
+        columns=[
+            ("year", "Year"),
+            ("make", "Make"),
+            ("model", "Model"),
+            ("features", "Options"),
+            ("price", "Price"),
+            ("zipcode", "Zip Code"),
+            ("contact", "Seller"),
+        ],
+    )
+    config = CarSiteConfig(
+        host=AUTOWEB_HOST,
+        title="AutoWeb Marketplace",
+        vocabulary=vocabulary,
+        page_size=8,
+        refine_threshold=None,
+        form_method="get",
+        entry_link_name="Browse Cars",
+        search_path="/marketplace",
+        results_path="/cgi-bin/find",
+        ask_zipcode=True,
+        model_in_first_form=True,
+    )
+    return CarSite(config, dataset)

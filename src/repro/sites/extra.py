@@ -1,0 +1,168 @@
+"""The remaining timing-table sites: WWWheels, CarReviews, NY Daily News,
+AutoConnect and Yahoo Cars.
+
+These exist so the Section 7 timing benchmark runs against all ten sites
+the paper measured, and so the substrate covers more of the messy-Web
+surface: WWWheels lists prices in Canadian dollars and emits sloppy HTML
+(unclosed tags, uppercase, unquoted attributes); NY Daily News is sloppy
+too; Yahoo Cars renders results as labeled definition lists instead of
+tables, exercising the non-tabular extraction wrapper.
+"""
+
+from __future__ import annotations
+
+from repro.sites.base import CarSite, CarSiteConfig, SiteVocabulary
+from repro.sites.dataset import Ad, Dataset
+from repro.web import html as H
+from repro.web.html import RenderStyle
+from repro.web.http import Url
+
+WWWHEELS_HOST = "www.wwwheels.com"
+CARREVIEWS_HOST = "www.carreviews.com"
+NYDAILY_HOST = "www.nydailynews.com"
+AUTOCONNECT_HOST = "www.autoconnect.com"
+YAHOOCARS_HOST = "cars.yahoo.com"
+
+
+def build_wwwheels(dataset: Dataset) -> CarSite:
+    vocabulary = SiteVocabulary(
+        columns=[
+            ("make", "Make"),
+            ("model", "Model"),
+            ("year", "Year"),
+            ("price", "Price"),
+            ("zipcode", "Zip"),
+            ("contact", "Contact"),
+        ],
+        price_formatter="cad",
+    )
+    config = CarSiteConfig(
+        host=WWWHEELS_HOST,
+        title="WWWheels Canada",
+        vocabulary=vocabulary,
+        style=RenderStyle.sloppy(),
+        page_size=10,
+        refine_threshold=None,
+        form_method="get",
+        entry_link_name="Find a Car",
+        search_path="/find",
+        results_path="/cgi-bin/wheels",
+        model_in_first_form=True,
+    )
+    return CarSite(config, dataset)
+
+
+def build_carreviews(dataset: Dataset) -> CarSite:
+    config = CarSiteConfig(
+        host=CARREVIEWS_HOST,
+        title="CarReviews Classifieds",
+        page_size=10,
+        refine_threshold=None,
+        form_method="get",
+        entry_link_name="Classifieds",
+        search_path="/classifieds",
+        results_path="/cgi-bin/classy",
+        model_in_first_form=True,
+    )
+    return CarSite(config, dataset)
+
+
+def build_nydailynews(dataset: Dataset) -> CarSite:
+    config = CarSiteConfig(
+        host=NYDAILY_HOST,
+        title="NY Daily News Classifieds",
+        style=RenderStyle.sloppy(),
+        page_size=10,
+        refine_threshold=15,
+        form_method="post",
+        entry_link_name="Auto Classifieds",
+        search_path="/classified/auto",
+        results_path="/cgi-bin/dailyads",
+    )
+    return CarSite(config, dataset)
+
+
+def build_autoconnect(dataset: Dataset) -> CarSite:
+    vocabulary = SiteVocabulary(
+        columns=[
+            ("make", "Make"),
+            ("model", "Model"),
+            ("year", "Year"),
+            ("price", "Price"),
+            ("features", "Equipment"),
+            ("zipcode", "Location"),
+            ("contact", "Contact"),
+        ],
+        zip_field="location",
+    )
+    config = CarSiteConfig(
+        host=AUTOCONNECT_HOST,
+        title="AutoConnect Dealers",
+        vocabulary=vocabulary,
+        page_size=10,
+        refine_threshold=12,
+        form_method="post",
+        entry_link_name="Dealer Search",
+        search_path="/dealers",
+        results_path="/cgi-bin/connect",
+        ask_zipcode=True,
+        redirect_after_post=True,
+    )
+    return CarSite(config, dataset)
+
+
+class YahooCarsSite(CarSite):
+    """Yahoo Cars renders each ad as a labeled definition-list block.
+
+    The tabular wrapper cannot extract these pages; the labeled-field
+    wrapper in :mod:`repro.navigation.extract` can.
+    """
+
+    def data_page(self, params: dict[str, str], ads: list[Ad]) -> H.Element:
+        cfg = self.config
+        start = int(params.get("start", "0") or 0)
+        chunk = ads[start : start + cfg.page_size]
+        blocks: list[H.Element] = [
+            H.el(
+                "p",
+                "Listings %d-%d of %d" % (start + 1, start + len(chunk), len(ads)),
+            )
+        ]
+        for ad in chunk:
+            blocks.append(
+                H.el(
+                    "dl",
+                    H.el("dt", "Make"),
+                    H.el("dd", ad.car.make),
+                    H.el("dt", "Model"),
+                    H.el("dd", ad.car.model),
+                    H.el("dt", "Year"),
+                    H.el("dd", str(ad.car.year)),
+                    H.el("dt", "Price"),
+                    H.el("dd", "${:,}".format(ad.price)),
+                    H.el("dt", "Contact"),
+                    H.el("dd", ad.contact),
+                    **{"class": "listing"},
+                )
+            )
+        if start + cfg.page_size < len(ads):
+            next_params = dict(params)
+            next_params["start"] = str(start + cfg.page_size)
+            more_url = Url(self.host, cfg.results_path).with_params(next_params)
+            blocks.append(H.el("p", H.link(str(more_url), "More")))
+        return H.page("%s Listings" % cfg.title, *blocks)
+
+
+def build_yahoocars(dataset: Dataset) -> YahooCarsSite:
+    config = CarSiteConfig(
+        host=YAHOOCARS_HOST,
+        title="Yahoo Cars",
+        page_size=10,
+        refine_threshold=None,
+        form_method="get",
+        entry_link_name="Used Car Listings",
+        search_path="/listings",
+        results_path="/cgi-bin/ycars",
+        model_in_first_form=True,
+    )
+    return YahooCarsSite(config, dataset)

@@ -1,0 +1,74 @@
+"""The simulated Kelley Blue Book site.
+
+Serves the ``kellys(Car Condition BBPrice)`` VPS relation of Table 1.  The
+pricing form asks for make, model and condition; condition is a radio group,
+which lets the map builder infer its mandatoriness from the widget alone
+(Section 7: "if an attribute is represented by a radio button we can safely
+assume it is mandatory").  The result page lists one row per model year.
+"""
+
+from __future__ import annotations
+
+from repro.sites.dataset import Dataset, CONDITIONS, MAKES, YEARS, Car
+from repro.web import html as H
+from repro.web.http import Request
+from repro.web.server import Site
+
+HOST = "www.kbb.com"
+
+
+class KellysSite(Site):
+    def __init__(self, dataset: Dataset) -> None:
+        super().__init__(HOST)
+        self.dataset = dataset
+        self.route("/", self.entry_page)
+        self.route("/usedcar", self.pricing_page)
+        self.route("/cgi-bin/bbprice", self.price_page)
+
+    def entry_page(self, request: Request) -> H.Element:
+        return H.page(
+            "Kelley Blue Book",
+            H.bullet_links(
+                [
+                    ("Used Car Values", "/usedcar"),
+                    ("New Car Pricing", "/newcar"),
+                ]
+            ),
+        )
+
+    def pricing_page(self, request: Request) -> H.Element:
+        form = H.form(
+            "/cgi-bin/bbprice",
+            H.labeled("Make", H.select("make", MAKES)),
+            H.labeled("Model", H.text_input("model")),
+            H.el("p", H.el("b", "Condition: "), *H.radio_group("condition", CONDITIONS)),
+            H.submit_button("Get Value"),
+            method="post",
+        )
+        return H.page("Used Car Values", form)
+
+    def price_page(self, request: Request) -> H.Element:
+        params = request.params
+        make = params.get("make", "").lower()
+        model = params.get("model", "").lower()
+        condition = params.get("condition", "").lower()
+        rows = []
+        for year in YEARS:
+            entry = self.dataset.bluebook_price(Car(make, model, year), condition)
+            if entry is not None:
+                rows.append(
+                    [make, model, str(year), condition, "${:,}".format(entry.bb_price)]
+                )
+        if not rows:
+            return H.page(
+                "Blue Book Value",
+                H.el("p", "No pricing available for %s %s." % (make, model)),
+            )
+        return H.page(
+            "Blue Book Value",
+            H.table(["Make", "Model", "Year", "Condition", "Blue Book Price"], rows),
+        )
+
+
+def build(dataset: Dataset) -> KellysSite:
+    return KellysSite(dataset)

@@ -1,0 +1,42 @@
+"""The simulated Newsday classifieds site — Figure 2 of the paper.
+
+Topology (matching the paper's navigation map):
+
+* entry page with ``link(auto)`` to the used-car section, plus the three
+  distractor links of Figure 2 (new car dealer, collectible cars, sport
+  utility);
+* the used-car page carries ``form f1(make)``;
+* submitting f1 either returns a data page directly (few matches) or a
+  dynamically generated ``form f2(model, featrs)``;
+* data pages paginate through a ``More`` link and each row carries a
+  ``Car Features`` link to a detail page (the ``newsdayCarFeatures`` VPS
+  relation: Url -> Features, Picture).
+"""
+
+from __future__ import annotations
+
+from repro.sites.base import CarSite, CarSiteConfig, SiteVocabulary
+from repro.sites.dataset import Dataset
+
+HOST = "www.newsday.com"
+
+
+def build(dataset: Dataset) -> CarSite:
+    config = CarSiteConfig(
+        host=HOST,
+        title="Newsday Classifieds",
+        vocabulary=SiteVocabulary(),
+        page_size=10,
+        refine_threshold=15,
+        form_method="post",
+        entry_link_name="Auto",
+        search_path="/classified/cars",
+        results_path="/cgi-bin/nclassy",
+        features_path="/classified/features",
+        extra_entry_links=[
+            ("New Car Dealer", "/classified/dealers"),
+            ("Collectible Cars", "/classified/collectibles"),
+            ("Sport Utility", "/classified/suv"),
+        ],
+    )
+    return CarSite(config, dataset)

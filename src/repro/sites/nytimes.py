@@ -1,0 +1,42 @@
+"""The simulated New York Times classifieds site.
+
+A shallower topology than Newsday: one search form with the make mandatory
+and the model optional (Table 3's ``nyTimes`` binding sets), no refinement
+form, features inline in the result table — and a different vocabulary
+("Manufacturer" instead of "Make", "Asking Price" instead of "Price") that
+the logical layer has to standardize.
+"""
+
+from __future__ import annotations
+
+from repro.sites.base import CarSite, CarSiteConfig, SiteVocabulary
+from repro.sites.dataset import Dataset
+
+HOST = "www.nytimes.com"
+
+
+def build(dataset: Dataset) -> CarSite:
+    vocabulary = SiteVocabulary(
+        columns=[
+            ("make", "Manufacturer"),
+            ("model", "Model"),
+            ("year", "Year"),
+            ("features", "Features"),
+            ("price", "Asking Price"),
+            ("contact", "Contact"),
+        ],
+        make_field="manufacturer",
+    )
+    config = CarSiteConfig(
+        host=HOST,
+        title="NY Times Auto Classifieds",
+        vocabulary=vocabulary,
+        page_size=12,
+        refine_threshold=None,
+        form_method="get",
+        entry_link_name="Automobiles",
+        search_path="/classified/autos",
+        results_path="/cgi-bin/autosearch",
+        model_in_first_form=True,
+    )
+    return CarSite(config, dataset)

@@ -1,0 +1,108 @@
+"""UsedCarMart: a site whose listings have two alternative access forms.
+
+Section 3: "There can be several handles for the same relation.
+Different handles for the same relation must use different sets of
+mandatory attributes ... (for instance, the same HTML form might have two
+alternative sets of attributes; at least one of them must be filled in
+order to get a result)."
+
+UsedCarMart offers exactly that: a *Search by Make* form and a *Search by
+Zip Code* form, both feeding the same results listing.  Mapping the site
+yields one VPS relation with two handles — mandatory {make} and mandatory
+{zip} — and the handle-agreement property (supplying both attributes
+through either handle returns the same tuples) becomes testable against a
+live site.
+"""
+
+from __future__ import annotations
+
+from repro.sites.dataset import Dataset, MAKES, NY_ZIPCODES, OTHER_ZIPCODES
+from repro.web import html as H
+from repro.web.http import Request, Url
+from repro.web.server import Site
+
+HOST = "www.usedcarmart.com"
+PAGE_SIZE = 10
+
+
+class UsedCarMartSite(Site):
+    def __init__(self, dataset: Dataset) -> None:
+        super().__init__(HOST)
+        self.dataset = dataset
+        self.route("/", self.entry_page)
+        self.route("/bymake", self.by_make_page)
+        self.route("/byzip", self.by_zip_page)
+        self.route("/cgi-bin/mart", self.results_page)
+
+    def entry_page(self, request: Request) -> H.Element:
+        return H.page(
+            "UsedCarMart",
+            H.bullet_links(
+                [("Search by Make", "/bymake"), ("Search by Zip Code", "/byzip")]
+            ),
+        )
+
+    def by_make_page(self, request: Request) -> H.Element:
+        form = H.form(
+            "/cgi-bin/mart",
+            H.labeled("Make", H.select("make", MAKES)),
+            H.labeled("Model", H.text_input("model")),
+            H.submit_button("Search"),
+            method="get",
+        )
+        return H.page("Search by Make", form)
+
+    def by_zip_page(self, request: Request) -> H.Element:
+        zips = sorted(NY_ZIPCODES + OTHER_ZIPCODES)
+        form = H.form(
+            "/cgi-bin/mart",
+            H.labeled("Zip Code", H.select("zip", zips)),
+            H.labeled("Model", H.text_input("model")),
+            H.submit_button("Search"),
+            method="get",
+        )
+        return H.page("Search by Zip Code", form)
+
+    def results_page(self, request: Request) -> H.Element:
+        params = request.params
+        ads = self.dataset.ads_for(
+            HOST,
+            make=params.get("make") or None,
+            model=params.get("model") or None,
+            zipcode=params.get("zip") or None,
+        )
+        start = int(params.get("start", "0") or 0)
+        chunk = ads[start : start + PAGE_SIZE]
+        table = H.el("table", border="1")
+        table.add(
+            H.el(
+                "tr",
+                *[H.el("th", h) for h in ["Make", "Model", "Year", "Price", "Zip", "Contact"]],
+            )
+        )
+        for ad in chunk:
+            table.add(
+                H.el(
+                    "tr",
+                    H.el("td", ad.car.make),
+                    H.el("td", ad.car.model),
+                    H.el("td", str(ad.car.year)),
+                    H.el("td", "${:,}".format(ad.price)),
+                    H.el("td", ad.zipcode),
+                    H.el("td", ad.contact),
+                )
+            )
+        body = [
+            H.el("p", "Listings %d-%d of %d" % (start + 1, start + len(chunk), len(ads))),
+            table,
+        ]
+        if start + PAGE_SIZE < len(ads):
+            next_params = dict(params)
+            next_params["start"] = str(start + PAGE_SIZE)
+            more = Url(HOST, "/cgi-bin/mart").with_params(next_params)
+            body.append(H.el("p", H.link(str(more), "More")))
+        return H.page("UsedCarMart Listings", *body)
+
+
+def build(dataset: Dataset) -> UsedCarMartSite:
+    return UsedCarMartSite(dataset)

@@ -1,0 +1,119 @@
+"""Incremental, concept-driven query construction — the end-user interface.
+
+Section 6: "The idea behind concept hierarchies is that the user starts
+by selecting top-level concepts and then proceeds to subconcepts.  This
+makes it possible to build queries incrementally, by restricting the
+search to various subconcepts and to specific ranges for attributes at
+the leaf level."
+
+:class:`QueryBuilder` is that interaction, as an API a form-based UI
+would call: show the concepts, pick one to see its attributes, tick
+output attributes, add range/equality restrictions — then ``build()`` a
+:class:`~repro.ur.query.URQuery` or ``run()`` it.  Misspellings fall back
+to the logical layer's fuzzy matcher, and every step validates against
+the hierarchy, so users never see a join or a relation name.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.conditions import (
+    Attr,
+    Comparison,
+    Condition,
+    Const,
+    Or,
+    conj,
+)
+from repro.relational.relation import Relation
+from repro.ur.planner import StructuredUR
+from repro.ur.query import URQuery
+
+
+class BuilderError(Exception):
+    """An invalid incremental construction step."""
+
+
+_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class QueryBuilder:
+    """Builds a UR query step by step against a :class:`StructuredUR`."""
+
+    def __init__(self, ur: StructuredUR) -> None:
+        self.ur = ur
+        self._outputs: list[str] = []
+        self._conditions: list[Condition] = []
+
+    # -- browsing the hierarchy -------------------------------------------------
+
+    def concepts(self) -> list[str]:
+        """The top-level concepts the user first sees."""
+        return [child.name for child in self.ur.hierarchy.children]
+
+    def attributes_of(self, concept: str) -> list[str]:
+        """The leaf attributes under ``concept``."""
+        return self.ur.resolve(concept)
+
+    # -- assembling the query -------------------------------------------------------
+
+    def select(self, *names: str) -> "QueryBuilder":
+        """Add output attributes; concept names expand to their leaves."""
+        for name in names:
+            for attr in self.ur.resolve(name):
+                if attr not in self._outputs:
+                    self._outputs.append(attr)
+        return self
+
+    def where(self, attr: str, op: str, value: Any) -> "QueryBuilder":
+        """Restrict an attribute: ``where('year', '>=', 1993)``.
+
+        ``value`` may be another attribute name prefixed with ``@`` for
+        attribute-to-attribute comparisons (``where('price','<','@bb_price')``).
+        """
+        if op not in _OPS:
+            raise BuilderError("unknown operator %r (use one of %s)" % (op, ", ".join(_OPS)))
+        resolved = self._resolve_leaf(attr)
+        if isinstance(value, str) and value.startswith("@"):
+            right = Attr(self._resolve_leaf(value[1:]))
+        else:
+            right = Const(value)
+        self._conditions.append(Comparison(Attr(resolved), op, right))
+        return self
+
+    def where_in(self, attr: str, values: list[Any]) -> "QueryBuilder":
+        """Restrict an attribute to a set of values."""
+        if not values:
+            raise BuilderError("empty IN list for %r" % attr)
+        resolved = self._resolve_leaf(attr)
+        choices = tuple(Comparison(Attr(resolved), "=", Const(v)) for v in values)
+        self._conditions.append(Or(choices) if len(choices) > 1 else choices[0])
+        return self
+
+    def _resolve_leaf(self, name: str) -> str:
+        resolved = self.ur.resolve(name)
+        if len(resolved) != 1:
+            raise BuilderError(
+                "%r names a concept (%s); conditions need a single attribute"
+                % (name, ", ".join(resolved))
+            )
+        return resolved[0]
+
+    # -- finishing ---------------------------------------------------------------------
+
+    def build(self) -> URQuery:
+        if not self._outputs:
+            raise BuilderError("no output attributes selected")
+        condition = conj(*self._conditions) if self._conditions else None
+        return URQuery(tuple(self._outputs), condition)
+
+    def run(self) -> Relation:
+        return self.ur.answer(self.build())
+
+    def describe(self) -> str:
+        """A user-facing rendering of the query under construction."""
+        lines = ["outputs: %s" % (", ".join(self._outputs) or "(none yet)")]
+        for condition in self._conditions:
+            lines.append("where:   %r" % (condition,))
+        return "\n".join(lines)

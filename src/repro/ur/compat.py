@@ -1,0 +1,73 @@
+"""Compatibility rules: the structured UR's replacement for lossless joins.
+
+"The basic idea is to replace losslessness and constraints with
+compatibility rules.  A compatibility rule has either the form
+R1,...,Rk -> R or the form R1,...,Rk -> ¬R."
+
+A set S of relations is *compatible* (paper, footnote 6) when
+
+* for every R in S there is a positive rule ``Left -> R`` with Left ⊆ S
+  (axioms — rules with empty left sides — admit relations that always
+  make sense on their own); and
+* there is no negative rule ``Left -> ¬R`` with Left ∪ {R} ⊆ S
+  (negative rules mark the UR literature's "navigation traps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class CompatibilityRule:
+    """``lhs -> rhs`` (positive) or ``lhs -> ¬rhs`` (negative)."""
+
+    lhs: frozenset[str]
+    rhs: str
+    negative: bool = False
+
+    def __repr__(self) -> str:
+        left = ", ".join(sorted(self.lhs)) if self.lhs else "true"
+        arrow = "-> not" if self.negative else "->"
+        return "%s %s %s" % (left, arrow, self.rhs)
+
+
+def allows(*relations: str) -> list[CompatibilityRule]:
+    """Axioms: each relation makes sense on its own."""
+    return [CompatibilityRule(frozenset(), r) for r in relations]
+
+
+def requires(lhs: Iterable[str], rhs: str) -> CompatibilityRule:
+    """``lhs -> rhs``: joining rhs makes sense once lhs has been joined."""
+    return CompatibilityRule(frozenset(lhs), rhs)
+
+
+def excludes(lhs: Iterable[str], rhs: str) -> CompatibilityRule:
+    """``lhs -> ¬rhs``: joining rhs onto lhs is an incorrect relationship."""
+    return CompatibilityRule(frozenset(lhs), rhs, negative=True)
+
+
+def mutually_exclusive(a: str, b: str) -> list[CompatibilityRule]:
+    """Neither of the pair may join the other (e.g. a car cannot be both a
+    dealer listing and a classified ad in one answer)."""
+    return [excludes({a}, b), excludes({b}, a)]
+
+
+def is_compatible(subset: Iterable[str], rules: Iterable[CompatibilityRule]) -> bool:
+    """The footnote-6 compatibility check."""
+    members = frozenset(subset)
+    if not members:
+        return True
+    rules = list(rules)
+    for relation in members:
+        admitted = any(
+            not rule.negative and rule.rhs == relation and rule.lhs <= members
+            for rule in rules
+        )
+        if not admitted:
+            return False
+    for rule in rules:
+        if rule.negative and rule.rhs in members and rule.lhs <= members:
+            return False
+    return True

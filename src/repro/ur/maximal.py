@@ -1,0 +1,77 @@
+"""Maximal objects and minimal covering sets (Section 6 semantics).
+
+Two related computations:
+
+* :func:`maximal_objects` — all inclusion-*maximal* compatible subsets of
+  the logical relations: the structured-UR analogue of Maier/Ullman's
+  maximal objects.  Example 6.2 generates five of these.
+* :func:`covering_objects` — given a query's attribute set, all
+  inclusion-*minimal* compatible subsets whose attributes cover it: "the
+  semantics of this query is said to be the join R1 ⋈ ... ⋈ Rn, where
+  {R1..Rn} is a minimal (with respect to inclusion) subset of logical
+  relations that satisfy the compatibility rules and contains all
+  attributes in A."  When several such sets exist, the answer is the union
+  of their results.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping
+
+from repro.ur.compat import CompatibilityRule, is_compatible
+
+
+def maximal_objects(
+    relations: Iterable[str], rules: Iterable[CompatibilityRule]
+) -> list[frozenset[str]]:
+    """All inclusion-maximal compatible subsets of ``relations``."""
+    universe = sorted(set(relations))
+    rules = list(rules)
+    compatible: list[frozenset[str]] = []
+    # Exhaustive over subsets; the UR universe is small by construction
+    # (application-domain relations, not tuples).
+    if len(universe) > 20:
+        raise ValueError("UR universe too large for exhaustive enumeration")
+    for size in range(len(universe), 0, -1):
+        for combo in combinations(universe, size):
+            candidate = frozenset(combo)
+            if any(candidate <= m for m in compatible):
+                continue
+            if is_compatible(candidate, rules):
+                compatible.append(candidate)
+    return sorted(compatible, key=lambda s: (-len(s), sorted(s)))
+
+
+def covering_objects(
+    relations: Iterable[str],
+    rules: Iterable[CompatibilityRule],
+    attrs: Iterable[str],
+    schema_of: Mapping[str, frozenset[str]],
+) -> list[frozenset[str]]:
+    """All minimal compatible subsets covering ``attrs``.
+
+    ``schema_of`` maps each relation to its attribute set.  Raises
+    :class:`KeyError` if some attribute belongs to no relation.
+    """
+    wanted = set(attrs)
+    universe = sorted(set(relations))
+    rules = list(rules)
+    homeless = wanted - set().union(*(schema_of[r] for r in universe)) if universe else wanted
+    if homeless:
+        raise KeyError("attributes in no relation: %s" % sorted(homeless))
+
+    found: list[frozenset[str]] = []
+    for size in range(1, len(universe) + 1):
+        for combo in combinations(universe, size):
+            candidate = frozenset(combo)
+            if any(existing <= candidate for existing in found):
+                continue  # not minimal
+            covered = set()
+            for relation in candidate:
+                covered |= schema_of[relation]
+            if not wanted <= covered:
+                continue
+            if is_compatible(candidate, rules):
+                found.append(candidate)
+    return sorted(found, key=lambda s: (len(s), sorted(s)))

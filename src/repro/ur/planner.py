@@ -1,0 +1,192 @@
+"""Planning and evaluating structured-UR queries.
+
+A query's attributes select the minimal compatible covering sets of
+logical relations (the query's maximal objects); each becomes a join —
+ordered so every relation's mandatory attributes are bound when its turn
+comes — wrapped in the query's selection and projection; and the final
+answer is the union over the objects.  "Once translated, these queries can
+be optimized and evaluated by standard query evaluation techniques."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logical.schema import LogicalSchema
+from repro.relational.algebra import (
+    Base,
+    Expr,
+    Join,
+    Project,
+    Select,
+    evaluate,
+)
+from repro.relational.bindings import BindingError, JoinPart, order_joins
+from repro.relational.conditions import equality_bindings
+from repro.relational.optimize import optimize
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.ur.compat import CompatibilityRule
+from repro.ur.concepts import Concept
+from repro.ur.maximal import covering_objects, maximal_objects
+from repro.ur.query import URQuery, parse_query
+
+
+class PlanError(Exception):
+    """The query has no evaluable plan."""
+
+
+@dataclass
+class ObjectPlan:
+    """One maximal object's contribution to the answer."""
+
+    relations: tuple[str, ...]  # in join order
+    expression: Expr
+    feasible: bool
+    note: str = ""
+    rewrites: tuple[str, ...] = ()
+
+
+@dataclass
+class URPlan:
+    """The full plan for one UR query."""
+
+    query: URQuery
+    objects: list[ObjectPlan] = field(default_factory=list)
+
+    @property
+    def feasible_objects(self) -> list[ObjectPlan]:
+        return [o for o in self.objects if o.feasible]
+
+    def describe(self) -> str:
+        lines = ["UR plan: %d object(s)" % len(self.objects)]
+        for obj in self.objects:
+            status = "ok" if obj.feasible else "skipped (%s)" % obj.note
+            lines.append("  %s  [%s]" % (" ⋈ ".join(obj.relations), status))
+        return "\n".join(lines)
+
+
+class StructuredUR:
+    """The external schema: one universal relation over the logical layer."""
+
+    def __init__(
+        self,
+        logical: LogicalSchema,
+        hierarchy: Concept,
+        rules: list[CompatibilityRule],
+        relations: list[str] | None = None,
+        optimize_plans: bool = True,
+    ) -> None:
+        self.logical = logical
+        self.hierarchy = hierarchy
+        self.rules = list(rules)
+        self.relations = sorted(relations or logical.relation_names)
+        self.optimize_plans = optimize_plans
+        self._schemas: dict[str, frozenset[str]] = {
+            name: logical.base_schema(name).as_set() for name in self.relations
+        }
+
+    # -- schema introspection --------------------------------------------------
+
+    @property
+    def attributes(self) -> list[str]:
+        """The universal relation's attribute list."""
+        attrs: set[str] = set()
+        for schema in self._schemas.values():
+            attrs |= set(schema)
+        return sorted(attrs)
+
+    def maximal_objects(self) -> list[frozenset[str]]:
+        return maximal_objects(self.relations, self.rules)
+
+    def resolve(self, name: str) -> list[str]:
+        """Resolve a user-typed name: a concept expands to its leaves, an
+        attribute (possibly misspelled) to itself."""
+        node = self.hierarchy.find(name)
+        if node is not None:
+            return [a for a in node.leaves() if a in self.attributes]
+        return [self.logical.resolve_attribute(name)]
+
+    # -- planning ------------------------------------------------------------------
+
+    def plan(self, query: URQuery | str) -> URPlan:
+        if isinstance(query, str):
+            query = parse_query(query)
+        attrs = set()
+        for name in query.attributes():
+            resolved = self.logical.resolve_attribute(name)
+            attrs.add(resolved)
+        unknown = attrs - set(self.attributes)
+        if unknown:
+            raise PlanError("attributes outside the UR: %s" % sorted(unknown))
+
+        bound = set(equality_bindings(query.condition))
+        covers = covering_objects(self.relations, self.rules, attrs, self._schemas)
+        if not covers:
+            raise PlanError(
+                "no compatible set of relations covers %s" % sorted(attrs)
+            )
+        plan = URPlan(query=query)
+        for cover in covers:
+            parts = [
+                JoinPart(
+                    name,
+                    self._schemas[name],
+                    self.logical.base_binding_sets(name),
+                )
+                for name in sorted(cover)
+            ]
+            order = order_joins(parts, bound)
+            if order is None:
+                plan.objects.append(
+                    ObjectPlan(
+                        relations=tuple(sorted(cover)),
+                        expression=Base("unorderable"),
+                        feasible=False,
+                        note="mandatory attributes not derivable from the query",
+                    )
+                )
+                continue
+            ordered_names = [parts[i].name for i in order]
+            expr: Expr = Base(ordered_names[0])
+            for name in ordered_names[1:]:
+                expr = Join(expr, Base(name))
+            if query.condition is not None:
+                expr = Select(expr, query.condition)
+            expr = Project(expr, query.outputs)
+            rewrites: tuple[str, ...] = ()
+            if self.optimize_plans:
+                optimized = optimize(expr, self.logical)
+                expr = optimized.expression
+                rewrites = tuple(repr(r) for r in optimized.rewrites)
+            plan.objects.append(
+                ObjectPlan(
+                    relations=tuple(ordered_names),
+                    expression=expr,
+                    feasible=True,
+                    rewrites=rewrites,
+                )
+            )
+        return plan
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def answer(self, query: URQuery | str, plan: URPlan | None = None) -> Relation:
+        """Evaluate a query: the union of its feasible objects' answers."""
+        if plan is None:
+            plan = self.plan(query)
+        outputs = plan.query.outputs
+        result = Relation(Schema(outputs), [])
+        evaluated = 0
+        for obj in plan.feasible_objects:
+            try:
+                piece = evaluate(obj.expression, self.logical)
+            except BindingError:
+                continue
+            result = result.union(piece)
+            evaluated += 1
+        if evaluated == 0:
+            raise PlanError(
+                "no maximal object was evaluable; plan:\n%s" % plan.describe()
+            )
+        return result

@@ -1,0 +1,66 @@
+"""Result caching for VPS fetches.
+
+The paper's conclusions call out caching (with parallelization) as the key
+technique for acceptable response times when querying many sites.  This is
+that cache: a bounded memo of ``(relation, bound-values) -> Relation`` that
+sits in front of a :class:`~repro.vps.schema.VpsSchema` and satisfies the
+same Catalog protocol, so it can be slotted under the logical layer
+transparently.  The ablation benchmark compares cold vs warm evaluations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.relational.bindings import BindingSets
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.vps.schema import VpsSchema
+
+
+class CachingVps:
+    """An LRU result cache over a VPS schema (Catalog-compatible)."""
+
+    def __init__(self, inner: VpsSchema, max_entries: int = 1024) -> None:
+        self.inner = inner
+        self.max_entries = max_entries
+        self._cache: OrderedDict[tuple, Relation] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def base_schema(self, name: str) -> Schema:
+        return self.inner.base_schema(name)
+
+    def base_binding_sets(self, name: str) -> BindingSets:
+        return self.inner.base_binding_sets(name)
+
+    def fetch(self, name: str, given: dict[str, Any]) -> Relation:
+        key = (name, tuple(sorted((a, v) for a, v in given.items() if v is not None)))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.misses += 1
+        result = self.inner.fetch(name, given)
+        self._cache[key] = result
+        if len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return result
+
+    def invalidate(self, name: str | None = None) -> int:
+        """Drop cached results (all of them, or one relation's); returns the
+        number of entries removed."""
+        if name is None:
+            removed = len(self._cache)
+            self._cache.clear()
+            return removed
+        stale = [k for k in self._cache if k[0] == name]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}

@@ -1,0 +1,68 @@
+"""Handles: the access quadruples of the virtual physical schema.
+
+"For each relation schema R in the VPS layer, there is a quadruple, called
+a handle: H = <mandatory-attrs, selection-attrs, R, expression>."
+
+The mandatory attributes are the minimum information needed to invoke the
+navigation-calculus expression; the selection attributes may additionally
+be supplied and are passed to the Web servers to narrow the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class HandleError(Exception):
+    """A fetch could not be satisfied by any handle."""
+
+
+@dataclass(frozen=True)
+class Handle:
+    """One access path to a VPS relation.
+
+    ``goal`` is the predicate name of the compiled navigation expression;
+    ``expression`` is its human-readable Transaction F-logic text (nobody
+    needs to read it, but it is available — unlike the paper we can show
+    our work).
+    """
+
+    relation: str
+    mandatory: frozenset[str]
+    selection: frozenset[str]
+    goal: str
+    expression: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.mandatory <= self.selection:
+            raise ValueError(
+                "mandatory attrs %s must be a subset of selection attrs %s"
+                % (sorted(self.mandatory), sorted(self.selection))
+            )
+
+    def accepts(self, given: frozenset[str]) -> bool:
+        """True when the supplied attributes satisfy this handle."""
+        return self.mandatory <= given
+
+    def __repr__(self) -> str:
+        return "Handle(%s: mandatory=%s, selection=%s)" % (
+            self.relation,
+            sorted(self.mandatory),
+            sorted(self.selection),
+        )
+
+
+def check_handle_family(handles: list[Handle]) -> None:
+    """Validate the paper's constraints on a relation's handle family:
+    all handles name the same relation and mandatory sets are distinct."""
+    if not handles:
+        raise ValueError("a VPS relation needs at least one handle")
+    names = {h.relation for h in handles}
+    if len(names) != 1:
+        raise ValueError("handles for multiple relations mixed: %s" % sorted(names))
+    mandatory_sets = [h.mandatory for h in handles]
+    if len(set(mandatory_sets)) != len(mandatory_sets):
+        raise ValueError(
+            "different handles for %s must use different mandatory sets"
+            % handles[0].relation
+        )

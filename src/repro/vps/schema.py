@@ -1,0 +1,108 @@
+"""The virtual physical schema: relations you can only reach through forms.
+
+"The virtual physical database schema (VPS) represents all the data there
+is to see by filing requests to the server."  A :class:`VpsSchema` is the
+catalog of those relations: each one carries its handle family and its
+compiled navigation expression, and is populated on demand by the
+navigation executor.  The VPS is the :class:`~repro.relational.algebra.Catalog`
+the logical layer's algebra evaluates over.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.relational.bindings import BindingSets, minimize
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.vps.handle import Handle, HandleError, check_handle_family
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only; avoids an import cycle
+    from repro.navigation.compiler import CompiledRelation, CompiledSite
+    from repro.navigation.executor import NavigationExecutor
+
+
+class VirtualRelation:
+    """One VPS relation: schema, handles, and the navigation to populate it."""
+
+    def __init__(self, compiled: "CompiledRelation", executor: "NavigationExecutor") -> None:
+        check_handle_family(compiled.handles)
+        self.name = compiled.name
+        self.host = compiled.host
+        self.schema = Schema(compiled.schema)
+        self.handles: list[Handle] = list(compiled.handles)
+        self.kind = compiled.kind
+        self._executor = executor
+
+    @property
+    def binding_sets(self) -> BindingSets:
+        return minimize(h.mandatory for h in self.handles)
+
+    def handle_for(self, given: frozenset[str]) -> Handle:
+        """The handle whose mandatory attributes ``given`` satisfies, with
+        the largest usable selection set (pushes the most work to the
+        server)."""
+        usable = [h for h in self.handles if h.accepts(given)]
+        if not usable:
+            raise HandleError(
+                "relation %s requires one of %s; given %s"
+                % (
+                    self.name,
+                    [sorted(h.mandatory) for h in self.handles],
+                    sorted(given),
+                )
+            )
+        return max(usable, key=lambda h: (len(h.selection & given), sorted(h.mandatory)))
+
+    def fetch(self, given: dict[str, Any]) -> Relation:
+        """Populate the relation for the bound values in ``given``.
+
+        Values for attributes outside the handle's selection set and the
+        relation schema are ignored (they belong to other relations in a
+        larger expression).
+        """
+        keys = frozenset(a for a, v in given.items() if v is not None)
+        handle = self.handle_for(keys)
+        relevant = {
+            a: v
+            for a, v in given.items()
+            if v is not None and (a in handle.selection or a in self.schema)
+        }
+        rows = self._executor.fetch(self.name, relevant, goal=handle.goal)
+        return Relation.from_dicts(
+            self.schema, [{a: r.get(a) for a in self.schema} for r in rows]
+        )
+
+
+class VpsSchema:
+    """The catalog of all VPS relations known to the webbase."""
+
+    def __init__(self, executor: "NavigationExecutor") -> None:
+        self.executor = executor
+        self.relations: dict[str, VirtualRelation] = {}
+
+    def add_compiled_site(self, compiled: "CompiledSite") -> None:
+        self.executor.add_site(compiled)
+        for rel in compiled.relations:
+            self.relations[rel.name] = VirtualRelation(rel, self.executor)
+
+    def relation(self, name: str) -> VirtualRelation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError("no VPS relation %r" % name) from None
+
+    @property
+    def relation_names(self) -> list[str]:
+        return sorted(self.relations)
+
+    # -- the Catalog protocol (consumed by the relational algebra) -------------
+
+    def base_schema(self, name: str) -> Schema:
+        return self.relation(name).schema
+
+    def base_binding_sets(self, name: str) -> BindingSets:
+        return self.relation(name).binding_sets
+
+    def fetch(self, name: str, given: dict[str, Any]) -> Relation:
+        return self.relation(name).fetch(given)

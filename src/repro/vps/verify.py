@@ -1,0 +1,107 @@
+"""Verifying the handle-agreement assumption.
+
+Section 3: "We assume that all handles for the same relation agree with
+each other: if H1 = <M1, S1, R, E1> and H2 = <M2, S2, R, E2> are two
+handles for the same relation and we specify concrete values for a set of
+attributes S such that M1 ⊆ S, M2 ⊆ S, then handles H1 and H2 return the
+same result."
+
+The paper *assumes* this; a deployed webbase should *check* it, because a
+site whose two search forms disagree (stale index behind one of them, a
+filter the designer missed) silently corrupts every query routed through
+the wrong handle.  :func:`verify_handle_agreement` samples bindings that
+satisfy several handles at once and compares their results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any
+
+from repro.vps.schema import VirtualRelation
+
+
+@dataclass
+class Disagreement:
+    """One observed handle disagreement."""
+
+    given: dict[str, Any]
+    goal_a: str
+    goal_b: str
+    only_in_a: int
+    only_in_b: int
+
+    def __repr__(self) -> str:
+        return "Disagreement(%r: %s vs %s, +%d/-%d)" % (
+            self.given,
+            self.goal_a,
+            self.goal_b,
+            self.only_in_a,
+            self.only_in_b,
+        )
+
+
+@dataclass
+class AgreementReport:
+    """The outcome of a handle-agreement verification run."""
+
+    relation: str
+    samples_checked: int
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def agrees(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        status = "AGREE" if self.agrees else "DISAGREE"
+        lines = [
+            "handle agreement for %s: %s (%d sample binding(s))"
+            % (self.relation, status, self.samples_checked)
+        ]
+        for d in self.disagreements:
+            lines.append("  %r" % d)
+        return "\n".join(lines)
+
+
+def verify_handle_agreement(
+    relation: VirtualRelation,
+    samples: list[dict[str, Any]],
+) -> AgreementReport:
+    """Check every handle pair of ``relation`` on each sample binding.
+
+    A sample is used for a handle pair only when it satisfies both
+    handles' mandatory sets (the paper's precondition).  Results are
+    compared as sets of schema tuples.
+    """
+    report = AgreementReport(relation=relation.name, samples_checked=0)
+    if len(relation.handles) < 2:
+        return report
+    executor = relation._executor  # noqa: SLF001 - verification is privileged
+    for given in samples:
+        keys = frozenset(a for a, v in given.items() if v is not None)
+        usable = [h for h in relation.handles if h.accepts(keys)]
+        if len(usable) < 2:
+            continue
+        report.samples_checked += 1
+        results = {}
+        for handle in usable:
+            rows = executor.fetch(relation.name, given, goal=handle.goal)
+            results[handle.goal] = {
+                tuple(sorted(row.items())) for row in rows
+            }
+        for handle_a, handle_b in combinations(usable, 2):
+            rows_a = results[handle_a.goal]
+            rows_b = results[handle_b.goal]
+            if rows_a != rows_b:
+                report.disagreements.append(
+                    Disagreement(
+                        given=dict(given),
+                        goal_a=handle_a.goal,
+                        goal_b=handle_b.goal,
+                        only_in_a=len(rows_a - rows_b),
+                        only_in_b=len(rows_b - rows_a),
+                    )
+                )
+    return report

@@ -1,0 +1,183 @@
+"""The programmatic browser driving the simulated Web.
+
+The paper instruments a real browser with JavaScript handlers so that the
+map builder can observe the designer's actions ("actions are dynamically
+intercepted by JavaScript handlers ... when a new page is loaded into the
+browser, it is parsed, and a new node corresponding to the page is inserted
+into the navigation map").
+
+:class:`Browser` provides the same two event streams — page loads and
+actions — through :class:`BrowserObserver` hooks, and offers the three
+primitive moves the navigation calculus needs: ``get`` a URL, ``follow`` a
+link, and ``submit`` a form.  All three return immutable :class:`WebPage`
+values, so the calculus interpreter can backtrack by simply holding on to
+earlier pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.clock import SimClock
+from repro.web.http import Request, Response, Url
+from repro.web.page import FormSpec, Link, WebPage, parse_page
+from repro.web.server import HttpError, WebServer
+
+
+class NavigationError(Exception):
+    """A navigation step could not be completed (bad page, failed fetch)."""
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """One browsing action, as observed by the map builder.
+
+    ``kind`` is ``"follow"`` or ``"submit"``.  ``source`` is the page the
+    action started from; ``target`` the page it produced.  For submits,
+    ``form`` is the submitted form spec and ``values`` the attribute values
+    the designer supplied (hidden state excluded).
+    """
+
+    kind: str
+    source: WebPage
+    target: WebPage
+    link: Link | None = None
+    form: FormSpec | None = None
+    values: tuple[tuple[str, str], ...] = ()
+
+
+class BrowserObserver:
+    """Subscriber interface for browser events (the JS handlers' stand-in)."""
+
+    def on_page(self, page: WebPage) -> None:  # pragma: no cover - interface
+        """A page finished loading."""
+
+    def on_action(self, event: ActionEvent) -> None:  # pragma: no cover - interface
+        """The user performed a navigation action."""
+
+
+class Browser:
+    """A stateful browser session over a :class:`WebServer`.
+
+    Network time is charged to ``clock`` per the server's latency model;
+    ``pages_fetched`` counts successful page loads (the paper's "# of
+    pages" measure).
+    """
+
+    def __init__(self, server: WebServer, clock: SimClock | None = None) -> None:
+        self.server = server
+        self.clock = clock or SimClock()
+        self.page: WebPage | None = None
+        self.history: list[WebPage] = []
+        self.pages_fetched = 0
+        self._observers: list[BrowserObserver] = []
+
+    def subscribe(self, observer: BrowserObserver) -> None:
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: BrowserObserver) -> None:
+        self._observers.remove(observer)
+
+    # -- primitive moves ---------------------------------------------------
+
+    def get(self, url: Url | str) -> WebPage:
+        """Load ``url`` directly (typing into the location bar)."""
+        if isinstance(url, str):
+            from repro.web.http import parse_url
+
+            url = parse_url(url)
+        return self._load(Request("GET", url))
+
+    def follow(self, link: Link) -> WebPage:
+        """Follow ``link`` from the current page."""
+        source = self._require_page()
+        target = self._load(Request("GET", link.address))
+        self._emit_action(ActionEvent("follow", source, target, link=link))
+        return target
+
+    def follow_named(self, name: str) -> WebPage:
+        """Follow the link whose display text is ``name`` on the current page."""
+        return self.follow(self._require_page().link_named(name))
+
+    def submit(self, form: FormSpec, values: dict[str, str]) -> WebPage:
+        """Fill out ``form`` with ``values`` and submit it."""
+        source = self._require_page()
+        params = form.fill(values)
+        if form.method == "GET":
+            request = Request("GET", form.action.with_params(params))
+        else:
+            request = Request("POST", form.action, form_params=params)
+        target = self._load(request)
+        self._emit_action(
+            ActionEvent(
+                "submit",
+                source,
+                target,
+                form=form,
+                values=tuple(sorted((k, str(v)) for k, v in values.items())),
+            )
+        )
+        return target
+
+    def submit_by_attribute(self, values: dict[str, str]) -> WebPage:
+        """Submit the current page's form that carries the given attributes."""
+        page = self._require_page()
+        first_attr = next(iter(values))
+        return self.submit(page.form_with_attribute(first_attr), values)
+
+    def request(self, request: Request) -> WebPage:
+        """Issue a raw request (used by the navigation executor, which
+        computes requests from navigation expressions rather than from the
+        browser's own current page)."""
+        return self._load(request)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_page(self) -> WebPage:
+        if self.page is None:
+            raise NavigationError("no page loaded")
+        return self.page
+
+    MAX_REDIRECTS = 5
+
+    def _fetch_following_redirects(self, request: Request) -> Response:
+        """Issue ``request``, transparently following HTTP redirects (the
+        POST-then-redirect-to-results pattern of CGI-era sites)."""
+        from repro.web.http import parse_url
+
+        for _ in range(self.MAX_REDIRECTS + 1):
+            try:
+                response = self.server.fetch(request)
+            except HttpError as exc:
+                raise NavigationError(str(exc)) from exc
+            latency = self.server.latency_for(request.url.host)
+            self.clock.charge(latency.cost(len(response)))
+            if response.status in (301, 302, 303, 307) and response.location:
+                try:
+                    target = parse_url(response.location, base=request.url)
+                except ValueError as exc:
+                    raise NavigationError(
+                        "bad redirect %r from %s" % (response.location, request.url)
+                    ) from exc
+                request = Request("GET", target)
+                continue
+            return response
+        raise NavigationError("too many redirects from %s" % request.url)
+
+    def _load(self, request: Request) -> WebPage:
+        response = self._fetch_following_redirects(request)
+        if not response.ok:
+            raise NavigationError(
+                "HTTP %d fetching %s" % (response.status, request.url)
+            )
+        page = parse_page(response.final_url or request.url, response.body)
+        self.page = page
+        self.history.append(page)
+        self.pages_fetched += 1
+        for observer in self._observers:
+            observer.on_page(page)
+        return page
+
+    def _emit_action(self, event: ActionEvent) -> None:
+        for observer in self._observers:
+            observer.on_action(event)

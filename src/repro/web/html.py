@@ -1,0 +1,182 @@
+"""HTML generation for the simulated Web sites.
+
+Sites in :mod:`repro.sites` build their pages through this small element
+tree instead of string concatenation, so page structure stays explicit and
+the test suite can construct pages programmatically.
+
+A :class:`RenderStyle` can deliberately degrade the output — unclosed list
+items, uppercase tags, unquoted attribute values — because the paper reports
+that "the main problem we face while mapping sites is the presence of faulty
+HTML".  Sites with a sloppy style exercise the tolerant parser end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# Tags commonly left unclosed on the 1999 Web; the sloppy renderer omits
+# their end tags and the parser must auto-close them.
+OPTIONAL_END_TAGS = frozenset({"li", "p", "tr", "td", "th", "option", "dt", "dd"})
+
+# Tags that never have content.
+VOID_TAGS = frozenset({"br", "hr", "img", "input", "meta"})
+
+
+@dataclass
+class RenderStyle:
+    """Controls how faithfully an element tree is serialized to HTML."""
+
+    uppercase_tags: bool = False
+    omit_optional_end_tags: bool = False
+    unquoted_attributes: bool = False
+
+    @classmethod
+    def clean(cls) -> "RenderStyle":
+        return cls()
+
+    @classmethod
+    def sloppy(cls) -> "RenderStyle":
+        """The worst offender: every degradation at once."""
+        return cls(
+            uppercase_tags=True,
+            omit_optional_end_tags=True,
+            unquoted_attributes=True,
+        )
+
+
+def escape(text: str) -> str:
+    """Escape text content for inclusion in HTML."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+@dataclass
+class Element:
+    """One HTML element: a tag, attributes, and child elements or text."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["Element | str"] = field(default_factory=list)
+
+    def add(self, *nodes: "Element | str") -> "Element":
+        """Append children and return self (enables fluent construction)."""
+        self.children.extend(nodes)
+        return self
+
+    def render(self, style: RenderStyle | None = None) -> str:
+        style = style or RenderStyle.clean()
+        out: list[str] = []
+        self._render_into(out, style)
+        return "".join(out)
+
+    def _render_into(self, out: list[str], style: RenderStyle) -> None:
+        tag = self.tag.upper() if style.uppercase_tags else self.tag
+        out.append("<%s" % tag)
+        for name, value in self.attrs.items():
+            bare = value.replace('"', "")
+            plain = bare and all(c.isalnum() or c in "-_./:" for c in bare)
+            if style.unquoted_attributes and plain:
+                out.append(" %s=%s" % (name, bare))
+            else:
+                out.append(' %s="%s"' % (name, escape(value)))
+        out.append(">")
+        if self.tag in VOID_TAGS:
+            return
+        for child in self.children:
+            if isinstance(child, Element):
+                child._render_into(out, style)
+            else:
+                out.append(escape(child))
+        if style.omit_optional_end_tags and self.tag in OPTIONAL_END_TAGS:
+            out.append("\n")
+        else:
+            out.append("</%s>" % tag)
+
+
+def el(tag: str, *children: Element | str, **attrs: str) -> Element:
+    """Shorthand element constructor: ``el('a', 'text', href='/x')``."""
+    return Element(tag, dict(attrs), list(children))
+
+
+def link(href: str, text: str, **attrs: str) -> Element:
+    return el("a", text, href=href, **attrs)
+
+
+def text_input(name: str, value: str = "", size: int = 20) -> Element:
+    return el("input", type="text", name=name, value=value, size=str(size))
+
+
+def hidden_input(name: str, value: str) -> Element:
+    return el("input", type="hidden", name=name, value=value)
+
+
+def submit_button(label: str = "Submit") -> Element:
+    return el("input", type="submit", value=label)
+
+
+def select(name: str, options: list[str], selected: str | None = None) -> Element:
+    """A single-valued ``<select>`` whose options define the attribute domain."""
+    widget = el("select", name=name)
+    for option in options:
+        attrs = {"value": option}
+        if option == selected:
+            attrs["selected"] = "selected"
+        widget.add(Element("option", attrs, [option]))
+    return widget
+
+
+def radio_group(name: str, options: list[str], checked: str | None = None) -> list[Element]:
+    """Radio buttons for ``name``; the paper treats radio attributes as mandatory."""
+    widgets: list[Element] = []
+    for option in options:
+        attrs = {"type": "radio", "name": name, "value": option}
+        if option == checked:
+            attrs["checked"] = "checked"
+        widgets.append(Element("input", attrs))
+        widgets.append(Element("span", {}, [option]))
+    return widgets
+
+
+def checkbox(name: str, value: str = "on", checked: bool = False) -> Element:
+    attrs = {"type": "checkbox", "name": name, "value": value}
+    if checked:
+        attrs["checked"] = "checked"
+    return Element("input", attrs)
+
+
+def form(action: str, *children: Element | str, method: str = "post") -> Element:
+    return el("form", *children, action=action, method=method)
+
+
+def labeled(label: str, widget: Element) -> Element:
+    """A label/widget pair; the map builder reads the label as the attr name hint."""
+    return el("p", el("b", label + ": "), widget)
+
+
+def table(headers: list[str], rows: list[list[str]], **attrs: str) -> Element:
+    """A data table; result pages use these and the extractor consumes them."""
+    node = el("table", border="1", **attrs)
+    if headers:
+        node.add(el("tr", *[el("th", h) for h in headers]))
+    for row in rows:
+        node.add(el("tr", *[el("td", cell) for cell in row]))
+    return node
+
+
+def bullet_links(items: list[tuple[str, str]]) -> Element:
+    """A ``<ul>`` of links — how sites expose implicit link-defined attributes."""
+    return el("ul", *[el("li", link(href, text)) for text, href in items])
+
+
+def page(title: str, *body: Element | str) -> Element:
+    """A complete HTML document."""
+    return el(
+        "html",
+        el("head", el("title", title)),
+        el("body", el("h1", title), *body),
+    )

@@ -1,0 +1,297 @@
+"""A tolerant HTML parser, written from scratch.
+
+The paper's map builder "parses an HTML page and generates a set of F-logic
+objects" and notes that its main practical difficulty was "the presence of
+faulty HTML, in which case the parser needs to be able to recover from the
+ill-formed documents".  This module provides that recovering parser:
+
+* case-insensitive tag and attribute names,
+* quoted and unquoted attribute values, valueless attributes,
+* auto-closing of tags whose end tags are optional (``li``, ``p``, ``tr``,
+  ``td``, ``option``, ...),
+* stray end tags are dropped; unclosed elements are closed at EOF,
+* character entities (named subset + numeric) are decoded in text.
+
+The result is a plain DOM of :class:`HtmlNode` objects with the small query
+surface the rest of the system needs (``find``, ``find_all``, ``text``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+VOID_TAGS = frozenset({"br", "hr", "img", "input", "meta", "link", "base"})
+
+# When a start tag of the key arrives, any open element in the value set is
+# implicitly closed first.  This covers the common 1999-era omissions.
+_IMPLIED_CLOSE: dict[str, frozenset[str]] = {
+    "li": frozenset({"li", "p"}),
+    "p": frozenset({"p"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "option": frozenset({"option"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+}
+
+# Closing a table row/table must also pop any cells left open, etc.  Maps an
+# end tag to the set of tags it may implicitly close on its way out.
+_END_POPS: dict[str, frozenset[str]] = {
+    "table": frozenset({"tr", "td", "th"}),
+    "tr": frozenset({"td", "th"}),
+    "ul": frozenset({"li", "p"}),
+    "ol": frozenset({"li", "p"}),
+    "select": frozenset({"option"}),
+    "dl": frozenset({"dt", "dd"}),
+    "form": frozenset({"p", "li"}),
+    "body": frozenset({"p", "li", "td", "th", "tr"}),
+    "html": frozenset({"p", "li", "td", "th", "tr", "body"}),
+}
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "\N{COPYRIGHT SIGN}",
+    "middot": "\N{MIDDLE DOT}",
+}
+
+
+def decode_entities(text: str) -> str:
+    """Decode HTML character entities in ``text``; unknown ones pass through."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1 or end - i > 10:
+            out.append(ch)
+            i += 1
+            continue
+        name = text[i + 1 : end]
+        if name.startswith("#"):
+            try:
+                code = int(name[2:], 16) if name[1:2] in ("x", "X") else int(name[1:])
+                out.append(chr(code))
+                i = end + 1
+                continue
+            except (ValueError, OverflowError):
+                pass
+        elif name.lower() in _NAMED_ENTITIES:
+            out.append(_NAMED_ENTITIES[name.lower()])
+            i = end + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+@dataclass
+class HtmlNode:
+    """One element in the parsed DOM."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["HtmlNode | str"] = field(default_factory=list)
+    parent: "HtmlNode | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<HtmlNode %s %r (%d children)>" % (self.tag, self.attrs, len(self.children))
+
+    def get(self, attr: str, default: str = "") -> str:
+        """Attribute lookup (names are stored lowercase)."""
+        return self.attrs.get(attr.lower(), default)
+
+    def iter_nodes(self) -> "list[HtmlNode]":
+        """All descendant element nodes, document order, self excluded."""
+        found: list[HtmlNode] = []
+        stack = [c for c in reversed(self.children) if isinstance(c, HtmlNode)]
+        while stack:
+            node = stack.pop()
+            found.append(node)
+            stack.extend(
+                c for c in reversed(node.children) if isinstance(c, HtmlNode)
+            )
+        return found
+
+    def find_all(self, tag: str, **attrs: str) -> "list[HtmlNode]":
+        """All descendants with this tag whose attributes include ``attrs``."""
+        tag = tag.lower()
+        matches = []
+        for node in self.iter_nodes():
+            if node.tag != tag:
+                continue
+            if all(node.get(k) == v for k, v in attrs.items()):
+                matches.append(node)
+        return matches
+
+    def find(self, tag: str, **attrs: str) -> "HtmlNode | None":
+        """First descendant matching, or None."""
+        found = self.find_all(tag, **attrs)
+        return found[0] if found else None
+
+    def text(self) -> str:
+        """All text content of this subtree, whitespace-normalized."""
+        pieces: list[str] = []
+        stack: list[HtmlNode | str] = list(reversed(self.children))
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                pieces.append(item)
+            else:
+                stack.extend(reversed(item.children))
+        return " ".join(" ".join(pieces).split())
+
+    def own_text(self) -> str:
+        """Text directly inside this node (children's text excluded)."""
+        pieces = [c for c in self.children if isinstance(c, str)]
+        return " ".join(" ".join(pieces).split())
+
+    def ancestors(self) -> "list[HtmlNode]":
+        """Path from parent to the document root."""
+        chain = []
+        node = self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+
+@dataclass
+class _Token:
+    kind: str  # 'text' | 'start' | 'end'
+    data: str = ""
+    attrs: dict[str, str] = field(default_factory=dict)
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        lt = source.find("<", i)
+        if lt == -1:
+            tokens.append(_Token("text", source[i:]))
+            break
+        if lt > i:
+            tokens.append(_Token("text", source[i:lt]))
+        if source.startswith("<!--", lt):
+            close = source.find("-->", lt + 4)
+            i = n if close == -1 else close + 3
+            continue
+        if source.startswith("<!", lt):  # doctype or bogus declaration
+            close = source.find(">", lt)
+            i = n if close == -1 else close + 1
+            continue
+        gt = source.find(">", lt)
+        if gt == -1:
+            tokens.append(_Token("text", source[lt:]))
+            break
+        inner = source[lt + 1 : gt].strip()
+        i = gt + 1
+        if not inner:
+            continue
+        if inner.startswith("/"):
+            tokens.append(_Token("end", inner[1:].strip().lower()))
+            continue
+        if inner.endswith("/"):
+            inner = inner[:-1].rstrip()
+        tag, attrs = _parse_tag_contents(inner)
+        if tag:
+            tokens.append(_Token("start", tag, attrs))
+    return tokens
+
+
+def _parse_tag_contents(inner: str) -> tuple[str, dict[str, str]]:
+    """Split ``a href="x" checked`` into tag name and attribute dict."""
+    j = 0
+    while j < len(inner) and not inner[j].isspace():
+        j += 1
+    tag = inner[:j].lower()
+    if not all(c.isalnum() or c in "-_" for c in tag):
+        return "", {}
+    attrs: dict[str, str] = {}
+    rest = inner[j:]
+    k = 0
+    while k < len(rest):
+        while k < len(rest) and rest[k].isspace():
+            k += 1
+        if k >= len(rest):
+            break
+        name_start = k
+        while k < len(rest) and not rest[k].isspace() and rest[k] != "=":
+            k += 1
+        name = rest[name_start:k].lower()
+        while k < len(rest) and rest[k].isspace():
+            k += 1
+        if k < len(rest) and rest[k] == "=":
+            k += 1
+            while k < len(rest) and rest[k].isspace():
+                k += 1
+            if k < len(rest) and rest[k] in "\"'":
+                quote_char = rest[k]
+                k += 1
+                value_start = k
+                while k < len(rest) and rest[k] != quote_char:
+                    k += 1
+                value = rest[value_start:k]
+                k += 1
+            else:
+                value_start = k
+                while k < len(rest) and not rest[k].isspace():
+                    k += 1
+                value = rest[value_start:k]
+        else:
+            value = name  # valueless attribute, e.g. checked
+        if name:
+            attrs[name] = decode_entities(value)
+    return tag, attrs
+
+
+def parse_html(source: str) -> HtmlNode:
+    """Parse (possibly faulty) HTML into a DOM rooted at a ``#document`` node."""
+    root = HtmlNode("#document")
+    open_stack: list[HtmlNode] = [root]
+
+    def current() -> HtmlNode:
+        return open_stack[-1]
+
+    def close_implied(tags: frozenset[str]) -> None:
+        while len(open_stack) > 1 and current().tag in tags:
+            open_stack.pop()
+
+    for token in _tokenize(source):
+        if token.kind == "text":
+            text = decode_entities(token.data)
+            if text.strip():
+                current().children.append(text)
+        elif token.kind == "start":
+            implied = _IMPLIED_CLOSE.get(token.data)
+            if implied is not None:
+                close_implied(implied)
+            node = HtmlNode(token.data, token.attrs, parent=current())
+            current().children.append(node)
+            if token.data not in VOID_TAGS:
+                open_stack.append(node)
+        else:  # end tag
+            tag = token.data
+            pops = _END_POPS.get(tag)
+            if pops is not None:
+                close_implied(pops)
+            # Find a matching open element; if none, this is a stray end tag.
+            for depth in range(len(open_stack) - 1, 0, -1):
+                if open_stack[depth].tag == tag:
+                    del open_stack[depth:]
+                    break
+    return root

@@ -1,0 +1,200 @@
+"""HTTP primitives for the simulated Web.
+
+The paper's webbase talks to the raw Web through HTTP requests produced by
+following links and submitting forms.  Since this reproduction runs offline,
+these primitives implement just enough of HTTP/URL semantics for the
+navigation machinery: absolute/relative URL resolution, query-string
+encoding, and GET/POST requests carrying form parameters.
+
+Everything here is written from scratch (no ``urllib``) so the webbase layer
+has full control over, and visibility into, its transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+_SAFE_URL_CHARS = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_.~"
+)
+
+
+def quote(text: str) -> str:
+    """Percent-encode ``text`` for use inside a query string."""
+    out = []
+    for ch in text:
+        if ch in _SAFE_URL_CHARS:
+            out.append(ch)
+        elif ch == " ":
+            out.append("+")
+        else:
+            out.extend("%%%02X" % b for b in ch.encode("utf-8"))
+    return "".join(out)
+
+
+def unquote(text: str) -> str:
+    """Decode a percent-encoded query-string component."""
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "+":
+            out.append(0x20)
+            i += 1
+        elif ch == "%" and i + 2 < len(text) + 1:
+            hexpair = text[i + 1 : i + 3]
+            try:
+                out.append(int(hexpair, 16))
+                i += 3
+            except ValueError:
+                out.append(ord("%"))
+                i += 1
+        else:
+            out.extend(ch.encode("utf-8"))
+            i += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def encode_query(params: dict[str, str]) -> str:
+    """Encode a parameter dict as an ``application/x-www-form-urlencoded`` string.
+
+    Parameters are emitted in sorted key order so that URLs are canonical:
+    two requests with the same parameters always produce the same URL, which
+    the navigation map relies on for node identity.
+    """
+    return "&".join(
+        "%s=%s" % (quote(str(k)), quote(str(v))) for k, v in sorted(params.items())
+    )
+
+
+def decode_query(query: str) -> dict[str, str]:
+    """Decode a query string into a parameter dict. Later keys win."""
+    params: dict[str, str] = {}
+    if not query:
+        return params
+    for piece in query.split("&"):
+        if not piece:
+            continue
+        key, _, value = piece.partition("=")
+        params[unquote(key)] = unquote(value)
+    return params
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed ``http://host/path?query`` URL.
+
+    Only the ``http`` scheme exists in the simulated Web; ``host`` selects a
+    site on the :class:`~repro.web.server.WebServer` and ``path`` selects a
+    route within the site.
+    """
+
+    host: str
+    path: str = "/"
+    query: str = ""
+
+    def __str__(self) -> str:
+        base = "http://%s%s" % (self.host, self.path or "/")
+        return "%s?%s" % (base, self.query) if self.query else base
+
+    @property
+    def params(self) -> dict[str, str]:
+        """The decoded query parameters."""
+        return decode_query(self.query)
+
+    def with_params(self, params: dict[str, str]) -> "Url":
+        """Return a copy of this URL carrying ``params`` as its query string."""
+        return Url(self.host, self.path, encode_query(params))
+
+    def without_query(self) -> "Url":
+        """Return this URL with the query string stripped."""
+        return Url(self.host, self.path)
+
+
+class UrlError(ValueError):
+    """Raised for malformed or non-http URLs."""
+
+
+def parse_url(text: str, base: Url | None = None) -> Url:
+    """Parse ``text`` into a :class:`Url`, resolving relative references.
+
+    Relative resolution supports the forms that occur in real HTML anchors:
+    absolute URLs, host-relative paths (``/a/b``), document-relative paths
+    (``b.html``, ``../b``), and bare query strings (``?make=ford``).
+    """
+    text = text.strip()
+    if text.startswith("http://"):
+        rest = text[len("http://") :]
+        hostpart, slash, pathpart = rest.partition("/")
+        if not hostpart:
+            raise UrlError("URL missing host: %r" % text)
+        path, _, query = (slash + pathpart).partition("?")
+        return Url(hostpart, path or "/", query)
+    if text.startswith("https://"):
+        raise UrlError("simulated Web supports only http: %r" % text)
+    if base is None:
+        raise UrlError("relative URL %r without a base" % text)
+    if text.startswith("?"):
+        return Url(base.host, base.path, text[1:])
+    path, _, query = text.partition("?")
+    if not path.startswith("/"):
+        # Document-relative: resolve against the base path's directory.
+        directory = base.path.rsplit("/", 1)[0]
+        segments: list[str] = [s for s in directory.split("/") if s]
+        for segment in path.split("/"):
+            if segment == "..":
+                if segments:
+                    segments.pop()
+            elif segment not in ("", "."):
+                segments.append(segment)
+        path = "/" + "/".join(segments)
+    return Url(base.host, path, query)
+
+
+@dataclass(frozen=True)
+class Request:
+    """An HTTP request issued by the browser against the simulated Web."""
+
+    method: str
+    url: Url
+    form_params: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "POST"):
+            raise UrlError("unsupported method %r" % self.method)
+
+    @property
+    def params(self) -> dict[str, str]:
+        """All parameters visible to the server: URL query plus form body.
+
+        For GET form submissions the parameters travel in the query string;
+        for POST they travel in the body.  CGI handlers should not care, so
+        this property merges both (body wins on conflicts, as in real CGI).
+        """
+        merged = dict(self.url.params)
+        merged.update(self.form_params)
+        return merged
+
+
+@dataclass
+class Response:
+    """An HTTP response from the simulated Web."""
+
+    status: int
+    body: str
+    content_type: str = "text/html"
+    final_url: Url | None = None
+    location: str | None = None  # redirect target for 3xx statuses
+
+    @classmethod
+    def redirect(cls, location: "Url | str", status: int = 303) -> "Response":
+        """A redirect response (CGI sites redirect POSTs to result URLs)."""
+        return cls(status, "", location=str(location))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __len__(self) -> int:
+        return len(self.body)

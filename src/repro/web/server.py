@@ -1,0 +1,142 @@
+"""The simulated Web: sites, routing, and the server that hosts them.
+
+The webbase treats the Web as an opaque data source it can only reach
+"through filing requests to the server by following links or by filling out
+forms".  :class:`WebServer` is that opaque source here: it dispatches
+requests by host to registered :class:`Site` objects and keeps per-host
+traffic counters so benchmarks can report the paper's "# of pages" column.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.web.clock import LatencyModel
+from repro.web.html import Element, RenderStyle
+from repro.web.http import Request, Response, Url
+
+
+class HttpError(Exception):
+    """A non-success HTTP outcome from the simulated Web."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__("%d %s" % (status, message))
+        self.status = status
+
+
+# A route handler receives the request and returns either a full Response or
+# an Element tree that the site renders with its own style.
+Handler = Callable[[Request], "Response | Element"]
+
+
+class Site:
+    """One Web site: a host name, a render style, and a route table.
+
+    Subclasses (in :mod:`repro.sites`) register handlers with :meth:`route`
+    and generate pages with the builders in :mod:`repro.web.html`.  The
+    ``style`` lets a site emit deliberately faulty HTML, and ``latency``
+    overrides the server-wide network cost model for this host (distant or
+    slow sites).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        style: RenderStyle | None = None,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.host = host
+        self.style = style or RenderStyle.clean()
+        self.latency = latency
+        self._routes: dict[str, Handler] = {}
+
+    def route(self, path: str, handler: Handler) -> None:
+        """Register ``handler`` for ``path`` (exact match)."""
+        self._routes[path] = handler
+
+    def url(self, path: str, **params: str) -> Url:
+        """Build an absolute URL into this site."""
+        url = Url(self.host, path)
+        return url.with_params({k: str(v) for k, v in params.items()}) if params else url
+
+    @property
+    def entry_url(self) -> Url:
+        """The site's front door."""
+        return Url(self.host, "/")
+
+    def handle(self, request: Request) -> Response:
+        handler = self._routes.get(request.url.path)
+        if handler is None:
+            return Response(404, "<html><body>Not Found</body></html>", final_url=request.url)
+        result = handler(request)
+        if isinstance(result, Response):
+            if result.final_url is None:
+                result.final_url = request.url
+            return result
+        return Response(200, result.render(self.style), final_url=request.url)
+
+
+@dataclass
+class TrafficStats:
+    """Per-host counters maintained by the server."""
+
+    requests: int = 0
+    pages_ok: int = 0
+    bytes_sent: int = 0
+
+    def record(self, response: Response) -> None:
+        self.requests += 1
+        self.bytes_sent += len(response)
+        if response.ok:
+            self.pages_ok += 1
+
+
+class WebServer:
+    """Dispatches requests to sites by host and accounts for traffic."""
+
+    def __init__(self, latency: LatencyModel | None = None) -> None:
+        self.default_latency = latency or LatencyModel()
+        self._sites: dict[str, Site] = {}
+        self.stats: dict[str, TrafficStats] = {}
+        # The parallel fetcher serves several browsers from one server.
+        self._stats_lock = threading.Lock()
+
+    def add_site(self, site: Site) -> Site:
+        if site.host in self._sites:
+            raise ValueError("host %r already registered" % site.host)
+        self._sites[site.host] = site
+        self.stats[site.host] = TrafficStats()
+        return site
+
+    def site(self, host: str) -> Site:
+        try:
+            return self._sites[host]
+        except KeyError:
+            raise KeyError("no site registered for host %r" % host) from None
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(self._sites)
+
+    def latency_for(self, host: str) -> LatencyModel:
+        site = self._sites.get(host)
+        if site is not None and site.latency is not None:
+            return site.latency
+        return self.default_latency
+
+    def fetch(self, request: Request) -> Response:
+        """Serve one request; raises :class:`HttpError` for unknown hosts."""
+        site = self._sites.get(request.url.host)
+        if site is None:
+            raise HttpError(502, "unknown host %r" % request.url.host)
+        response = site.handle(request)
+        with self._stats_lock:
+            self.stats[site.host].record(response)
+        return response
+
+    def reset_stats(self) -> None:
+        for host in self.stats:
+            self.stats[host] = TrafficStats()

@@ -1,0 +1,29 @@
+"""Shared fixtures: the simulated world and an assembled webbase.
+
+Both are deterministic (seeded), and building them is fast, but they are
+session-scoped anyway so the hundreds of tests share one instance.  Tests
+that mutate state (maintenance, caching) build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.webbase import WebBase
+from repro.sites.world import World, build_world
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return build_world()
+
+
+@pytest.fixture(scope="session")
+def webbase() -> WebBase:
+    return WebBase.build()
+
+
+@pytest.fixture()
+def fresh_world() -> World:
+    """A private world for tests that mutate sites or counters."""
+    return build_world()

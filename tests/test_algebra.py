@@ -1,0 +1,237 @@
+"""Unit tests for the binding-aware relational algebra evaluator."""
+
+import pytest
+
+from repro.relational.algebra import (
+    Base,
+    Derive,
+    Fixed,
+    Join,
+    Project,
+    Rename,
+    Select,
+    Union,
+    binding_sets_of,
+    evaluate,
+    join_all,
+    project,
+    rename,
+    schema_of,
+    select,
+    union_all,
+)
+from repro.relational.bindings import BindingError, binding_sets
+from repro.relational.conditions import Attr, Comparison, Const, conj, eq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class RecordingCatalog:
+    """A catalog over fixed data that records every fetch it serves."""
+
+    def __init__(self):
+        self.fetches = []
+        self.data = {
+            "ads": Relation(
+                ["make", "model", "year", "price"],
+                [
+                    ("ford", "escort", 1995, 4800),
+                    ("ford", "escort", 1994, 4100),
+                    ("ford", "taurus", 1996, 9000),
+                    ("jaguar", "xj6", 1993, 21000),
+                ],
+            ),
+            "bb": Relation(
+                ["make", "model", "year", "bbprice"],
+                [
+                    ("ford", "escort", 1995, 5000),
+                    ("ford", "escort", 1994, 4000),
+                    ("jaguar", "xj6", 1993, 25000),
+                ],
+            ),
+            "free": Relation(["zip", "rate"], [("10001", 7.5), ("10025", 8.0)]),
+        }
+        self.binds = {
+            "ads": binding_sets({"make"}),
+            "bb": binding_sets({"make", "model"}),
+            "free": binding_sets(set()),
+        }
+
+    def base_schema(self, name):
+        return self.data[name].schema
+
+    def base_binding_sets(self, name):
+        return self.binds[name]
+
+    def fetch(self, name, given):
+        self.fetches.append((name, dict(given)))
+        relation = self.data[name]
+        relevant = {k: v for k, v in given.items() if k in relation.schema}
+        return relation.select(lambda row: all(row[k] == v for k, v in relevant.items()))
+
+
+@pytest.fixture()
+def catalog():
+    return RecordingCatalog()
+
+
+class TestStaticAnalyses:
+    def test_schema_of_composites(self, catalog):
+        expr = Project(
+            Rename(Base("ads"), (("price", "asking"),)), ("make", "asking")
+        )
+        assert schema_of(expr, catalog) == Schema(["make", "asking"])
+
+    def test_schema_of_join_unions_attrs(self, catalog):
+        assert set(schema_of(Join(Base("ads"), Base("bb")), catalog).attrs) == {
+            "make", "model", "year", "price", "bbprice",
+        }
+
+    def test_schema_of_derive_appends(self, catalog):
+        expr = Derive(Base("ads"), "usd", lambda r: r["price"])
+        assert "usd" in schema_of(expr, catalog)
+
+    def test_binding_sets_select_absorbs(self, catalog):
+        expr = Select(Base("ads"), eq("make", "ford"))
+        assert binding_sets_of(expr, catalog) == binding_sets(set())
+
+    def test_binding_sets_join(self, catalog):
+        expr = Join(Base("ads"), Base("bb"))
+        assert binding_sets_of(expr, catalog) == binding_sets({"make"})
+
+    def test_binding_sets_fixed_is_free(self, catalog):
+        rel = Relation(["x"], [(1,)])
+        assert binding_sets_of(Fixed(rel), catalog) == binding_sets(set())
+
+    def test_binding_sets_union(self, catalog):
+        expr = Union(Base("ads"), Rename(Base("bb"), (("bbprice", "price"),)))
+        sets = binding_sets_of(expr, catalog)
+        assert sets == binding_sets({"make", "model"})
+
+
+class TestEvaluation:
+    def test_base_fetch_pushes_given(self, catalog):
+        result = evaluate(Base("ads"), catalog, {"make": "ford"})
+        assert len(result) == 3
+        assert catalog.fetches == [("ads", {"make": "ford"})]
+
+    def test_given_filters_even_if_catalog_ignores(self, catalog):
+        # The catalog may return a superset; evaluate() must still filter.
+        catalog.data["ads"] = catalog.data["ads"]  # unchanged
+        result = evaluate(Base("ads"), catalog, {"make": "ford", "model": "escort"})
+        assert all(d["model"] == "escort" for d in result.to_dicts())
+
+    def test_select_pushes_constants_down(self, catalog):
+        expr = Select(Base("ads"), conj(eq("make", "ford"), eq("model", "escort")))
+        result = evaluate(expr, catalog)
+        assert len(result) == 2
+        assert catalog.fetches[0][1] == {"make": "ford", "model": "escort"}
+
+    def test_select_residual_predicate_applied(self, catalog):
+        expr = Select(
+            Base("ads"),
+            conj(eq("make", "ford"), Comparison(Attr("price"), "<", Const(5000))),
+        )
+        result = evaluate(expr, catalog)
+        assert {d["price"] for d in result.to_dicts()} == {4800, 4100}
+
+    def test_project_applies_given_before_dropping(self, catalog):
+        expr = Project(Base("ads"), ("model",))
+        result = evaluate(expr, catalog, {"make": "jaguar"})
+        assert result.rows == (("xj6",),)
+
+    def test_rename_translates_given(self, catalog):
+        expr = Rename(Base("ads"), (("make", "manufacturer"),))
+        result = evaluate(expr, catalog, {"manufacturer": "jaguar"})
+        assert len(result) == 1
+        assert catalog.fetches[0][1] == {"make": "jaguar"}
+
+    def test_derive_blocks_pushdown_of_derived_attr(self, catalog):
+        expr = Derive(Base("ads"), "price", lambda r: r["price"] // 1000)
+        result = evaluate(expr, catalog, {"make": "ford", "price": 4})
+        # price=4 filters *after* derivation; it is not pushed to the fetch.
+        assert catalog.fetches[0][1] == {"make": "ford"}
+        assert {d["price"] for d in result.to_dicts()} == {4}
+
+    def test_union_evaluates_both_sides(self, catalog):
+        expr = Union(
+            Project(Base("ads"), ("make", "model")),
+            Project(Base("bb"), ("make", "model")),
+        )
+        result = evaluate(expr, catalog, {"make": "ford", "model": "escort"})
+        assert result.rows == (("ford", "escort"),)
+
+    def test_union_infeasible_raises(self, catalog):
+        expr = Union(
+            Project(Base("ads"), ("make", "model")),
+            Project(Base("bb"), ("make", "model")),
+        )
+        with pytest.raises(BindingError):
+            evaluate(expr, catalog, {"make": "ford"})  # bb needs model too
+
+    def test_relaxed_union_takes_feasible_side(self, catalog):
+        expr = Union(
+            Project(Base("ads"), ("make", "model")),
+            Project(Base("bb"), ("make", "model")),
+            relaxed=True,
+        )
+        result = evaluate(expr, catalog, {"make": "ford"})
+        assert ("ford", "taurus") in result.rows
+
+    def test_dependent_join_feeds_values(self, catalog):
+        expr = Join(Base("ads"), Base("bb"))
+        result = evaluate(expr, catalog, {"make": "ford"})
+        assert len(result) == 2  # the two escorts with bb entries
+        bb_fetches = [f for f in catalog.fetches if f[0] == "bb"]
+        assert all("model" in given for _, given in bb_fetches)
+
+    def test_dependent_join_empty_left_fetches_nothing(self, catalog):
+        expr = Join(Base("ads"), Base("bb"))
+        result = evaluate(expr, catalog, {"make": "nosuch"})
+        assert result.is_empty
+        assert [f for f in catalog.fetches if f[0] == "bb"] == []
+
+    def test_join_orders_around_infeasible_side(self, catalog):
+        # bb first in the AST, but only ads is feasible with {make}.
+        expr = Join(Base("bb"), Base("ads"))
+        result = evaluate(expr, catalog, {"make": "jaguar"})
+        assert len(result) == 1
+
+    def test_join_infeasible_raises(self, catalog):
+        expr = Join(Base("ads"), Base("bb"))
+        with pytest.raises(BindingError):
+            evaluate(expr, catalog, {})
+
+    def test_free_relation_needs_nothing(self, catalog):
+        assert len(evaluate(Base("free"), catalog, {})) == 2
+
+    def test_fixed_relation(self, catalog):
+        rel = Relation(["x"], [(1,), (2,)])
+        assert evaluate(Fixed(rel), catalog, {"x": 1}).rows == ((1,),)
+
+    def test_helper_constructors(self, catalog):
+        expr = select(Base("ads"), eq("make", "ford"))
+        expr = project(expr, ["make", "model"])
+        assert isinstance(expr, Project)
+        assert union_all([Base("ads")]) == Base("ads")
+        assert isinstance(join_all([Base("ads"), Base("bb")]), Join)
+        with pytest.raises(ValueError):
+            union_all([])
+        with pytest.raises(ValueError):
+            join_all([])
+
+    def test_rename_helper_sorted(self):
+        expr = rename(Base("x"), {"b": "y", "a": "z"})
+        assert expr.mapping == (("a", "z"), ("b", "y"))
+
+    def test_given_contradicting_selection_constant_is_empty(self, catalog):
+        # Regression (found by the optimizer equivalence property): the
+        # caller's binding must keep filtering even when the selection's
+        # own equality constant overrides it during pushdown.
+        expr = Select(Join(Base("ads"), Base("bb")), eq("make", "jaguar"))
+        result = evaluate(expr, catalog, {"make": "ford"})
+        assert result.is_empty
+
+    def test_given_agreeing_with_selection_constant(self, catalog):
+        expr = Select(Join(Base("ads"), Base("bb")), eq("make", "jaguar"))
+        assert len(evaluate(expr, catalog, {"make": "jaguar"})) == 1

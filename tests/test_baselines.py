@@ -1,0 +1,118 @@
+"""Tests for the two baselines: link-only Web queries and canned forms."""
+
+import pytest
+
+from repro.baselines.canned import (
+    CannedError,
+    coverage,
+    used_car_canned_catalog,
+)
+from repro.baselines.websql import (
+    PathPattern,
+    crawl,
+    dynamic_content_coverage,
+    select_documents,
+)
+from repro.web.browser import Browser
+
+
+class TestWebSqlCrawl:
+    def test_crawl_visits_linked_pages(self, world):
+        browser = Browser(world.server)
+        result = crawl(browser, "http://www.newsday.com/", PathPattern(max_depth=2))
+        paths = {page.url.path for page in result.pages}
+        assert "/" in paths and "/classified/cars" in paths
+
+    def test_link_pattern_filters(self, world):
+        browser = Browser(world.server)
+        result = crawl(
+            browser, "http://www.newsday.com/", PathPattern(link_regex="^Auto$")
+        )
+        paths = {page.url.path for page in result.pages}
+        assert paths == {"/", "/classified/cars"}
+
+    def test_depth_zero_is_just_the_start(self, world):
+        browser = Browser(world.server)
+        result = crawl(browser, "http://www.newsday.com/", PathPattern(max_depth=0))
+        assert len(result.pages) == 1
+
+    def test_unreachable_start(self, world):
+        browser = Browser(world.server)
+        result = crawl(browser, "http://nowhere.example/", PathPattern())
+        assert result.pages == []
+
+    def test_select_documents(self, world):
+        browser = Browser(world.server)
+        result = crawl(browser, "http://www.newsday.com/", PathPattern(max_depth=2))
+        hits = select_documents(result, "classifieds")
+        assert len(hits) >= 1
+        assert hits.schema.attrs == ("url", "title")
+
+
+class TestDynamicContentClaim:
+    """The paper's motivation: the interesting data hides behind forms."""
+
+    def test_link_only_crawl_sees_no_ads(self, world):
+        browser = Browser(world.server)
+        result = crawl(browser, "http://www.newsday.com/", PathPattern(max_depth=4))
+        assert dynamic_content_coverage(world, result, "www.newsday.com") == 0.0
+
+    def test_webbase_sees_all_ads(self, webbase, world):
+        total = 0
+        for make in {ad.car.make for ad in world.dataset.ads_for("www.newsday.com")}:
+            total += len(webbase.fetch_vps("newsday", {"make": make}))
+        assert total == len(world.dataset.ads_for("www.newsday.com"))
+
+
+class TestCannedQueries:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return used_car_canned_catalog()
+
+    def test_instantiate_and_run(self, catalog, webbase):
+        canned = catalog[0]
+        result = canned.run(webbase.ur, make="ford", model="escort")
+        assert len(result) > 0
+        assert all(d["model"] == "escort" for d in result.to_dicts())
+
+    def test_missing_parameter_rejected(self, catalog):
+        with pytest.raises(CannedError):
+            catalog[0].instantiate(make="ford")
+
+    def test_extra_parameter_rejected(self, catalog):
+        with pytest.raises(CannedError):
+            catalog[0].instantiate(make="ford", model="escort", color="red")
+
+    def test_answers_matching_question(self, catalog):
+        from repro.ur.query import parse_query
+
+        question = parse_query(
+            "SELECT make, model, year, price, contact "
+            "WHERE make = 'jaguar' AND model = 'xj6'"
+        )
+        assert catalog[0].answers(question)
+
+    def test_does_not_answer_novel_question(self, catalog):
+        from repro.ur.query import parse_query
+
+        question = parse_query(
+            "SELECT make, model, price, bb_price "
+            "WHERE make = 'jaguar' AND condition = 'good' AND price < bb_price"
+        )
+        assert not any(c.answers(question) for c in catalog)
+
+    def test_coverage_of_adhoc_workload(self, catalog, webbase):
+        workload = [
+            # Canned-friendly tasks.
+            "SELECT make, model, year, price, contact WHERE make = 'ford' AND model = 'escort'",
+            "SELECT make, model, year, price, contact WHERE make = 'honda' AND price < 9000",
+            # Ad-hoc tasks no canned form anticipates.
+            "SELECT make, model, price, bb_price WHERE make = 'jaguar' AND condition = 'good' AND price < bb_price",
+            "SELECT make, model, safety WHERE make = 'toyota' AND safety = 'excellent'",
+            "SELECT make, model, price, rate WHERE make = 'saab' AND zip = '10001' AND duration = 36",
+        ]
+        fraction, unanswered = coverage(catalog, workload)
+        assert fraction == pytest.approx(2 / 5)
+        # ... but the structured UR answers every one of them.
+        for question in workload:
+            webbase.query(question)

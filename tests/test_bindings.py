@@ -1,0 +1,190 @@
+"""Unit and property tests for binding propagation and join ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.bindings import (
+    BindingError,
+    JoinPart,
+    bind_join,
+    bind_project,
+    bind_rename,
+    bind_select,
+    bind_union,
+    binding_sets,
+    choose_binding,
+    feasible,
+    minimize,
+    order_joins,
+    orderable,
+)
+
+
+class TestMinimize:
+    def test_drops_supersets(self):
+        sets = binding_sets({"a"}, {"a", "b"}, {"c"})
+        assert minimize(sets) == binding_sets({"a"}, {"c"})
+
+    def test_keeps_incomparable(self):
+        sets = binding_sets({"a", "b"}, {"b", "c"})
+        assert minimize(sets) == sets
+
+    def test_empty_set_dominates(self):
+        assert minimize(binding_sets(set(), {"a"})) == binding_sets(set())
+
+    @given(st.sets(st.frozensets(st.sampled_from("abcd"), max_size=3), max_size=6))
+    def test_idempotent(self, sets):
+        once = minimize(sets)
+        assert minimize(once) == once
+
+    @given(st.sets(st.frozensets(st.sampled_from("abcd"), max_size=3), max_size=6))
+    def test_preserves_feasibility(self, sets):
+        # Minimization never changes which bound-sets are feasible.
+        for bound in [set(), {"a"}, {"a", "b"}, {"a", "b", "c", "d"}]:
+            assert feasible(frozenset(sets), bound) == feasible(minimize(sets), bound)
+
+
+class TestFeasibleChoose:
+    def test_feasible(self):
+        sets = binding_sets({"make"}, {"url"})
+        assert feasible(sets, {"make", "x"})
+        assert feasible(sets, {"url"})
+        assert not feasible(sets, {"model"})
+
+    def test_choose_largest_satisfied(self):
+        sets = binding_sets({"make"}, {"make", "model"})
+        assert choose_binding(sets, {"make", "model", "zip"}) == {"make", "model"}
+
+    def test_choose_raises_when_unsatisfied(self):
+        with pytest.raises(BindingError):
+            choose_binding(binding_sets({"make"}), {"model"})
+
+
+class TestOperatorRules:
+    def test_select_passthrough(self):
+        sets = binding_sets({"make", "model"})
+        assert bind_select(sets) == sets
+
+    def test_select_absorbs_constants(self):
+        sets = binding_sets({"make", "model"})
+        assert bind_select(sets, {"make"}) == binding_sets({"model"})
+
+    def test_project_keeps_bindings_of_dropped_attrs(self):
+        # Mandatory attributes must be supplied even if projected away.
+        sets = binding_sets({"url"})
+        assert bind_project(sets) == sets
+
+    def test_rename(self):
+        sets = binding_sets({"manufacturer"})
+        assert bind_rename(sets, {"manufacturer": "make"}) == binding_sets({"make"})
+
+    def test_union_pairs(self):
+        left = binding_sets({"a"})
+        right = binding_sets({"b"}, {"c"})
+        assert bind_union(left, right) == binding_sets({"a", "b"}, {"a", "c"})
+
+    def test_relaxed_union_is_either_side(self):
+        left = binding_sets({"a"})
+        right = binding_sets({"b"})
+        assert bind_union(left, right, relaxed=True) == binding_sets({"a"}, {"b"})
+
+    def test_join_feeds_common_attributes(self):
+        # newsday(make...) join features(url...): url is produced by the
+        # left side, so {make} alone is a binding of the join.
+        left = binding_sets({"make"})
+        right = binding_sets({"url"})
+        result = bind_join(
+            left, {"make", "model", "url"}, right, {"url", "features"}
+        )
+        assert frozenset({"make"}) in result
+
+    def test_join_symmetric_option(self):
+        left = binding_sets({"a"})
+        right = binding_sets({"b"})
+        result = bind_join(left, {"a", "k"}, right, {"b", "k"})
+        assert result == binding_sets({"a", "b"})
+
+    def test_join_rule_is_symmetric(self):
+        l, ls = binding_sets({"a"}), {"a", "k"}
+        r, rs = binding_sets({"b", "k"}), {"b", "k"}
+        assert bind_join(l, ls, r, rs) == bind_join(r, rs, l, ls)
+
+
+class TestJoinOrdering:
+    def _parts(self):
+        return [
+            JoinPart.make("ads", {"make", "model", "year", "price"}, [{"make"}]),
+            JoinPart.make("bb", {"make", "model", "year", "cond", "bb"}, [{"make", "model", "cond"}]),
+            JoinPart.make("safety", {"make", "model", "year", "safety"}, [{"make"}]),
+        ]
+
+    def test_orderable_with_constants(self):
+        assert order_joins(self._parts(), {"make", "cond"}) is not None
+
+    def test_order_respects_dependencies(self):
+        parts = self._parts()
+        order = order_joins(parts, {"make", "cond"})
+        names = [parts[i].name for i in order]
+        # bb needs model, which only ads/safety schemas provide.
+        assert names.index("bb") > 0
+
+    def test_unorderable_without_constants(self):
+        assert order_joins(self._parts(), set()) is None
+        assert not orderable(self._parts(), set())
+
+    def test_empty_parts(self):
+        assert order_joins([], {"x"}) == []
+
+    def test_free_relations_any_order(self):
+        parts = [
+            JoinPart.make("a", {"x"}, [set()]),
+            JoinPart.make("b", {"y"}, [set()]),
+        ]
+        assert order_joins(parts, set()) is not None
+
+    def test_chain_dependency(self):
+        parts = [
+            JoinPart.make("c", {"z", "w"}, [{"z"}]),
+            JoinPart.make("b", {"y", "z"}, [{"y"}]),
+            JoinPart.make("a", {"x", "y"}, [{"x"}]),
+        ]
+        order = order_joins(parts, {"x"})
+        assert [parts[i].name for i in order] == ["a", "b", "c"]
+
+    def test_multiple_binding_sets_per_relation(self):
+        parts = [
+            JoinPart.make("r", {"a", "b"}, [{"a"}, {"b"}]),
+        ]
+        assert order_joins(parts, {"b"}) == [0]
+
+    def test_larger_instance_terminates(self):
+        # A 12-relation chain exercises the memoized search.
+        parts = [
+            JoinPart.make("r%d" % i, {"a%d" % i, "a%d" % (i + 1)}, [{"a%d" % i}])
+            for i in range(12)
+        ]
+        order = order_joins(parts, {"a0"})
+        assert order == list(range(12))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.frozensets(st.sampled_from("abcdef"), min_size=1, max_size=3),
+                st.frozensets(st.sampled_from("abcdef"), max_size=2),
+            ),
+            max_size=5,
+        ),
+        st.frozensets(st.sampled_from("abcdef"), max_size=3),
+    )
+    def test_returned_order_is_always_valid(self, specs, initially_bound):
+        parts = [
+            JoinPart.make("r%d" % i, schema | mandatory, [mandatory])
+            for i, (schema, mandatory) in enumerate(specs)
+        ]
+        order = order_joins(parts, initially_bound)
+        if order is None:
+            return
+        bound = set(initially_bound)
+        for index in order:
+            assert feasible(parts[index].bindings, bound)
+            bound |= parts[index].schema

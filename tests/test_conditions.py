@@ -1,0 +1,109 @@
+"""Unit tests for selection conditions and equality-binding extraction."""
+
+import pytest
+
+from repro.relational.conditions import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    conj,
+    eq,
+    equality_bindings,
+)
+
+
+ROW = {"make": "ford", "price": 4800, "bb": 5000}
+
+
+class TestComparison:
+    def test_attr_vs_const(self):
+        assert eq("make", "ford").evaluate(ROW)
+        assert not eq("make", "honda").evaluate(ROW)
+
+    def test_attr_vs_attr(self):
+        assert Comparison(Attr("price"), "<", Attr("bb")).evaluate(ROW)
+        assert not Comparison(Attr("price"), ">", Attr("bb")).evaluate(ROW)
+
+    def test_all_operators(self):
+        assert Comparison(Const(1), "<=", Const(1)).evaluate({})
+        assert Comparison(Const(2), ">=", Const(1)).evaluate({})
+        assert Comparison(Const(2), ">", Const(1)).evaluate({})
+        assert Comparison(Const(1), "!=", Const(2)).evaluate({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(Const(1), "~", Const(2))
+
+    def test_none_values_never_match(self):
+        assert not eq("x", None).evaluate({"x": None})
+        assert not Comparison(Attr("x"), "<", Const(1)).evaluate({"x": None})
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not Comparison(Attr("price"), "<", Const("cheap")).evaluate(ROW)
+
+    def test_attributes(self):
+        cond = Comparison(Attr("price"), "<", Attr("bb"))
+        assert cond.attributes() == {"price", "bb"}
+        assert eq("make", "ford").attributes() == {"make"}
+
+
+class TestConnectives:
+    def test_and(self):
+        cond = And((eq("make", "ford"), Comparison(Attr("price"), "<", Const(5000))))
+        assert cond.evaluate(ROW)
+
+    def test_or(self):
+        cond = Or((eq("make", "honda"), eq("make", "ford")))
+        assert cond.evaluate(ROW)
+
+    def test_not(self):
+        assert Not(eq("make", "honda")).evaluate(ROW)
+
+    def test_nested_attributes(self):
+        cond = And((Or((eq("a", 1), eq("b", 2))), Not(eq("c", 3))))
+        assert cond.attributes() == {"a", "b", "c"}
+
+    def test_conj_flattens(self):
+        cond = conj(eq("a", 1), conj(eq("b", 2), eq("c", 3)))
+        assert isinstance(cond, And) and len(cond.parts) == 3
+
+    def test_conj_single_stays_bare(self):
+        assert conj(eq("a", 1)) == eq("a", 1)
+
+
+class TestEqualityBindings:
+    def test_simple_equality(self):
+        assert equality_bindings(eq("make", "ford")) == {"make": "ford"}
+
+    def test_reversed_equality(self):
+        cond = Comparison(Const("ford"), "=", Attr("make"))
+        assert equality_bindings(cond) == {"make": "ford"}
+
+    def test_conjunction_collects_all(self):
+        cond = conj(eq("make", "ford"), eq("model", "escort"))
+        assert equality_bindings(cond) == {"make": "ford", "model": "escort"}
+
+    def test_inequalities_do_not_bind(self):
+        cond = Comparison(Attr("year"), ">=", Const(1993))
+        assert equality_bindings(cond) == {}
+
+    def test_attr_attr_equality_does_not_bind(self):
+        cond = Comparison(Attr("price"), "=", Attr("bb"))
+        assert equality_bindings(cond) == {}
+
+    def test_or_context_does_not_bind(self):
+        cond = Or((eq("zip", "10001"), eq("zip", "10025")))
+        assert equality_bindings(cond) == {}
+
+    def test_not_context_does_not_bind(self):
+        assert equality_bindings(Not(eq("make", "ford"))) == {}
+
+    def test_or_under_and_binds_only_top_level(self):
+        cond = conj(eq("make", "ford"), Or((eq("zip", "1"), eq("zip", "2"))))
+        assert equality_bindings(cond) == {"make": "ford"}
+
+    def test_none_condition(self):
+        assert equality_bindings(None) == {}

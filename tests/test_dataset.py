@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic dataset: determinism and guarantees."""
+
+from repro.sites.dataset import (
+    CLASSIFIED_HOSTS,
+    DEALER_HOSTS,
+    NY_ZIPCODES,
+    Car,
+    generate,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = generate(seed=7, ads_per_host=30)
+        b = generate(seed=7, ads_per_host=30)
+        assert a.ads == b.ads
+        assert a.bluebook == b.bluebook
+        assert a.safety == b.safety
+        assert a.rates == b.rates
+
+    def test_different_seed_different_ads(self):
+        a = generate(seed=1, ads_per_host=30)
+        b = generate(seed=2, ads_per_host=30)
+        assert a.ads != b.ads
+
+    def test_ads_per_host_respected(self):
+        data = generate(ads_per_host=25)
+        for host in CLASSIFIED_HOSTS + DEALER_HOSTS:
+            assert len(data.ads_for(host)) == 25
+
+
+class TestGuarantees:
+    def test_every_site_carries_ford_escorts(self):
+        data = generate()
+        for host in CLASSIFIED_HOSTS + DEALER_HOSTS:
+            escorts = data.ads_for(host, make="ford", model="escort")
+            assert len(escorts) >= 3, host
+
+    def test_ny_jaguars_recent_and_under_blue_book(self):
+        data = generate()
+        for host in CLASSIFIED_HOSTS + DEALER_HOSTS:
+            bargains = [
+                ad
+                for ad in data.ads_for(host, make="jaguar")
+                if ad.car.year >= 1993
+                and ad.zipcode in NY_ZIPCODES
+                and data.bluebook_price(ad.car, ad.condition).bb_price > ad.price
+            ]
+            assert bargains, host
+
+    def test_recent_jaguars_have_good_safety(self):
+        data = generate()
+        for model in ("xj6", "xk8"):
+            for year in range(1993, 2000):
+                rating = data.safety_of(Car("jaguar", model, year))
+                assert rating.safety in ("good", "excellent")
+
+    def test_blue_book_ordering_by_condition(self):
+        data = generate()
+        car = Car("ford", "escort", 1995)
+        excellent = data.bluebook_price(car, "excellent").bb_price
+        good = data.bluebook_price(car, "good").bb_price
+        fair = data.bluebook_price(car, "fair").bb_price
+        assert excellent > good > fair
+
+    def test_newer_years_generally_cost_more(self):
+        data = generate()
+        old = data.bluebook_price(Car("ford", "escort", 1990), "good").bb_price
+        new = data.bluebook_price(Car("ford", "escort", 1999), "good").bb_price
+        assert new > old
+
+
+class TestLookups:
+    def test_ads_for_filters(self):
+        data = generate()
+        host = CLASSIFIED_HOSTS[0]
+        fords = data.ads_for(host, make="ford")
+        assert fords and all(ad.car.make == "ford" for ad in fords)
+        escorts = data.ads_for(host, make="ford", model="escort")
+        assert escorts and all(ad.car.model == "escort" for ad in escorts)
+
+    def test_ads_filter_case_insensitive(self):
+        data = generate()
+        host = CLASSIFIED_HOSTS[0]
+        assert data.ads_for(host, make="Ford") == data.ads_for(host, make="ford")
+
+    def test_ad_by_id(self):
+        data = generate()
+        ad = data.ads[0]
+        assert data.ad_by_id(ad.ad_id) == ad
+        assert data.ad_by_id(-1) is None
+
+    def test_models_of(self):
+        data = generate()
+        assert data.models_of("jaguar") == ["xj6", "xk8"]
+        assert data.models_of("nosuch") == []
+
+    def test_rates_for(self):
+        data = generate()
+        rates = data.rates_for("10001")
+        assert {r.duration for r in rates} == {24, 36, 48, 60}
+        only48 = data.rates_for("10001", 48)
+        assert len(only48) == 1 and only48[0].duration == 48
+
+    def test_rates_unknown_zip_empty(self):
+        data = generate()
+        assert data.rates_for("00000") == []
+
+    def test_ad_ids_unique(self):
+        data = generate()
+        ids = [ad.ad_id for ad in data.ads]
+        assert len(ids) == len(set(ids))

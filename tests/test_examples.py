@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example runs cleanly and says what it should.
+
+Examples rot unless executed; these run each script in-process (captured
+stdout) and assert on its key landmarks.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "virtual physical schema" in out
+        assert "cheap Ford Escorts" in out
+        assert "UR plan" in out
+
+    def test_jaguar_shopping(self, capsys):
+        out = _run("jaguar_shopping.py", capsys)
+        assert "classifieds ⋈ blue_price ⋈ reliability" in out
+        assert "nav_entry" in out
+        assert "Jaguars priced under blue book" in out
+
+    def test_mapping_by_example(self, capsys):
+        out = _run("mapping_by_example.py", capsys)
+        assert "wrapper induced" in out
+        assert "navigation map of www.newsday.com" in out
+        assert "newsday(" in out  # the compiled program
+
+    def test_site_maintenance(self, capsys):
+        out = _run("site_maintenance.py", capsys)
+        assert "0 changes" in out or "check 1" in out
+        assert "domain_value_added" in out
+        assert "new_form_attribute" in out
+        assert "delorean" in out
+
+    def test_timing_and_parallel(self, capsys):
+        out = _run("timing_and_parallel.py", capsys)
+        assert "elapsed time" in out
+        assert "speedup" in out
+        assert "no new misses" in out
+
+    def test_jobs_domain(self, capsys):
+        out = _run("jobs_domain.py", capsys)
+        assert "market ⋈ postings" in out
+        assert "above-median offers" in out
+
+    def test_hardware_domain(self, capsys):
+        out = _run("hardware_domain.py", capsys)
+        assert "ratings" in out and "bargain laptops" in out
+
+    def test_power_tools(self, capsys):
+        out = _run("power_tools.py", capsys)
+        assert "Datalog views" in out
+        assert "push-select-into-join" in out
+        assert "usedcarmart_h1" in out
+        assert "identical: True" in out

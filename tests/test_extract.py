@@ -1,0 +1,161 @@
+"""Unit tests for extraction wrappers and wrapper induction by example."""
+
+import pytest
+
+from repro.navigation.extract import (
+    ExtractionError,
+    LabeledWrapper,
+    TableWrapper,
+    canonical_attr,
+    induce_wrapper,
+    wrapper_from_headers,
+)
+from repro.web.http import Url
+from repro.web.page import parse_page
+
+
+TABLE_PAGE = """
+<html><head><title>Listings</title></head><body>
+<table border=1>
+ <tr><th>Make</th><th>Model</th><th>Asking Price</th><th>Details</th></tr>
+ <tr><td>ford</td><td>escort</td><td>$4,800</td><td><a href="/d?ad=1">Car Features</a></td></tr>
+ <tr><td>jaguar</td><td>xj6</td><td>$21,000</td><td><a href="/d?ad=2">Car Features</a></td></tr>
+</table>
+</body></html>
+"""
+
+DL_PAGE = """
+<html><head><title>Y</title></head><body>
+<dl><dt>Make</dt><dd>ford</dd><dt>Price</dt><dd>$4,800</dd></dl>
+<dl><dt>Make</dt><dd>honda</dd><dt>Price</dt><dd>$8,000</dd></dl>
+</body></html>
+"""
+
+
+def _page(body, path="/r"):
+    return parse_page(Url("h.com", path), body)
+
+
+class TestCanonicalAttr:
+    def test_lowercases_and_underscores(self):
+        assert canonical_attr("Asking Price") == "asking_price"
+
+    def test_strips_punctuation(self):
+        assert canonical_attr("Blue Book Price:") == "blue_book_price"
+
+    def test_renames_apply(self):
+        assert canonical_attr("Zip", {"zip": "zip_code"}) == "zip_code"
+
+
+class TestTableWrapper:
+    def _wrapper(self):
+        return wrapper_from_headers(
+            {"Make": "make", "Model": "model", "Asking Price": "price"},
+        )
+
+    def test_extracts_rows(self):
+        rows = self._wrapper().extract(_page(TABLE_PAGE))
+        assert rows == [
+            {"make": "ford", "model": "escort", "price": "$4,800"},
+            {"make": "jaguar", "model": "xj6", "price": "$21,000"},
+        ]
+
+    def test_matches(self):
+        assert self._wrapper().matches(_page(TABLE_PAGE))
+        assert not self._wrapper().matches(_page("<html><body><p>x</p></body></html>"))
+
+    def test_extract_on_non_matching_page_is_empty(self):
+        assert self._wrapper().extract(_page("<html><body></body></html>")) == []
+
+    def test_link_column_yields_absolute_url(self):
+        wrapper = TableWrapper(
+            attrs=("make", "url"),
+            header_attrs=(("details", "url"), ("make", "make")),
+            link_attrs=(("url", "Car Features"),),
+        )
+        rows = wrapper.extract(_page(TABLE_PAGE))
+        assert rows[0]["url"] == "http://h.com/d?ad=1"
+
+    def test_partial_header_match_insufficient(self):
+        wrapper = wrapper_from_headers({"Make": "make", "Mileage": "mileage"})
+        assert not wrapper.matches(_page(TABLE_PAGE))
+
+    def test_extra_unmapped_columns_are_ignored(self):
+        wrapper = wrapper_from_headers({"Make": "make"})
+        rows = wrapper.extract(_page(TABLE_PAGE))
+        assert rows == [{"make": "ford"}, {"make": "jaguar"}]
+
+
+class TestLabeledWrapper:
+    def _wrapper(self):
+        return LabeledWrapper(
+            attrs=("make", "price"),
+            label_attrs=(("make", "make"), ("price", "price")),
+        )
+
+    def test_extracts_blocks(self):
+        rows = self._wrapper().extract(_page(DL_PAGE))
+        assert rows == [
+            {"make": "ford", "price": "$4,800"},
+            {"make": "honda", "price": "$8,000"},
+        ]
+
+    def test_matches(self):
+        assert self._wrapper().matches(_page(DL_PAGE))
+        assert not self._wrapper().matches(_page(TABLE_PAGE))
+
+    def test_incomplete_blocks_are_skipped(self):
+        page = _page("<dl><dt>Make</dt><dd>ford</dd></dl>")
+        assert self._wrapper().extract(page) == []
+
+
+class TestInduction:
+    def test_induces_table_wrapper(self):
+        wrapper = induce_wrapper(
+            _page(TABLE_PAGE),
+            {"make": "ford", "model": "escort", "price": "$4,800"},
+        )
+        assert isinstance(wrapper, TableWrapper)
+        rows = wrapper.extract(_page(TABLE_PAGE))
+        assert len(rows) == 2
+        assert rows[1]["price"] == "$21,000"
+
+    def test_induces_link_column_from_url_value(self):
+        wrapper = induce_wrapper(
+            _page(TABLE_PAGE),
+            {"make": "ford", "url": "http://h.com/d?ad=1"},
+        )
+        assert ("url", "Car Features") in wrapper.link_attrs
+        assert wrapper.extract(_page(TABLE_PAGE))[1]["url"] == "http://h.com/d?ad=2"
+
+    def test_induces_labeled_wrapper(self):
+        wrapper = induce_wrapper(_page(DL_PAGE), {"make": "honda", "price": "$8,000"})
+        assert isinstance(wrapper, LabeledWrapper)
+        assert wrapper.extract(_page(DL_PAGE))[0]["make"] == "ford"
+
+    def test_induction_fails_when_example_absent(self):
+        with pytest.raises(ExtractionError):
+            induce_wrapper(_page(TABLE_PAGE), {"make": "tesla"})
+
+    def test_induction_works_from_second_row(self):
+        wrapper = induce_wrapper(
+            _page(TABLE_PAGE), {"make": "jaguar", "price": "$21,000"}
+        )
+        assert wrapper.extract(_page(TABLE_PAGE))[0]["make"] == "ford"
+
+    def test_duplicate_values_map_distinct_columns(self):
+        page = _page(
+            "<table><tr><th>A</th><th>B</th></tr>"
+            "<tr><td>same</td><td>same</td></tr></table>"
+        )
+        wrapper = induce_wrapper(page, {"a": "same", "b": "same"})
+        assert wrapper.extract(page) == [{"a": "same", "b": "same"}]
+
+    def test_induced_wrapper_generalizes_to_other_pages(self):
+        wrapper = induce_wrapper(_page(TABLE_PAGE), {"make": "ford", "model": "escort"})
+        other = _page(
+            "<table><tr><th>Make</th><th>Model</th><th>Asking Price</th></tr>"
+            "<tr><td>saab</td><td>900</td><td>$12,000</td></tr></table>",
+            path="/other",
+        )
+        assert wrapper.extract(other) == [{"make": "saab", "model": "900"}]

@@ -1,0 +1,194 @@
+"""Unit tests for the Transaction F-logic interpreter."""
+
+import pytest
+
+from repro.flogic.engine import DepthLimitExceeded, Engine, UnknownPredicate
+from repro.flogic.formulas import Ins, Pred, Program, Rule, Serial, serial
+from repro.flogic.store import ObjectStore
+from repro.flogic.syntax import parse_formula, parse_rules
+from repro.flogic.terms import Var
+
+X, Y = Var("X"), Var("Y")
+
+
+def _engine(source: str, store: ObjectStore | None = None) -> Engine:
+    return Engine(parse_rules(source), store=store)
+
+
+class TestFactsAndRules:
+    def test_fact_query(self):
+        engine = _engine("p(1). p(2).")
+        assert sorted(r["X"] for r in engine.ask(parse_formula("p(X)"), [X])) == [1, 2]
+
+    def test_ground_query_success_and_failure(self):
+        engine = _engine("p(1).")
+        assert engine.succeeds(parse_formula("p(1)"))
+        assert not engine.succeeds(parse_formula("p(2)"))
+
+    def test_rule_chaining(self):
+        engine = _engine("p(1). q(X) <- p(X) * eq(Y, X) * p(Y).")
+        assert engine.ask(parse_formula("q(X)"), [X]) == [{"X": 1}]
+
+    def test_variables_are_renamed_per_rule_use(self):
+        engine = _engine("p(1). p(2). pair(X, Y) <- p(X) * p(Y).")
+        pairs = {
+            (r["X"], r["Y"])
+            for r in engine.ask(parse_formula("pair(X, Y)"), [X, Y])
+        }
+        assert pairs == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_recursion(self):
+        engine = _engine(
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            path(A, B) <- edge(A, B) ; edge(A, C) * path(C, B).
+            """
+        )
+        reach = sorted(r["X"] for r in engine.ask(parse_formula("path(a, X)"), [X]))
+        assert reach == ["b", "c", "d"]
+
+    def test_unknown_predicate_raises(self):
+        engine = _engine("p(1).")
+        with pytest.raises(UnknownPredicate):
+            engine.succeeds(parse_formula("nosuch(1)"))
+
+    def test_defined_but_empty_choice_branch(self):
+        engine = _engine("p(1). q(X) <- fail ; p(X).")
+        assert engine.ask(parse_formula("q(X)"), [X]) == [{"X": 1}]
+
+    def test_depth_limit(self):
+        engine = Engine(parse_rules("loop <- loop."), depth_limit=50)
+        with pytest.raises(DepthLimitExceeded):
+            engine.succeeds(parse_formula("loop"))
+
+
+class TestSerialAndState:
+    def test_serial_threads_state(self):
+        engine = _engine("t <- ins_attr(o, v, 1) * attr(o, v, X) * eq(X, 1).")
+        assert engine.run(parse_formula("t")) is not None
+
+    def test_updates_visible_left_to_right_only(self):
+        engine = _engine("t <- attr(o, v, X) * ins_attr(o, v, 1).")
+        assert engine.run(parse_formula("t")) is None  # nothing to read yet
+
+    def test_run_commits_final_state(self):
+        engine = _engine("t <- ins_attr(o, v, 1) * ins_attr(o, v, 2).")
+        state = engine.run(parse_formula("t"))
+        assert sorted(state.values("o", "v")) == [1, 2]
+        assert sorted(engine.store.values("o", "v")) == [1, 2]
+
+    def test_failed_transaction_leaves_store(self):
+        engine = _engine("t <- ins_attr(o, v, 1) * fail.")
+        assert engine.run(parse_formula("t")) is None
+        assert engine.store.values("o", "v") == []
+
+    def test_backtracking_discards_updates(self):
+        engine = _engine("t <- (ins_attr(o, v, 1) * fail) ; ins_attr(o, v, 2).")
+        state = engine.run(parse_formula("t"))
+        assert state.values("o", "v") == [2]
+
+    def test_delete(self):
+        engine = _engine("t <- ins_attr(o, v, 1) * del_attr(o, v, 1) * not attr(o, v, 1).")
+        state = engine.run(parse_formula("t"))
+        assert state is not None
+        assert state.values("o", "v") == []
+
+    def test_ins_isa(self):
+        engine = _engine("t <- ins_isa(o, widget) * isa(o, widget).")
+        assert engine.run(parse_formula("t")) is not None
+
+    def test_update_with_unbound_argument_raises(self):
+        engine = _engine("t <- ins_attr(o, v, X).")
+        with pytest.raises(ValueError):
+            engine.run(parse_formula("t"))
+
+    def test_choice_explores_alternative_states(self):
+        engine = _engine(
+            "t(X) <- (ins_attr(o, v, 1) ; ins_attr(o, v, 2)) * attr(o, v, X)."
+        )
+        values = sorted(r["X"] for r in engine.ask(parse_formula("t(X)"), [X]))
+        assert values == [1, 2]
+
+
+class TestBuiltins:
+    def test_eq_unifies(self):
+        engine = _engine("t(X) <- eq(X, 42).")
+        assert engine.ask(parse_formula("t(X)"), [X]) == [{"X": 42}]
+
+    def test_comparisons(self):
+        engine = Engine(Program())
+        assert engine.succeeds(parse_formula("lt(1, 2)"))
+        assert not engine.succeeds(parse_formula("lt(2, 1)"))
+        assert engine.succeeds(parse_formula("le(2, 2)"))
+        assert engine.succeeds(parse_formula("gt(3, 2)"))
+        assert engine.succeeds(parse_formula("ge(2, 2)"))
+        assert engine.succeeds(parse_formula("neq(1, 2)"))
+
+    def test_comparison_on_unbound_raises(self):
+        engine = Engine(Program())
+        with pytest.raises(ValueError):
+            engine.succeeds(parse_formula("lt(X, 1)"))
+
+    def test_incomparable_types_fail_quietly(self):
+        engine = Engine(Program())
+        assert not engine.succeeds(parse_formula("lt(1, 'a')"))
+
+    def test_member_enumerates(self):
+        engine = Engine(Program())
+        results = engine.ask(parse_formula("member(X, [1, 2, 3])"), [X])
+        assert [r["X"] for r in results] == [1, 2, 3]
+
+    def test_member_unifies_structured_rows(self):
+        engine = Engine(Program())
+        results = engine.ask(parse_formula("member([X, Y], [[1, a], [2, b]])"), [X, Y])
+        assert [(r["X"], r["Y"]) for r in results] == [(1, "a"), (2, "b")]
+
+    def test_member_requires_bound_collection(self):
+        engine = Engine(Program())
+        with pytest.raises(ValueError):
+            engine.succeeds(parse_formula("member(1, X)"))
+
+    def test_ground(self):
+        engine = Engine(Program())
+        assert engine.succeeds(parse_formula("ground(1)"))
+        assert not engine.succeeds(parse_formula("ground(X)"))
+
+    def test_naf(self):
+        engine = _engine("p(1).")
+        assert engine.succeeds(parse_formula("not p(2)"))
+        assert not engine.succeeds(parse_formula("not p(1)"))
+
+    def test_custom_builtin_registration(self):
+        engine = Engine(Program())
+
+        def double(args, subst, state):
+            from repro.flogic.terms import resolve, unify
+
+            value = resolve(args[0], subst)
+            bound = unify(args[1], value * 2, subst)
+            if bound is not None:
+                yield bound, state
+
+        engine.register_builtin("double", 2, double)
+        assert engine.ask(parse_formula("double(21, X)"), [X]) == [{"X": 42}]
+
+
+class TestStoreIntegration:
+    def test_isa_and_attr_molecules(self):
+        store = (
+            ObjectStore()
+            .with_subclass("form", "action")
+            .with_member("f1", "form")
+            .with_attr("f1", "method", "POST")
+        )
+        engine = Engine(
+            parse_rules("post_action(X) <- X : action * X[method -> 'POST']."),
+            store=store,
+        )
+        assert engine.ask(parse_formula("post_action(X)"), [X]) == [{"X": "f1"}]
+
+    def test_solve_against_explicit_store(self):
+        engine = Engine(Program())
+        store = ObjectStore().with_attr("o", "a", 1)
+        results = list(engine.solve(parse_formula("o[a -> X]"), store=store))
+        assert len(results) == 1

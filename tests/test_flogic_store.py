@@ -1,0 +1,136 @@
+"""Unit tests for the F-logic object store."""
+
+import pytest
+
+from repro.flogic.store import ObjectStore, Signature, SignatureError
+from repro.flogic.terms import Var
+
+
+def _demo_store() -> ObjectStore:
+    store = ObjectStore()
+    store = store.with_subclass("form_submit", "action")
+    store = store.with_subclass("link_follow", "action")
+    store = store.with_subclass("data_page", "web_page")
+    store = store.with_member("f01", "form_submit")
+    store = store.with_member("carPg", "data_page")
+    store = store.with_attr("f01", "method", "POST")
+    store = store.with_attr("f01", "mandatory", "make")
+    store = store.with_attr("f01", "mandatory", "model")
+    return store
+
+
+class TestHierarchy:
+    def test_superclasses_transitive(self):
+        store = ObjectStore().with_subclass("a", "b").with_subclass("b", "c")
+        assert store.superclasses("a") == {"a", "b", "c"}
+
+    def test_membership_respects_hierarchy(self):
+        store = _demo_store()
+        assert store.is_member("f01", "form_submit")
+        assert store.is_member("f01", "action")
+        assert not store.is_member("f01", "web_page")
+
+    def test_classes_of(self):
+        assert _demo_store().classes_of("carPg") == {"data_page", "web_page"}
+
+    def test_cyclic_hierarchy_terminates(self):
+        store = ObjectStore().with_subclass("a", "b").with_subclass("b", "a")
+        assert store.superclasses("a") == {"a", "b"}
+
+
+class TestAttributes:
+    def test_values_multivalued(self):
+        assert sorted(_demo_store().values("f01", "mandatory")) == ["make", "model"]
+
+    def test_value_scalar(self):
+        assert _demo_store().value("f01", "method") == "POST"
+
+    def test_value_missing_raises(self):
+        with pytest.raises(KeyError):
+            _demo_store().value("f01", "nope")
+
+    def test_value_ambiguous_raises(self):
+        with pytest.raises(KeyError):
+            _demo_store().value("f01", "mandatory")
+
+    def test_scalar_signature_enforced(self):
+        store = ObjectStore().with_signature(Signature("form", "method", "meth"))
+        store = store.with_member("f", "form").with_attr("f", "method", "GET")
+        with pytest.raises(SignatureError):
+            store.with_attr("f", "method", "POST")
+
+    def test_scalar_signature_idempotent_value_ok(self):
+        store = ObjectStore().with_signature(Signature("form", "method", "meth"))
+        store = store.with_member("f", "form").with_attr("f", "method", "GET")
+        assert store.with_attr("f", "method", "GET").value("f", "method") == "GET"
+
+    def test_multivalued_signature_allows_many(self):
+        store = ObjectStore().with_signature(
+            Signature("form", "mandatory", "attribute", scalar=False)
+        )
+        store = store.with_member("f", "form")
+        store = store.with_attr("f", "mandatory", "a").with_attr("f", "mandatory", "b")
+        assert sorted(store.values("f", "mandatory")) == ["a", "b"]
+
+    def test_without_attr(self):
+        store = _demo_store().without_attr("f01", "mandatory", "model")
+        assert store.values("f01", "mandatory") == ["make"]
+
+    def test_persistence(self):
+        base = _demo_store()
+        modified = base.with_attr("f01", "extra", 1)
+        assert base.values("f01", "extra") == []
+        assert modified.values("f01", "extra") == [1]
+
+
+class TestQueries:
+    def test_query_isa_ground(self):
+        store = _demo_store()
+        assert list(store.query_isa("f01", "action", {})) == [{}]
+        assert list(store.query_isa("f01", "web_page", {})) == []
+
+    def test_query_isa_enumerates_members(self):
+        store = _demo_store()
+        X = Var("X")
+        members = {s[X] for s in store.query_isa(X, "action", {})}
+        assert members == {"f01"}
+
+    def test_query_isa_enumerates_classes(self):
+        store = _demo_store()
+        C = Var("C")
+        classes = {s[C] for s in store.query_isa("carPg", C, {})}
+        assert classes == {"data_page", "web_page"}
+
+    def test_query_attr_patterns(self):
+        store = _demo_store()
+        V = Var("V")
+        values = {s[V] for s in store.query_attr("f01", "mandatory", V, {})}
+        assert values == {"make", "model"}
+
+    def test_query_attr_fully_open(self):
+        store = _demo_store()
+        O, A, V = Var("O"), Var("A"), Var("V")
+        facts = {(s[O], s[A], s[V]) for s in store.query_attr(O, A, V, {})}
+        assert ("f01", "method", "POST") in facts
+
+
+class TestIntrospection:
+    def test_all_objects(self):
+        assert _demo_store().all_objects() == {"f01", "carPg"}
+
+    def test_fact_counts(self):
+        store = _demo_store()
+        assert store.attr_fact_count == 3
+        assert store.fact_count == 5  # 2 isa + 3 attr
+
+    def test_describe(self):
+        desc = _demo_store().describe("f01")
+        assert desc["method"] == ["POST"]
+        assert sorted(desc["mandatory"]) == ["make", "model"]
+
+    def test_signatures_of(self):
+        store = ObjectStore().with_subclass("form", "action")
+        store = store.with_signature(Signature("action", "source", "web_page"))
+        store = store.with_signature(Signature("form", "cgi", "url"))
+        sigs = store.signatures_of("form")
+        assert {(s.cls, s.attr) for s in sigs} == {("action", "source"), ("form", "cgi")}

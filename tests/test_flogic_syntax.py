@@ -1,0 +1,226 @@
+"""Unit and round-trip tests for the navigation-calculus syntax."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flogic.formulas import (
+    Choice,
+    Del,
+    Ins,
+    Naf,
+    Pred,
+    Rule,
+    Serial,
+    format_formula,
+    format_rule,
+    format_term,
+)
+from repro.flogic.syntax import (
+    SyntaxParseError,
+    parse_formula,
+    parse_rules,
+    parse_term,
+)
+from repro.flogic.terms import Struct, Var
+
+
+class TestTerms:
+    def test_atom(self):
+        assert parse_term("foo") == "foo"
+
+    def test_variable(self):
+        assert parse_term("Make") == Var("Make")
+
+    def test_anonymous_variables_are_fresh(self):
+        term = parse_term("f(_, _)")
+        assert term.args[0] != term.args[1]
+
+    def test_numbers(self):
+        assert parse_term("42") == 42
+        assert parse_term("-3") == -3
+        assert parse_term("2.5") == 2.5
+
+    def test_quoted_string(self):
+        assert parse_term("'hello world'") == "hello world"
+
+    def test_quoted_escape(self):
+        assert parse_term(r"'don\'t'") == "don't"
+
+    def test_struct(self):
+        assert parse_term("f(a, X, 1)") == Struct("f", ("a", Var("X"), 1))
+
+    def test_nested_struct(self):
+        assert parse_term("f(g(a))") == Struct("f", (Struct("g", ("a",)),))
+
+    def test_list_is_tuple(self):
+        assert parse_term("[1, a, X]") == (1, "a", Var("X"))
+
+    def test_empty_list(self):
+        assert parse_term("[]") == ()
+
+    def test_booleans(self):
+        assert parse_term("true") is True
+        assert parse_term("false") is False
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_term("a b")
+
+
+class TestFormulas:
+    def test_atom_goal(self):
+        assert parse_formula("p(X)") == Pred("p", (Var("X"),))
+
+    def test_serial(self):
+        formula = parse_formula("a * b * c")
+        assert isinstance(formula, Serial)
+        assert len(formula.parts) == 3
+
+    def test_choice_binds_looser_than_serial(self):
+        formula = parse_formula("a * b ; c")
+        assert isinstance(formula, Choice)
+        assert isinstance(formula.parts[0], Serial)
+
+    def test_parentheses_group(self):
+        formula = parse_formula("a * (b ; c)")
+        assert isinstance(formula, Serial)
+        assert isinstance(formula.parts[1], Choice)
+
+    def test_molecules(self):
+        assert parse_formula("X : action") == Pred("isa", (Var("X"), "action"))
+        assert parse_formula("X[method -> 'POST']") == Pred(
+            "attr", (Var("X"), "method", "POST")
+        )
+
+    def test_naf(self):
+        formula = parse_formula("not p(X)")
+        assert isinstance(formula, Naf)
+
+    def test_updates(self):
+        assert parse_formula("ins_attr(o, a, 1)") == Ins("attr", ("o", "a", 1))
+        assert parse_formula("del_attr(o, a, 1)") == Del("attr", ("o", "a", 1))
+        assert parse_formula("ins_isa(o, c)") == Ins("isa", ("o", "c"))
+
+    def test_unknown_update_kind_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_formula("ins_frob(o)")
+
+    def test_true_false_goals(self):
+        assert parse_formula("true") == Pred("true")
+        assert parse_formula("false") == Pred("fail")
+
+    def test_comments_are_skipped(self):
+        program = parse_rules("p(1). % a comment\nq(2).")
+        assert len(program.rules) == 2
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rules("p(1).").rules[0]
+        assert rule.head == Pred("p", (1,)) and rule.body == Pred("true")
+
+    def test_rule_with_body(self):
+        rule = parse_rules("p(X) <- q(X) * r(X).").rules[0]
+        assert isinstance(rule.body, Serial)
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_rules("p(1)")
+
+    def test_non_atomic_head_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_rules("p(X) * q(X) <- r(X).")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_rules("p('oops).")
+
+
+class TestRoundTrip:
+    EXAMPLES = [
+        "p(1).",
+        "p(X) <- q(X).",
+        "p(X) <- q(X) * r(X, 'lit') * lt(X, 10).",
+        "p <- a ; b ; c.",
+        "p <- a * (b ; c * d).",
+        "p(X) <- X : web_page * X[title -> T] * not empty(T).",
+        "t <- ins_attr(o, a, 1) * del_attr(o, a, 1) * ins_isa(o, c).",
+        "m(X, Y) <- member([X, Y], [[1, a], [2, b]]).",
+        "q <- p(f(g(X), [1, 2.5, 'two words'])).",
+    ]
+
+    @pytest.mark.parametrize("source", EXAMPLES)
+    def test_explicit_round_trips(self, source):
+        rule = parse_rules(source).rules[0]
+        printed = format_rule(rule)
+        again = parse_rules(printed).rules[0]
+        assert format_rule(again) == printed
+
+    def test_program_pretty_round_trips(self):
+        source = "a(1). b(X) <- a(X) * (c ; d)."
+        program = parse_rules(source)
+        again = parse_rules(program.pretty())
+        assert again.pretty() == program.pretty()
+
+
+# -- generative round-trip ------------------------------------------------------
+
+_atoms = st.sampled_from(["a", "b", "foo_bar"])
+_vars = st.sampled_from([Var("X"), Var("Y"), Var("Zed")])
+_consts = st.one_of(_atoms, st.integers(-9, 9), st.sampled_from(["two words", "it's"]))
+
+
+def _terms(depth=2):
+    if depth == 0:
+        return st.one_of(_consts, _vars)
+    sub = _terms(depth - 1)
+    return st.one_of(
+        _consts,
+        _vars,
+        st.builds(lambda args: Struct("f", tuple(args)), st.lists(sub, min_size=1, max_size=2)),
+        st.lists(sub, max_size=2).map(tuple),
+    )
+
+
+def _preds():
+    return st.builds(
+        lambda name, args: Pred(name, tuple(args)),
+        st.sampled_from(["p", "q", "r"]),
+        st.lists(_terms(), max_size=3),
+    )
+
+
+def _formulas(depth=2):
+    # The parser normalizes nested serial/choice chains to their flattened
+    # (associativity) normal form, so generate formulas in that form too.
+    from repro.flogic.formulas import choice, serial
+
+    if depth == 0:
+        return _preds()
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        _preds(),
+        st.builds(lambda parts: serial(*parts), st.lists(sub, min_size=2, max_size=3)),
+        st.builds(lambda parts: choice(*parts), st.lists(sub, min_size=2, max_size=3)),
+        st.builds(Naf, sub),
+    )
+
+
+class TestGenerativeRoundTrip:
+    @given(_formulas())
+    def test_formula_round_trip(self, formula):
+        printed = format_formula(formula)
+        parsed = parse_formula(printed)
+        assert format_formula(parsed) == printed
+
+    @given(_preds(), _formulas())
+    def test_rule_round_trip(self, head, body):
+        printed = format_rule(Rule(head, body))
+        parsed = parse_rules(printed).rules[0]
+        assert format_rule(parsed) == printed
+
+    @given(_terms())
+    def test_term_round_trip(self, term):
+        printed = format_term(term)
+        parsed = parse_term(printed)
+        assert format_term(parsed) == printed

@@ -1,0 +1,164 @@
+"""Unit and property tests for terms, substitutions and unification."""
+
+from hypothesis import given, strategies as st
+
+from repro.flogic.terms import (
+    Struct,
+    Var,
+    is_ground,
+    rename_term,
+    resolve,
+    unify,
+    variables_of,
+    walk,
+)
+
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+class TestWalkResolve:
+    def test_walk_follows_chains(self):
+        subst = {X: Y, Y: "a"}
+        assert walk(X, subst) == "a"
+
+    def test_walk_stops_at_free_var(self):
+        assert walk(X, {}) == X
+
+    def test_resolve_descends_structs(self):
+        subst = {X: "a"}
+        assert resolve(Struct("f", (X, "b")), subst) == Struct("f", ("a", "b"))
+
+    def test_resolve_descends_tuples(self):
+        subst = {X: 1}
+        assert resolve((X, (X, "b")), subst) == (1, (1, "b"))
+
+
+class TestUnify:
+    def test_constants_equal(self):
+        assert unify("a", "a") == {}
+
+    def test_constants_unequal(self):
+        assert unify("a", "b") is None
+
+    def test_numbers(self):
+        assert unify(1, 1) == {}
+        assert unify(1, 2) is None
+
+    def test_var_binds_constant(self):
+        assert unify(X, "a") == {X: "a"}
+
+    def test_var_binds_var(self):
+        subst = unify(X, Y)
+        assert subst in ({X: Y}, {Y: X})
+
+    def test_struct_decomposition(self):
+        subst = unify(Struct("f", (X, "b")), Struct("f", ("a", Y)))
+        assert resolve(X, subst) == "a"
+        assert resolve(Y, subst) == "b"
+
+    def test_struct_functor_mismatch(self):
+        assert unify(Struct("f", ("a",)), Struct("g", ("a",))) is None
+
+    def test_struct_arity_mismatch(self):
+        assert unify(Struct("f", ("a",)), Struct("f", ("a", "b"))) is None
+
+    def test_tuples_unify_elementwise(self):
+        subst = unify((X, "b"), ("a", Y))
+        assert resolve(X, subst) == "a" and resolve(Y, subst) == "b"
+
+    def test_tuple_length_mismatch(self):
+        assert unify((X,), ("a", "b")) is None
+
+    def test_occurs_check(self):
+        assert unify(X, Struct("f", (X,))) is None
+
+    def test_occurs_check_in_tuple(self):
+        assert unify(X, (X, "a")) is None
+
+    def test_existing_bindings_respected(self):
+        subst = unify(X, "a")
+        assert unify(X, "b", subst) is None
+        assert unify(X, "a", subst) == subst
+
+    def test_input_substitution_not_mutated(self):
+        base = {X: "a"}
+        out = unify(Y, "b", base)
+        assert base == {X: "a"}
+        assert out == {X: "a", Y: "b"}
+
+    def test_same_var_trivially_unifies(self):
+        assert unify(X, X) == {}
+
+    def test_opaque_constants_compare_by_equality(self):
+        marker = object()
+        assert unify(marker, marker) == {}
+        assert unify(marker, object()) is None
+
+
+class TestHelpers:
+    def test_variables_of(self):
+        term = Struct("f", (X, (Y, Struct("g", (Z,)))))
+        assert variables_of(term) == {X, Y, Z}
+
+    def test_rename_tags_all_vars(self):
+        term = Struct("f", (X, (Y,)))
+        renamed = rename_term(term, 5)
+        assert variables_of(renamed) == {Var("X", 5), Var("Y", 5)}
+
+    def test_rename_preserves_constants(self):
+        assert rename_term(("a", 1), 3) == ("a", 1)
+
+    def test_is_ground(self):
+        assert is_ground(Struct("f", ("a",)))
+        assert not is_ground(Struct("f", (X,)))
+        assert is_ground(X, {X: "a"})
+
+
+# -- property tests -------------------------------------------------------------
+
+constants = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b", "c"]))
+variables = st.sampled_from([X, Y, Z])
+
+
+def terms(depth=2):
+    if depth == 0:
+        return st.one_of(constants, variables)
+    sub = terms(depth - 1)
+    return st.one_of(
+        constants,
+        variables,
+        st.builds(lambda args: Struct("f", tuple(args)), st.lists(sub, min_size=1, max_size=3)),
+        st.lists(sub, max_size=3).map(tuple),
+    )
+
+
+class TestProperties:
+    @given(terms(), terms())
+    def test_unify_is_symmetric_in_success(self, a, b):
+        left = unify(a, b)
+        right = unify(b, a)
+        assert (left is None) == (right is None)
+
+    @given(terms(), terms())
+    def test_unifier_actually_unifies(self, a, b):
+        subst = unify(a, b)
+        if subst is not None:
+            assert resolve(a, subst) == resolve(b, subst)
+
+    @given(terms())
+    def test_self_unification_always_succeeds(self, a):
+        assert unify(a, a) is not None
+
+    @given(terms())
+    def test_resolve_idempotent(self, a):
+        subst = unify(a, Struct("wrap", (X, Y, Z)))
+        if subst is None:
+            subst = {}
+        once = resolve(a, subst)
+        assert resolve(once, subst) == once
+
+    @given(terms())
+    def test_rename_is_injective_on_variables(self, a):
+        renamed = rename_term(a, 9)
+        assert len(variables_of(renamed)) == len(variables_of(a))

@@ -1,0 +1,112 @@
+"""Unit tests for the HTML element builder and render styles."""
+
+from repro.web.html import (
+    Element,
+    RenderStyle,
+    bullet_links,
+    checkbox,
+    el,
+    escape,
+    form,
+    hidden_input,
+    labeled,
+    link,
+    page,
+    radio_group,
+    select,
+    submit_button,
+    table,
+    text_input,
+)
+
+
+class TestEscaping:
+    def test_escape_specials(self):
+        assert escape('<a href="x">&') == "&lt;a href=&quot;x&quot;&gt;&amp;"
+
+    def test_text_children_are_escaped(self):
+        assert "&lt;script&gt;" in el("p", "<script>").render()
+
+    def test_attribute_values_are_escaped(self):
+        assert 'alt="a&quot;b"' in el("img", alt='a"b').render()
+
+
+class TestRendering:
+    def test_simple_element(self):
+        assert el("p", "hi").render() == "<p>hi</p>"
+
+    def test_nested(self):
+        assert el("div", el("b", "x")).render() == "<div><b>x</b></div>"
+
+    def test_void_tag_has_no_end(self):
+        assert el("br").render() == "<br>"
+
+    def test_add_is_fluent(self):
+        node = Element("ul").add(el("li", "a")).add(el("li", "b"))
+        assert node.render() == "<ul><li>a</li><li>b</li></ul>"
+
+    def test_uppercase_style(self):
+        out = el("p", "x").render(RenderStyle(uppercase_tags=True))
+        assert out == "<P>x</P>"
+
+    def test_omit_optional_end_tags(self):
+        out = el("ul", el("li", "a"), el("li", "b")).render(
+            RenderStyle(omit_optional_end_tags=True)
+        )
+        assert "</li>" not in out
+        assert "</ul>" in out
+
+    def test_unquoted_attributes_only_when_safe(self):
+        style = RenderStyle(unquoted_attributes=True)
+        assert el("input", name="make").render(style) == "<input name=make>"
+        assert 'alt="a b"' in el("img", alt="a b").render(style)
+
+
+class TestWidgets:
+    def test_text_input(self):
+        out = text_input("make", "ford").render()
+        assert 'type="text"' in out and 'name="make"' in out and 'value="ford"' in out
+
+    def test_hidden_input(self):
+        assert 'type="hidden"' in hidden_input("s", "1").render()
+
+    def test_select_options_and_selection(self):
+        out = select("make", ["ford", "honda"], selected="honda").render()
+        assert out.count("<option") == 2
+        assert 'selected="selected"' in out
+
+    def test_radio_group(self):
+        widgets = radio_group("cond", ["good", "fair"], checked="good")
+        rendered = "".join(w.render() for w in widgets)
+        assert rendered.count('type="radio"') == 2
+        assert 'checked="checked"' in rendered
+
+    def test_checkbox(self):
+        assert 'type="checkbox"' in checkbox("x").render()
+
+    def test_form_defaults_to_post(self):
+        assert 'method="post"' in form("/cgi", submit_button()).render()
+
+    def test_labeled_wraps_bold_label(self):
+        out = labeled("Make", text_input("make")).render()
+        assert "<b>Make: </b>" in out
+
+
+class TestCompositeBuilders:
+    def test_table_headers_and_rows(self):
+        out = table(["A", "B"], [["1", "2"], ["3", "4"]]).render()
+        assert out.count("<th>") == 2
+        assert out.count("<td>") == 4
+
+    def test_bullet_links(self):
+        out = bullet_links([("Go", "/go"), ("Stop", "/stop")]).render()
+        assert out.count("<li>") == 2
+        assert 'href="/go"' in out
+
+    def test_page_has_title_and_heading(self):
+        out = page("My Title", el("p", "body")).render()
+        assert "<title>My Title</title>" in out
+        assert "<h1>My Title</h1>" in out
+
+    def test_link(self):
+        assert link("/a", "text").render() == '<a href="/a">text</a>'

@@ -1,0 +1,170 @@
+"""Unit tests for the tolerant HTML parser (faulty-HTML recovery)."""
+
+from hypothesis import given, strategies as st
+
+from repro.web.html import Element, RenderStyle, el, page
+from repro.web.htmlparser import decode_entities, parse_html
+
+
+class TestEntities:
+    def test_named_entities(self):
+        assert decode_entities("a &amp; b &lt;c&gt;") == "a & b <c>"
+
+    def test_numeric_decimal(self):
+        assert decode_entities("&#65;") == "A"
+
+    def test_numeric_hex(self):
+        assert decode_entities("&#x41;") == "A"
+
+    def test_unknown_entity_passes_through(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_bare_ampersand(self):
+        assert decode_entities("a & b") == "a & b"
+
+
+class TestBasicParsing:
+    def test_simple_document(self):
+        dom = parse_html("<html><head><title>T</title></head><body><p>hi</p></body></html>")
+        assert dom.find("title").text() == "T"
+        assert dom.find("p").text() == "hi"
+
+    def test_attributes_lowercased(self):
+        dom = parse_html('<A HREF="/x" TARGET=_top>go</A>')
+        anchor = dom.find("a")
+        assert anchor.get("href") == "/x"
+        assert anchor.get("target") == "_top"
+
+    def test_unquoted_attribute_values(self):
+        dom = parse_html("<input type=text name=make value=ford>")
+        node = dom.find("input")
+        assert node.get("name") == "make"
+        assert node.get("value") == "ford"
+
+    def test_valueless_attribute(self):
+        dom = parse_html("<input type=checkbox checked>")
+        assert dom.find("input").get("checked") == "checked"
+
+    def test_single_quoted_attribute(self):
+        dom = parse_html("<a href='/x y'>t</a>")
+        assert dom.find("a").get("href") == "/x y"
+
+    def test_comments_are_dropped(self):
+        dom = parse_html("<p>a<!-- hidden -->b</p>")
+        # Adjacent text nodes are joined with normalized whitespace.
+        assert dom.find("p").text() == "a b"
+        assert "hidden" not in dom.find("p").text()
+
+    def test_doctype_is_dropped(self):
+        dom = parse_html("<!DOCTYPE html><p>x</p>")
+        assert dom.find("p").text() == "x"
+
+    def test_void_tags_do_not_nest(self):
+        dom = parse_html("<p>a<br>b</p>")
+        assert dom.find("p").text() == "a b"
+
+    def test_entities_in_text(self):
+        dom = parse_html("<td>$12,500 &amp; up</td>")
+        assert dom.find("td").text() == "$12,500 & up"
+
+
+class TestRecovery:
+    def test_unclosed_list_items(self):
+        dom = parse_html("<ul><li>one<li>two<li>three</ul>")
+        items = dom.find_all("li")
+        assert [i.text() for i in items] == ["one", "two", "three"]
+
+    def test_unclosed_table_cells(self):
+        dom = parse_html("<table><tr><td>a<td>b<tr><td>c<td>d</table>")
+        rows = dom.find_all("tr")
+        assert len(rows) == 2
+        assert [c.text() for c in rows[1].find_all("td")] == ["c", "d"]
+
+    def test_unclosed_paragraphs(self):
+        dom = parse_html("<body><p>one<p>two</body>")
+        assert [p.text() for p in dom.find_all("p")] == ["one", "two"]
+
+    def test_unclosed_options(self):
+        dom = parse_html("<select><option>a<option>b</select>")
+        assert [o.text() for o in dom.find_all("option")] == ["a", "b"]
+
+    def test_uppercase_tags(self):
+        dom = parse_html("<TABLE><TR><TD>x</TD></TR></TABLE>")
+        assert dom.find("td").text() == "x"
+
+    def test_stray_end_tag_is_ignored(self):
+        dom = parse_html("<p>a</div>b</p>")
+        assert dom.find("p").text() == "a b"
+
+    def test_unclosed_at_eof(self):
+        dom = parse_html("<div><p>never closed")
+        assert dom.find("p").text() == "never closed"
+
+    def test_end_tag_pops_open_cells(self):
+        dom = parse_html("<table><tr><td>x</table><p>after</p>")
+        assert dom.find("p").text() == "after"
+        # The paragraph is not nested inside the table.
+        assert dom.find("table").find("p") is None
+
+    def test_unterminated_tag_becomes_text(self):
+        dom = parse_html("<p>a</p><broken")
+        assert dom.find("p").text() == "a"
+
+    def test_dl_recovery(self):
+        dom = parse_html("<dl><dt>Make<dd>ford<dt>Model<dd>escort</dl>")
+        assert [d.text() for d in dom.find_all("dd")] == ["ford", "escort"]
+
+
+class TestDomApi:
+    def test_find_with_attrs(self):
+        dom = parse_html('<a href="/1">x</a><a href="/2">y</a>')
+        assert dom.find("a", href="/2").text() == "y"
+
+    def test_find_all_order(self):
+        dom = parse_html("<div><span>1</span><p><span>2</span></p></div><span>3</span>")
+        assert [s.text() for s in dom.find_all("span")] == ["1", "2", "3"]
+
+    def test_text_normalizes_whitespace(self):
+        dom = parse_html("<p>  a \n  b  </p>")
+        assert dom.find("p").text() == "a b"
+
+    def test_own_text_excludes_children(self):
+        dom = parse_html("<p>outer <b>inner</b></p>")
+        assert dom.find("p").own_text() == "outer"
+
+    def test_ancestors(self):
+        dom = parse_html("<div><p><b>x</b></p></div>")
+        bold = dom.find("b")
+        assert [a.tag for a in bold.ancestors()] == ["p", "div", "#document"]
+
+
+class TestRoundTrip:
+    def test_clean_render_parses_back(self):
+        doc = page("Title", el("p", "hello"), el("ul", el("li", "a"), el("li", "b")))
+        dom = parse_html(doc.render(RenderStyle.clean()))
+        assert dom.find("title").text() == "Title"
+        assert [i.text() for i in dom.find_all("li")] == ["a", "b"]
+
+    def test_sloppy_render_parses_to_same_structure(self):
+        doc = page(
+            "T",
+            el("table", el("tr", el("td", "a"), el("td", "b")), el("tr", el("td", "c"), el("td", "d"))),
+        )
+        clean = parse_html(doc.render(RenderStyle.clean()))
+        sloppy = parse_html(doc.render(RenderStyle.sloppy()))
+        clean_cells = [c.text() for c in clean.find_all("td")]
+        sloppy_cells = [c.text() for c in sloppy.find_all("td")]
+        assert clean_cells == sloppy_cells == ["a", "b", "c", "d"]
+
+    @given(st.text(max_size=300))
+    def test_parser_never_crashes(self, source):
+        parse_html(source)
+
+    @given(
+        st.lists(
+            st.sampled_from(["<p>", "</p>", "<li>", "<td>", "<table>", "</table>", "x", "<", ">", "&amp;", "<a href=1>", "<!--", "-->"]),
+            max_size=30,
+        )
+    )
+    def test_parser_never_crashes_on_tag_soup(self, pieces):
+        parse_html("".join(pieces))

@@ -1,0 +1,149 @@
+"""Unit tests for the HTTP primitives (URLs, query codec, requests)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.web.http import (
+    Request,
+    Response,
+    Url,
+    UrlError,
+    decode_query,
+    encode_query,
+    parse_url,
+    quote,
+    unquote,
+)
+
+
+class TestQuoting:
+    def test_safe_characters_pass_through(self):
+        assert quote("abc-XYZ_0.9~") == "abc-XYZ_0.9~"
+
+    def test_space_becomes_plus(self):
+        assert quote("a b") == "a+b"
+
+    def test_reserved_characters_are_encoded(self):
+        assert quote("a&b=c") == "a%26b%3Dc"
+
+    def test_unicode_is_utf8_encoded(self):
+        assert quote("café") == "caf%C3%A9"
+
+    def test_unquote_reverses_quote(self):
+        assert unquote(quote("a b&c=d/é")) == "a b&c=d/é"
+
+    def test_unquote_plus(self):
+        assert unquote("a+b") == "a b"
+
+    def test_unquote_bad_percent_sequence_is_literal(self):
+        assert unquote("100%zz") == "100%zz"
+
+    @given(st.text(max_size=80))
+    def test_roundtrip_property(self, text):
+        assert unquote(quote(text)) == text
+
+
+class TestQueryCodec:
+    def test_encode_sorts_keys(self):
+        assert encode_query({"b": "2", "a": "1"}) == "a=1&b=2"
+
+    def test_decode_simple(self):
+        assert decode_query("a=1&b=2") == {"a": "1", "b": "2"}
+
+    def test_decode_empty(self):
+        assert decode_query("") == {}
+
+    def test_decode_valueless_key(self):
+        assert decode_query("a&b=1") == {"a": "", "b": "1"}
+
+    def test_later_keys_win(self):
+        assert decode_query("a=1&a=2") == {"a": "2"}
+
+    @given(
+        st.dictionaries(
+            st.text(st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=10),
+            st.text(max_size=20),
+            max_size=6,
+        )
+    )
+    def test_roundtrip_property(self, params):
+        assert decode_query(encode_query(params)) == {str(k): str(v) for k, v in params.items()}
+
+
+class TestUrl:
+    def test_str_without_query(self):
+        assert str(Url("h.com", "/a/b")) == "http://h.com/a/b"
+
+    def test_str_with_query(self):
+        assert str(Url("h.com", "/a", "x=1")) == "http://h.com/a?x=1"
+
+    def test_default_path(self):
+        assert str(Url("h.com")) == "http://h.com/"
+
+    def test_params_property(self):
+        assert Url("h.com", "/", "a=1&b=2").params == {"a": "1", "b": "2"}
+
+    def test_with_params(self):
+        url = Url("h.com", "/s").with_params({"make": "ford"})
+        assert url.params == {"make": "ford"}
+
+    def test_without_query(self):
+        assert Url("h.com", "/s", "a=1").without_query() == Url("h.com", "/s")
+
+
+class TestParseUrl:
+    def test_absolute(self):
+        url = parse_url("http://h.com/a/b?x=1")
+        assert (url.host, url.path, url.params) == ("h.com", "/a/b", {"x": "1"})
+
+    def test_absolute_bare_host(self):
+        assert parse_url("http://h.com") == Url("h.com", "/")
+
+    def test_host_relative(self):
+        base = Url("h.com", "/a/b")
+        assert parse_url("/c?y=2", base) == Url("h.com", "/c", "y=2")
+
+    def test_document_relative(self):
+        base = Url("h.com", "/a/b.html")
+        assert parse_url("c.html", base) == Url("h.com", "/a/c.html")
+
+    def test_dotdot_resolution(self):
+        base = Url("h.com", "/a/b/c.html")
+        assert parse_url("../d.html", base) == Url("h.com", "/a/d.html")
+
+    def test_query_only(self):
+        base = Url("h.com", "/s", "old=1")
+        assert parse_url("?make=ford", base) == Url("h.com", "/s", "make=ford")
+
+    def test_relative_without_base_raises(self):
+        with pytest.raises(UrlError):
+            parse_url("/a")
+
+    def test_https_rejected(self):
+        with pytest.raises(UrlError):
+            parse_url("https://h.com/")
+
+    def test_missing_host_rejected(self):
+        with pytest.raises(UrlError):
+            parse_url("http:///path")
+
+
+class TestRequestResponse:
+    def test_request_params_merge_query_and_form(self):
+        req = Request("POST", Url("h.com", "/cgi", "a=1"), {"b": "2"})
+        assert req.params == {"a": "1", "b": "2"}
+
+    def test_form_params_override_query(self):
+        req = Request("POST", Url("h.com", "/cgi", "a=1"), {"a": "9"})
+        assert req.params == {"a": "9"}
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(UrlError):
+            Request("PUT", Url("h.com"))
+
+    def test_response_ok(self):
+        assert Response(200, "x").ok
+        assert not Response(404, "x").ok
+
+    def test_response_len(self):
+        assert len(Response(200, "hello")) == 5

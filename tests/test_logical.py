@@ -1,0 +1,197 @@
+"""Tests for the logical layer: standardization + Table 2 views."""
+
+import pytest
+
+from repro.logical.standardize import (
+    edit_distance,
+    fuzzy_match,
+    parse_money,
+    to_int,
+    to_percent,
+    to_usd,
+)
+
+
+class TestMoney:
+    def test_usd_with_commas(self):
+        assert parse_money("$12,500") == (12500.0, "USD")
+
+    def test_cad_prefix(self):
+        assert parse_money("CAD 18,500") == (18500.0, "CAD")
+
+    def test_bare_number(self):
+        assert parse_money("4800") == (4800.0, "USD")
+
+    def test_numeric_input(self):
+        assert parse_money(4800) == (4800.0, "USD")
+
+    def test_garbage_is_none(self):
+        assert parse_money("call for price") is None
+        assert parse_money(None) is None
+
+    def test_to_usd_identity(self):
+        assert to_usd("$4,800") == 4800
+
+    def test_to_usd_converts_cad(self):
+        assert to_usd("CAD 14,800") == 10000
+        assert to_usd("CAD 1,480") == 1000
+
+    def test_to_usd_garbage_is_none(self):
+        assert to_usd("n/a") is None
+
+
+class TestCasts:
+    def test_to_int(self):
+        assert to_int("1995") == 1995
+        assert to_int(" 1995 ") == 1995
+        assert to_int(1995) == 1995
+        assert to_int("new") is None
+        assert to_int(None) is None
+
+    def test_to_percent(self):
+        assert to_percent("7.25%") == 7.25
+        assert to_percent("7.25") == 7.25
+        assert to_percent(7.25) == 7.25
+        assert to_percent("n/a") is None
+        assert to_percent(None) is None
+
+
+class TestFuzzy:
+    def test_edit_distance(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("abc", "abc") == 0
+        assert edit_distance("abc", "abd") == 1
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_exact_match_wins(self):
+        assert fuzzy_match("make", ["make", "model"]) == "make"
+
+    def test_substring_containment(self):
+        assert fuzzy_match("zip", ["zip_code", "make"]) == "zip_code"
+
+    def test_small_typo_matches(self):
+        assert fuzzy_match("modle", ["model", "make"]) == "model"
+
+    def test_distant_names_do_not_match(self):
+        assert fuzzy_match("wheelbase", ["make", "rate"]) is None
+
+
+class TestLogicalSchema:
+    def test_relation_names(self, webbase):
+        assert webbase.logical.relation_names == [
+            "all_ads",
+            "blue_price",
+            "classifieds",
+            "dealers",
+            "interest",
+            "reliability",
+        ]
+
+    def test_duplicate_definition_rejected(self, webbase):
+        from repro.relational.algebra import Base
+
+        with pytest.raises(ValueError):
+            webbase.logical.define("classifieds", Base("newsday"))
+
+    def test_classifieds_schema_is_site_independent(self, webbase):
+        schema = webbase.logical.relation("classifieds").schema
+        assert set(schema.attrs) == {"make", "model", "year", "price", "contact", "features"}
+
+    def test_all_attributes_universe(self, webbase):
+        attrs = webbase.logical.all_attributes()
+        assert "make" in attrs and "bb_price" in attrs and "rate" in attrs
+        assert "manufacturer" not in attrs  # standardized away
+
+    def test_resolve_attribute_fuzzy(self, webbase):
+        assert webbase.logical.resolve_attribute("make") == "make"
+        assert webbase.logical.resolve_attribute("zip_code") == "zip"
+        with pytest.raises(KeyError):
+            webbase.logical.resolve_attribute("astrology")
+
+    def test_relations_with_attribute(self, webbase):
+        assert webbase.logical.relations_with_attribute("safety") == ["reliability"]
+        assert "classifieds" in webbase.logical.relations_with_attribute("price")
+
+
+class TestClassifieds:
+    def test_union_of_both_newspapers(self, webbase, world):
+        result = webbase.fetch_logical("classifieds", {"make": "ford", "model": "escort"})
+        expected = len(
+            world.dataset.ads_for("www.newsday.com", make="ford", model="escort")
+        ) + len(world.dataset.ads_for("www.nytimes.com", make="ford", model="escort"))
+        assert len(result) == expected
+
+    def test_values_are_typed(self, webbase):
+        row = webbase.fetch_logical("classifieds", {"make": "saab"}).to_dicts()[0]
+        assert isinstance(row["year"], int)
+        assert isinstance(row["price"], int)
+
+    def test_newsday_branch_carries_features_via_detail_join(self, webbase, world):
+        result = webbase.fetch_logical("classifieds", {"make": "saab"})
+        features = {d["features"] for d in result.to_dicts()}
+        assert all(f for f in features)  # every tuple got its features
+
+    def test_ground_truth_prices(self, webbase, world):
+        result = webbase.fetch_logical("classifieds", {"make": "jaguar"})
+        expected_prices = {
+            ad.price
+            for host in ("www.newsday.com", "www.nytimes.com")
+            for ad in world.dataset.ads_for(host, make="jaguar")
+        }
+        assert {d["price"] for d in result.to_dicts()} == expected_prices
+
+
+class TestDealers:
+    def test_union_and_rename(self, webbase, world):
+        result = webbase.fetch_logical("dealers", {"make": "ford", "model": "escort"})
+        expected = len(
+            world.dataset.ads_for("www.carpoint.com", make="ford", model="escort")
+        ) + len(world.dataset.ads_for("www.autoweb.com", make="ford", model="escort"))
+        assert len(result) == expected
+        assert "zip" in result.schema and "contact" in result.schema
+
+
+class TestConversions:
+    def test_wwwheels_cad_converted_in_all_ads(self, webbase, world):
+        result = webbase.fetch_logical("all_ads", {"make": "ford", "model": "escort"})
+        wheels_ads = world.dataset.ads_for("www.wwwheels.com", make="ford", model="escort")
+        prices = {d["price"] for d in result.to_dicts()}
+        # CAD-displayed prices come back as (approximately) the USD amounts.
+        for ad in wheels_ads:
+            assert any(abs(p - ad.price) <= ad.price * 0.01 + 10 for p in prices)
+
+    def test_interest_rates_typed(self, webbase):
+        result = webbase.fetch_logical("interest", {"zip": "10001"})
+        rows = result.to_dicts()
+        assert {r["duration"] for r in rows} == {24, 36, 48, 60}
+        assert all(isinstance(r["rate"], float) for r in rows)
+
+    def test_blue_price_typed_and_filtered(self, webbase, world):
+        result = webbase.fetch_logical(
+            "blue_price", {"make": "jaguar", "model": "xj6", "condition": "good"}
+        )
+        rows = result.to_dicts()
+        assert len(rows) == 10
+        from repro.sites.dataset import Car
+
+        for row in rows:
+            entry = world.dataset.bluebook_price(Car("jaguar", "xj6", row["year"]), "good")
+            assert row["bb_price"] == entry.bb_price
+
+    def test_reliability_matches_dataset(self, webbase, world):
+        result = webbase.fetch_logical("reliability", {"make": "bmw"})
+        from repro.sites.dataset import Car
+
+        for row in result.to_dicts():
+            rating = world.dataset.safety_of(Car("bmw", row["model"], row["year"]))
+            assert row["safety"] == rating.safety
+
+
+class TestBindingEnforcement:
+    def test_classifieds_requires_make(self, webbase):
+        from repro.relational.bindings import BindingError
+        from repro.vps.handle import HandleError
+
+        with pytest.raises((BindingError, HandleError)):
+            webbase.fetch_logical("classifieds", {})

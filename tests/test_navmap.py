@@ -1,0 +1,167 @@
+"""Unit tests for navigation-map structures and their F-logic lowering."""
+
+import pytest
+
+from repro.navigation.model import (
+    FormEdge,
+    FormKey,
+    LinkEdge,
+    PageSignature,
+    flogic_base_store,
+)
+from repro.navigation.navmap import MapError, NavigationMap
+from repro.web.http import Url
+from repro.web.page import parse_page
+
+
+SEARCH = """
+<html><head><title>Search</title></head><body>
+<form action="/cgi" method="post"><input type=text name=make></form>
+</body></html>
+"""
+DATA = "<html><head><title>Results</title></head><body><table><tr><th>A</th></tr><tr><td>1</td></tr></table></body></html>"
+
+
+def _page(body, path="/", query=""):
+    return parse_page(Url("h.com", path, query), body)
+
+
+class TestIdentity:
+    def test_same_structure_same_node(self):
+        navmap = NavigationMap("h.com")
+        node1, created1 = navmap.node_for_page(_page(DATA, "/r", "start=0"))
+        node2, created2 = navmap.node_for_page(_page(DATA, "/r", "start=10"))
+        assert created1 and not created2
+        assert node1 is node2
+
+    def test_different_forms_different_nodes(self):
+        navmap = NavigationMap("h.com")
+        node1, _ = navmap.node_for_page(_page(SEARCH, "/cgi"))
+        node2, _ = navmap.node_for_page(_page(DATA, "/cgi"))
+        assert node1 is not node2
+
+    def test_different_paths_different_nodes(self):
+        navmap = NavigationMap("h.com")
+        node1, _ = navmap.node_for_page(_page(DATA, "/a"))
+        node2, _ = navmap.node_for_page(_page(DATA, "/b"))
+        assert node1 is not node2
+
+    def test_form_key_of_spec(self):
+        page = _page(SEARCH)
+        key = FormKey.of(page.forms[0])
+        assert key.action_path == "/cgi"
+        assert key.method == "POST"
+        assert key.widgets == frozenset({"make"})
+        assert key.matches(page.forms[0])
+
+    def test_signature_ignores_query(self):
+        a = PageSignature.of(_page(DATA, "/r", "x=1"))
+        b = PageSignature.of(_page(DATA, "/r", "x=2"))
+        assert a == b
+
+
+class TestGraph:
+    def _map(self):
+        navmap = NavigationMap("h.com")
+        root, _ = navmap.node_for_page(_page("<html><body></body></html>", "/"))
+        search, _ = navmap.node_for_page(_page(SEARCH, "/search"))
+        data, _ = navmap.node_for_page(_page(DATA, "/cgi"))
+        navmap.add_edge(LinkEdge(root.node_id, search.node_id, "Go"))
+        key = FormKey("/cgi", "POST", frozenset({"make"}))
+        navmap.add_edge(FormEdge(search.node_id, data.node_id, key))
+        return navmap, root, search, data
+
+    def test_root_is_first_node(self):
+        navmap, root, _, _ = self._map()
+        assert navmap.root is root
+
+    def test_duplicate_edges_rejected(self):
+        navmap, root, search, _ = self._map()
+        assert not navmap.add_edge(LinkEdge(root.node_id, search.node_id, "Go"))
+        assert len(navmap.edges) == 2
+
+    def test_out_in_edges(self):
+        navmap, root, search, data = self._map()
+        assert len(navmap.out_edges(root.node_id)) == 1
+        assert len(navmap.in_edges(data.node_id)) == 1
+
+    def test_unknown_node_raises(self):
+        navmap, _, _, _ = self._map()
+        with pytest.raises(MapError):
+            navmap.node("n99")
+
+    def test_empty_map_has_no_root(self):
+        with pytest.raises(MapError):
+            NavigationMap("h.com").root
+
+    def test_reaches_data_requires_marking(self):
+        navmap, root, _, data = self._map()
+        assert not navmap.reaches_data(root.node_id)
+        from repro.navigation.extract import wrapper_from_headers
+
+        data.wrapper = wrapper_from_headers({"A": "a"})
+        data.relation_name = "r"
+        assert navmap.reaches_data(root.node_id)
+
+    def test_reaches_data_skips_row_links(self):
+        navmap, root, search, data = self._map()
+        from repro.navigation.extract import wrapper_from_headers
+
+        detail, _ = navmap.node_for_page(_page(DATA, "/detail"))
+        detail.wrapper = wrapper_from_headers({"A": "a"})
+        detail.relation_name = "d"
+        navmap.add_edge(LinkEdge(data.node_id, detail.node_id, "Features", row_link=True))
+        assert not navmap.reaches_data(root.node_id)
+
+    def test_summary_mentions_nodes(self):
+        navmap, _, _, _ = self._map()
+        text = navmap.summary()
+        assert "n0" in text and "link(Go)" in text
+
+
+class TestFlogicLowering:
+    def test_base_store_hierarchy(self):
+        store = flogic_base_store()
+        assert "action" in store.superclasses("form_submit")
+        assert "web_page" in store.superclasses("data_page")
+        assert store.signatures_of("form")
+
+    def test_map_lowering_counts(self):
+        navmap = NavigationMap("h.com")
+        root, _ = navmap.node_for_page(_page("<html><body></body></html>", "/"))
+        search, _ = navmap.node_for_page(_page(SEARCH, "/search"))
+        navmap.add_edge(LinkEdge(root.node_id, search.node_id, "Go"))
+        store = navmap.to_store()
+        # Objects: 2 pages + 1 action + 1 link object (form objects are
+        # modeled by the MapBuilder, which populates node.forms).
+        assert navmap.object_count() == 4
+        assert navmap.attribute_count() > 4
+        assert store.is_member(root.node_id, "web_page")
+
+    def test_data_node_lowered_as_data_page(self):
+        from repro.navigation.extract import wrapper_from_headers
+
+        navmap = NavigationMap("h.com")
+        node, _ = navmap.node_for_page(_page(DATA, "/r"))
+        node.wrapper = wrapper_from_headers({"A": "a"})
+        node.relation_name = "r"
+        store = navmap.to_store()
+        assert store.is_member(node.node_id, "data_page")
+        assert store.is_member(node.node_id, "web_page")
+        assert store.value(node.node_id, "extract") == "r"
+
+    def test_widget_facts_lowered(self):
+        navmap = NavigationMap("h.com")
+        node, _ = navmap.node_for_page(_page(SEARCH, "/search"))
+        from repro.navigation.builder import MapBuilder
+
+        builder = MapBuilder("h.com")
+        node.forms = {
+            FormKey.of(_page(SEARCH, "/search").forms[0]): builder._model_form(
+                _page(SEARCH, "/search").forms[0]
+            )
+        }
+        store = navmap.to_store()
+        widget_ids = [o for o in store.all_objects() if str(o).endswith("_make")]
+        assert widget_ids
+        assert store.value(widget_ids[0], "type") == "text"

@@ -1,0 +1,199 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module suites with generative checks of the
+system's load-bearing properties: wrapper induction generalizes from any
+example row, the Transaction Logic engine is atomic and isolated, and the
+HTML pipeline preserves structure under every render style.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.flogic.engine import Engine
+from repro.flogic.formulas import Pred, Program
+from repro.flogic.syntax import parse_formula, parse_rules
+from repro.navigation.extract import induce_wrapper
+from repro.web.html import RenderStyle, el, page
+from repro.web.htmlparser import parse_html
+from repro.web.http import Url
+from repro.web.page import parse_page
+
+
+# -- wrapper induction over generated tables ---------------------------------------
+
+# The HTML pipeline normalizes whitespace, so generated cells/headers are
+# whitespace-normalized up front (what a page author effectively writes).
+_cell = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,$-",
+    min_size=1,
+    max_size=12,
+).map(lambda s: " ".join(s.split())).filter(bool)
+
+_header = st.text(alphabet=string.ascii_letters + " ", min_size=1, max_size=10).map(
+    lambda s: " ".join(s.split())
+).filter(lambda s: s and s.replace(" ", ""))
+
+
+@st.composite
+def _tables(draw):
+    n_cols = draw(st.integers(1, 5))
+    headers = draw(
+        st.lists(_header, min_size=n_cols, max_size=n_cols, unique_by=lambda h: h.lower().replace(" ", "_"))
+    )
+    n_rows = draw(st.integers(1, 6))
+    rows = [
+        draw(st.lists(_cell, min_size=n_cols, max_size=n_cols))
+        for _ in range(n_rows)
+    ]
+    example_row = draw(st.integers(0, n_rows - 1))
+    return headers, rows, example_row
+
+
+class TestWrapperInductionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_tables(), st.sampled_from([RenderStyle.clean(), RenderStyle.sloppy()]))
+    def test_induced_wrapper_recovers_every_row(self, table, style):
+        headers, rows, example_index = table
+        doc = page(
+            "Listings",
+            el(
+                "table",
+                el("tr", *[el("th", h) for h in headers]),
+                *[el("tr", *[el("td", c) for c in row]) for row in rows],
+            ),
+        )
+        parsed = parse_page(Url("h.com", "/r"), doc.render(style))
+        example_row = rows[example_index]
+        # Skip degenerate examples whose values collide ambiguously with
+        # other columns of the same row (induction may pick either column).
+        if len(set(example_row)) != len(example_row):
+            return
+        attrs = ["a%d" % i for i in range(len(headers))]
+        example = dict(zip(attrs, example_row))
+        wrapper = induce_wrapper(parsed, example)
+        extracted = wrapper.extract(parsed)
+        assert len(extracted) == len(rows)
+        for attr_row, row in zip(extracted, rows):
+            assert set(attr_row.values()) <= set(row) | {""}
+        # The example row itself is recovered exactly.
+        assert any(
+            all(r.get(a) == v for a, v in example.items()) for r in extracted
+        )
+
+
+# -- Transaction Logic engine properties ----------------------------------------------
+
+
+_updates = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3)), min_size=1, max_size=4
+)
+
+
+class TestTransactionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(_updates)
+    def test_failed_transactions_are_atomic(self, updates):
+        """ins* followed by fail leaves the committed store untouched."""
+        body = " * ".join("ins_attr(o, %s, %d)" % (attr, value) for attr, value in updates)
+        engine = Engine(parse_rules("t <- %s * fail." % body))
+        assert engine.run(parse_formula("t")) is None
+        assert engine.store.fact_count == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(_updates)
+    def test_successful_transactions_commit_everything(self, updates):
+        body = " * ".join("ins_attr(o, %s, %d)" % (attr, value) for attr, value in updates)
+        engine = Engine(parse_rules("t <- %s." % body))
+        state = engine.run(parse_formula("t"))
+        assert state is not None
+        assert state.attr_fact_count == len({(u[0], u[1]) for u in updates})
+
+    @settings(max_examples=40, deadline=None)
+    @given(_updates, _updates)
+    def test_choice_isolation(self, left, right):
+        """Only the chosen branch's updates survive."""
+        left_body = " * ".join("ins_attr(l, %s, %d)" % u for u in left)
+        right_body = " * ".join("ins_attr(r, %s, %d)" % u for u in right)
+        engine = Engine(
+            parse_rules("t <- (%s * fail) ; (%s)." % (left_body, right_body))
+        )
+        state = engine.run(parse_formula("t"))
+        assert state is not None
+        assert not state.describe("l")
+        assert state.describe("r")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=5, unique=True))
+    def test_findall_collects_all_solutions(self, values):
+        facts = " ".join("p(%d)." % v for v in values)
+        engine = Engine(parse_rules(facts))
+        from repro.flogic.terms import Var
+
+        results = engine.ask(parse_formula("findall(X, p(X), L) * eq(L, Out)"), [Var("Out")])
+        assert len(results) == 1
+        assert sorted(results[0]["Out"]) == sorted(values)
+
+
+# -- HTML pipeline structure preservation ----------------------------------------------
+
+_texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " ", min_size=1, max_size=10
+).map(str.strip).filter(bool)
+
+
+@st.composite
+def _element_trees(draw, depth=2):
+    if depth == 0:
+        return el("span", draw(_texts))
+    children = draw(
+        st.lists(
+            st.one_of(
+                _texts.map(lambda t: el("span", t)),
+                _element_trees(depth=depth - 1),
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    tag = draw(st.sampled_from(["div", "p", "b", "li"]))
+    return el(tag, *children)
+
+
+def _text_leaves(dom) -> str:
+    return dom.text()
+
+
+class TestHtmlPipelineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_element_trees())
+    def test_all_styles_preserve_text_content(self, tree):
+        doc = page("T", tree)
+        texts = set()
+        for style in (
+            RenderStyle.clean(),
+            RenderStyle.sloppy(),
+            RenderStyle(uppercase_tags=True),
+            RenderStyle(omit_optional_end_tags=True),
+            RenderStyle(unquoted_attributes=True),
+        ):
+            dom = parse_html(doc.render(style))
+            texts.add(dom.text())
+        assert len(texts) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(_element_trees())
+    def test_clean_parse_preserves_element_count(self, tree):
+        doc = page("T", tree)
+        dom = parse_html(doc.render(RenderStyle.clean()))
+
+        def count(node) -> int:
+            return 1 + sum(count(c) for c in node.children if not isinstance(c, str))
+
+        rendered_count = count(tree)
+        parsed_spans = len(
+            [n for n in dom.iter_nodes() if n.tag in ("div", "p", "b", "li", "span")]
+        )
+        assert parsed_spans == rendered_count

@@ -1,0 +1,68 @@
+"""Tests of the top-level public API surface."""
+
+import repro
+from repro import QueryBuilder, WebBase, build_world
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_package_reexports(self):
+        assert WebBase is repro.core.webbase.WebBase
+        assert QueryBuilder is repro.ur.builder.QueryBuilder
+        world = build_world()
+        assert world.server.hosts
+
+
+class TestDocstrings:
+    def test_every_public_module_is_documented(self):
+        import importlib
+        import pkgutil
+
+        undocumented = []
+        for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(module_info.name)
+        assert not undocumented, undocumented
+
+    def test_key_classes_are_documented(self):
+        from repro.flogic.engine import Engine
+        from repro.navigation.builder import MapBuilder
+        from repro.ur.planner import StructuredUR
+        from repro.vps.schema import VpsSchema
+
+        for cls in (Engine, MapBuilder, StructuredUR, VpsSchema, WebBase):
+            assert (cls.__doc__ or "").strip(), cls
+
+
+class TestPlannerModes:
+    def test_unoptimized_planner_agrees_with_optimized(self, webbase):
+        from repro.ur.planner import StructuredUR
+        from repro.ur.usedcars import UR_RELATIONS, used_car_rules
+        from repro.ur.concepts import used_car_hierarchy
+
+        plain = StructuredUR(
+            logical=webbase.logical,
+            hierarchy=used_car_hierarchy(),
+            rules=used_car_rules(),
+            relations=UR_RELATIONS,
+            optimize_plans=False,
+        )
+        text = (
+            "SELECT make, model, price, bb_price "
+            "WHERE make = 'jaguar' AND condition = 'good' AND price < bb_price"
+        )
+        assert plain.answer(text) == webbase.query(text)
+
+    def test_optimized_plans_record_rewrites(self, webbase):
+        plan = webbase.plan(
+            "SELECT make, model, price, bb_price "
+            "WHERE make = 'jaguar' AND condition = 'good' AND price < bb_price"
+        )
+        assert any(obj.rewrites for obj in plan.feasible_objects)

@@ -1,0 +1,110 @@
+"""Tests for the concept-driven incremental query builder."""
+
+import pytest
+
+from repro.ur.builder import BuilderError, QueryBuilder
+
+
+@pytest.fixture()
+def builder(webbase):
+    return QueryBuilder(webbase.ur)
+
+
+class TestBrowsing:
+    def test_top_level_concepts(self, builder):
+        assert builder.concepts() == ["Car", "Advert", "Value", "Safety", "Financing"]
+
+    def test_attributes_of_concept(self, builder):
+        assert builder.attributes_of("Car") == ["make", "model", "year"]
+        assert builder.attributes_of("Financing") == ["duration", "rate"]
+
+
+class TestConstruction:
+    def test_select_attributes(self, builder):
+        query = builder.select("make", "model", "price").build()
+        assert query.outputs == ("make", "model", "price")
+
+    def test_select_concept_expands(self, builder):
+        query = builder.select("Car", "price").build()
+        assert query.outputs == ("make", "model", "year", "price")
+
+    def test_select_deduplicates(self, builder):
+        query = builder.select("make", "Car").build()
+        assert query.outputs == ("make", "model", "year")
+
+    def test_where_constant(self, builder):
+        query = builder.select("make").where("make", "=", "jaguar").build()
+        assert query.condition.evaluate({"make": "jaguar"})
+
+    def test_where_attribute_reference(self, builder):
+        query = (
+            builder.select("price")
+            .where("price", "<", "@bb_price")
+            .build()
+        )
+        assert query.condition.evaluate({"price": 1, "bb_price": 2})
+        assert not query.condition.evaluate({"price": 3, "bb_price": 2})
+
+    def test_where_in(self, builder):
+        query = builder.select("zip").where_in("zip", ["10001", "10025"]).build()
+        assert query.condition.evaluate({"zip": "10001"})
+        assert not query.condition.evaluate({"zip": "90210"})
+
+    def test_fuzzy_attribute_resolution(self, builder):
+        query = builder.select("zip_code").build()
+        assert query.outputs == ("zip",)
+
+    def test_describe(self, builder):
+        builder.select("make").where("year", ">=", 1995)
+        text = builder.describe()
+        assert "make" in text and "year" in text
+
+
+class TestValidation:
+    def test_empty_outputs_rejected(self, builder):
+        with pytest.raises(BuilderError):
+            builder.build()
+
+    def test_unknown_operator_rejected(self, builder):
+        with pytest.raises(BuilderError):
+            builder.select("make").where("make", "~", "x")
+
+    def test_condition_on_concept_rejected(self, builder):
+        with pytest.raises(BuilderError):
+            builder.select("make").where("Car", "=", "x")
+
+    def test_empty_in_list_rejected(self, builder):
+        with pytest.raises(BuilderError):
+            builder.select("make").where_in("make", [])
+
+
+class TestEndToEnd:
+    def test_built_query_runs(self, webbase):
+        result = (
+            QueryBuilder(webbase.ur)
+            .select("Car", "price", "contact")
+            .where("make", "=", "ford")
+            .where("model", "=", "escort")
+            .where("price", "<", 5000)
+            .run()
+        )
+        assert len(result) > 0
+        assert all(d["price"] < 5000 for d in result.to_dicts())
+
+    def test_jaguar_query_via_builder(self, webbase):
+        result = (
+            QueryBuilder(webbase.ur)
+            .select("Car", "price", "bb_price", "safety")
+            .where("make", "=", "jaguar")
+            .where("year", ">=", 1993)
+            .where("condition", "=", "good")
+            .where_in("safety", ["good", "excellent"])
+            .where("price", "<", "@bb_price")
+            .run()
+        )
+        text_query = webbase.query(
+            "SELECT make, model, year, price, bb_price, safety "
+            "WHERE make = 'jaguar' AND year >= 1993 AND condition = 'good' "
+            "AND safety IN ('good', 'excellent') AND price < bb_price"
+        )
+        assert result == text_query

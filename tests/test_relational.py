@@ -1,0 +1,185 @@
+"""Unit and property tests for schemas and relation operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, SchemaError
+
+
+R = Relation(
+    ["make", "model", "price"],
+    [("ford", "escort", 4800), ("ford", "taurus", 9000), ("jaguar", "xj6", 21000)],
+)
+S = Relation(
+    ["make", "model", "bb"],
+    [("ford", "escort", 5000), ("jaguar", "xj6", 25000), ("honda", "civic", 8000)],
+)
+
+
+class TestSchema:
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_equality_ignores_order(self):
+        assert Schema(["a", "b"]) == Schema(["b", "a"])
+        assert hash(Schema(["a", "b"])) == hash(Schema(["b", "a"]))
+
+    def test_contains_and_index(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema and "c" not in schema
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("c")
+
+    def test_common_and_union(self):
+        a, b = Schema(["x", "y"]), Schema(["y", "z"])
+        assert a.common(b) == {"y"}
+        assert a.union(b).attrs == ("x", "y", "z")
+
+    def test_project_validates(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project(["b"])
+
+    def test_rename_passthrough(self):
+        assert Schema(["a", "b"]).rename({"a": "x"}).attrs == ("x", "b")
+
+
+class TestRelationBasics:
+    def test_rows_are_deduplicated(self):
+        rel = Relation(["a"], [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_rows_sorted_deterministically(self):
+        rel1 = Relation(["a"], [(2,), (1,)])
+        rel2 = Relation(["a"], [(1,), (2,)])
+        assert rel1.rows == rel2.rows
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(["a", "b"], [(1,)])
+
+    def test_from_dicts(self):
+        rel = Relation.from_dicts(["a", "b"], [{"a": 1, "b": 2}])
+        assert rel.rows == ((1, 2),)
+
+    def test_equality_modulo_column_order(self):
+        left = Relation(["a", "b"], [(1, 2)])
+        right = Relation(["b", "a"], [(2, 1)])
+        assert left == right
+
+    def test_to_dicts(self):
+        assert Relation(["a"], [(1,)]).to_dicts() == [{"a": 1}]
+
+    def test_heterogeneous_rows_sortable(self):
+        rel = Relation(["a"], [(1,), ("x",), (2.5,), (None,)])
+        assert len(rel) == 4
+
+    def test_pretty_truncates(self):
+        rel = Relation(["a"], [(i,) for i in range(30)])
+        text = rel.pretty(limit=5)
+        assert "more rows" in text
+
+
+class TestOperators:
+    def test_select(self):
+        cheap = R.select(lambda row: row["price"] < 10000)
+        assert len(cheap) == 2
+
+    def test_project(self):
+        makes = R.project(["make"])
+        assert makes.rows == (("ford",), ("jaguar",))
+
+    def test_rename(self):
+        renamed = R.rename({"price": "asking"})
+        assert "asking" in renamed.schema
+
+    def test_derive_new_attribute(self):
+        taxed = R.derive("taxed", lambda row: row["price"] * 2)
+        assert taxed.schema.attrs[-1] == "taxed"
+        assert all(d["taxed"] == d["price"] * 2 for d in taxed.to_dicts())
+
+    def test_derive_replaces_attribute(self):
+        doubled = R.derive("price", lambda row: row["price"] * 2)
+        assert doubled.schema == R.schema
+        assert {d["price"] for d in doubled.to_dicts()} == {9600, 18000, 42000}
+
+    def test_union_requires_same_schema(self):
+        with pytest.raises(SchemaError):
+            R.union(S)
+
+    def test_union_aligns_column_order(self):
+        left = Relation(["a", "b"], [(1, 2)])
+        right = Relation(["b", "a"], [(4, 3)])
+        merged = left.union(right)
+        assert set(merged.rows) == {(1, 2), (3, 4)}
+
+    def test_intersect_and_difference(self):
+        a = Relation(["x"], [(1,), (2,), (3,)])
+        b = Relation(["x"], [(2,), (3,), (4,)])
+        assert a.intersect(b).rows == ((2,), (3,))
+        assert a.difference(b).rows == ((1,),)
+
+    def test_natural_join(self):
+        joined = R.natural_join(S)
+        assert joined.schema.attrs == ("make", "model", "price", "bb")
+        assert len(joined) == 2  # escort + xj6
+
+    def test_natural_join_no_common_is_product(self):
+        a = Relation(["x"], [(1,), (2,)])
+        b = Relation(["y"], [("u",), ("v",)])
+        assert len(a.natural_join(b)) == 4
+
+    def test_distinct_values(self):
+        assert R.distinct_values(["make"]) == [("ford",), ("jaguar",)]
+
+
+# -- property tests: relational algebra laws -----------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3)), max_size=8
+)
+
+
+def _rel(rows, attrs=("k", "v")):
+    return Relation(list(attrs), rows)
+
+
+class TestAlgebraLaws:
+    @given(rows_strategy, rows_strategy)
+    def test_join_is_commutative(self, rows1, rows2):
+        a = _rel(rows1, ("k", "v"))
+        b = _rel(rows2, ("k", "w"))
+        assert a.natural_join(b) == b.natural_join(a)
+
+    @given(rows_strategy, rows_strategy)
+    def test_union_is_commutative(self, rows1, rows2):
+        a, b = _rel(rows1), _rel(rows2)
+        assert a.union(b) == b.union(a)
+
+    @given(rows_strategy)
+    def test_union_is_idempotent(self, rows):
+        a = _rel(rows)
+        assert a.union(a) == a
+
+    @given(rows_strategy, rows_strategy)
+    def test_select_distributes_over_union(self, rows1, rows2):
+        a, b = _rel(rows1), _rel(rows2)
+        pred = lambda row: row["v"] > 1
+        assert a.union(b).select(pred) == a.select(pred).union(b.select(pred))
+
+    @given(rows_strategy)
+    def test_project_to_full_schema_is_identity(self, rows):
+        a = _rel(rows)
+        assert a.project(["k", "v"]) == a
+
+    @given(rows_strategy)
+    def test_join_with_self_is_identity(self, rows):
+        a = _rel(rows)
+        assert a.natural_join(a) == a
+
+    @given(rows_strategy, rows_strategy)
+    def test_difference_then_union_recovers_superset(self, rows1, rows2):
+        a, b = _rel(rows1), _rel(rows2)
+        assert b.union(a.difference(b)) == a.union(b)

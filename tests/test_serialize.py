@@ -1,0 +1,101 @@
+"""Tests for navigation-map persistence (JSON round-trips)."""
+
+import pytest
+
+from repro.navigation.compiler import compile_map
+from repro.navigation.serialize import (
+    SerializeError,
+    dumps,
+    load_map,
+    loads,
+    map_from_dict,
+    map_to_dict,
+    save_map,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "host",
+        [
+            "www.newsday.com",  # branch + More + detail relation
+            "www.kbb.com",  # radio widgets
+            "cars.yahoo.com",  # labeled wrapper
+            "www.usedcarmart.com",  # two handles
+        ],
+    )
+    def test_map_round_trips(self, webbase, host):
+        original = webbase.builders[host].map
+        restored = loads(dumps(original))
+        assert restored.host == original.host
+        assert restored.root_id == original.root_id
+        assert set(restored.nodes) == set(original.nodes)
+        assert restored.edges == original.edges
+        for node_id, node in original.nodes.items():
+            twin = restored.nodes[node_id]
+            assert twin.signature == node.signature
+            assert twin.relation_name == node.relation_name
+            assert twin.wrapper == node.wrapper
+            assert set(twin.forms) == set(node.forms)
+
+    def test_restored_map_compiles_identically(self, webbase):
+        original = webbase.builders["www.newsday.com"].map
+        restored = loads(dumps(original))
+        assert (
+            compile_map(restored).program.pretty()
+            == compile_map(original).program.pretty()
+        )
+        original_handles = [
+            (h.relation, h.mandatory, h.selection)
+            for rel in compile_map(original).relations
+            for h in rel.handles
+        ]
+        restored_handles = [
+            (h.relation, h.mandatory, h.selection)
+            for rel in compile_map(restored).relations
+            for h in rel.handles
+        ]
+        assert restored_handles == original_handles
+
+    def test_restored_map_executes(self, webbase, world):
+        from repro.navigation.executor import NavigationExecutor
+
+        restored = loads(dumps(webbase.builders["www.newsday.com"].map))
+        executor = NavigationExecutor(world.server)
+        executor.add_site(compile_map(restored))
+        rows = executor.fetch("newsday", {"make": "saab"})
+        assert len(rows) == len(world.dataset.ads_for("www.newsday.com", make="saab"))
+
+    def test_file_round_trip(self, webbase, tmp_path):
+        original = webbase.builders["www.kbb.com"].map
+        path = str(tmp_path / "kellys.navmap.json")
+        save_map(original, path)
+        assert load_map(path).edges == original.edges
+
+    def test_dict_round_trip_is_stable(self, webbase):
+        original = webbase.builders["www.nytimes.com"].map
+        once = map_to_dict(original)
+        twice = map_to_dict(map_from_dict(once))
+        assert once == twice
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializeError):
+            loads("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(SerializeError):
+            loads("[1, 2]")
+
+    def test_wrong_format_version(self, webbase):
+        data = map_to_dict(webbase.builders["www.kbb.com"].map)
+        data["format"] = 99
+        with pytest.raises(SerializeError):
+            map_from_dict(data)
+
+    def test_unknown_edge_kind(self, webbase):
+        data = map_to_dict(webbase.builders["www.kbb.com"].map)
+        data["edges"].append({"kind": "teleport", "source": "n0", "target": "n1"})
+        with pytest.raises(SerializeError):
+            map_from_dict(data)

@@ -1,0 +1,245 @@
+"""Integration tests for the simulated sites' page topologies."""
+
+import pytest
+
+from repro.web.browser import Browser
+
+
+@pytest.fixture()
+def browser(world):
+    return Browser(world.server)
+
+
+class TestNewsday:
+    """The Figure 2 topology."""
+
+    def test_entry_links(self, browser):
+        page = browser.get("http://www.newsday.com/")
+        names = {l.name for l in page.links}
+        assert {"Auto", "New Car Dealer", "Collectible Cars", "Sport Utility"} <= names
+
+    def test_form_f1_has_make_select(self, browser):
+        browser.get("http://www.newsday.com/")
+        page = browser.follow_named("Auto")
+        widget = page.forms[0].widget("make")
+        assert widget.kind == "select"
+        assert "jaguar" in widget.domain
+
+    def test_many_matches_produce_refinement_form(self, browser):
+        browser.get("http://www.newsday.com/classified/cars")
+        page = browser.submit_by_attribute({"make": "ford"})
+        assert page.forms, "expected the dynamically generated form f2"
+        names = set(page.forms[0].attribute_names)
+        assert "model" in names and "featrs" in names
+
+    def test_few_matches_produce_data_page_directly(self, browser):
+        browser.get("http://www.newsday.com/classified/cars")
+        page = browser.submit_by_attribute({"make": "saab"})
+        assert not page.forms
+        assert page.tables()
+
+    def test_refinement_reaches_data_page(self, browser):
+        browser.get("http://www.newsday.com/classified/cars")
+        browser.submit_by_attribute({"make": "ford"})
+        page = browser.submit_by_attribute({"model": "escort"})
+        rows = page.tables()[0]
+        assert rows[0] == ["Make", "Model", "Year", "Price", "Contact", "Details"]
+        assert all(r[0] == "ford" and r[1] == "escort" for r in rows[1:])
+
+    def test_pagination_walks_all_rows(self, browser, world):
+        # AutoWeb has no refinement form, so a broad query pages through
+        # "More" links until the listing is exhausted.
+        browser.get("http://www.autoweb.com/marketplace")
+        page = browser.submit_by_attribute({"make": "ford"})
+        seen = 0
+        pages = 0
+        while True:
+            seen += len(page.tables()[0]) - 1
+            pages += 1
+            if not page.has_link_named("More"):
+                break
+            page = browser.follow_named("More")
+        expected = len(world.dataset.ads_for("www.autoweb.com", make="ford"))
+        assert seen == expected
+        assert pages > 1  # the query genuinely paginated
+
+    def test_detail_page_features(self, browser, world):
+        browser.get("http://www.newsday.com/classified/cars")
+        page = browser.submit_by_attribute({"make": "saab"})
+        detail = browser.follow(next(l for l in page.links if l.name == "Car Features"))
+        labels = [dt.text() for dt in detail.dom.find_all("dt")]
+        assert labels == ["Features", "Picture"]
+
+    def test_unknown_detail_ad(self, browser):
+        page = browser.get("http://www.newsday.com/classified/features?ad=999999")
+        assert "No such ad" in page.dom.text()
+
+
+class TestNytimes:
+    def test_single_form_flow(self, browser):
+        browser.get("http://www.nytimes.com/")
+        page = browser.follow_named("Automobiles")
+        form = page.forms[0]
+        assert form.method == "GET"
+        assert "" in form.widget("model").domain  # model optional
+
+    def test_vocabulary_differs(self, browser):
+        browser.get("http://www.nytimes.com/classified/autos")
+        page = browser.submit_by_attribute({"manufacturer": "ford"})
+        header = page.tables()[0][0]
+        assert header[0] == "Manufacturer"
+        assert "Asking Price" in header
+
+
+class TestDealers:
+    def test_carpoint_zipcode_filter(self, browser, world):
+        browser.get("http://www.carpoint.com/used")
+        page = browser.submit_by_attribute({"make": "jaguar", "zipcode": "10001"})
+        rows = page.tables()[0][1:] if page.tables() else []
+        expected = world.dataset.ads_for("www.carpoint.com", make="jaguar", zipcode="10001")
+        total = 0
+        while True:
+            total += len(rows)
+            if not page.has_link_named("More"):
+                break
+            page = browser.follow_named("More")
+            rows = page.tables()[0][1:]
+        assert total == len(expected)
+
+    def test_autoweb_get_method_and_columns(self, browser):
+        browser.get("http://www.autoweb.com/marketplace")
+        page = browser.submit_by_attribute({"make": "ford", "model": "escort"})
+        assert page.url.params.get("make") == "ford"
+        header = page.tables()[0][0]
+        assert header == ["Year", "Make", "Model", "Options", "Price", "Zip Code", "Seller"]
+
+
+class TestKellys:
+    def test_condition_is_radio(self, browser):
+        browser.get("http://www.kbb.com/")
+        page = browser.follow_named("Used Car Values")
+        widget = page.forms[0].widget("condition")
+        assert widget.kind == "radio" and widget.mandatory
+
+    def test_price_rows_one_per_year(self, browser, world):
+        browser.get("http://www.kbb.com/usedcar")
+        page = browser.submit_by_attribute(
+            {"make": "jaguar", "model": "xj6", "condition": "good"}
+        )
+        rows = page.tables()[0][1:]
+        assert len(rows) == 10  # one per model year 1990-1999
+        assert all(r[3] == "good" for r in rows)
+
+    def test_unknown_model_message(self, browser):
+        browser.get("http://www.kbb.com/usedcar")
+        page = browser.submit_by_attribute(
+            {"make": "ford", "model": "nosuch", "condition": "good"}
+        )
+        assert "No pricing available" in page.dom.text()
+
+
+class TestCarAndDriver:
+    def test_ratings_for_make(self, browser):
+        browser.get("http://www.caranddriver.com/ratings")
+        page = browser.submit_by_attribute({"make": "jaguar"})
+        rows = page.tables()[0][1:]
+        assert {r[1] for r in rows} == {"xj6", "xk8"}
+        assert all(r[3] in ("poor", "fair", "good", "excellent") for r in rows)
+
+
+class TestCarFinance:
+    def test_rates_by_zip(self, browser):
+        browser.get("http://www.carfinance.com/rates")
+        page = browser.submit_by_attribute({"zipcode": "10001"})
+        rows = page.tables()[0][1:]
+        assert [r[1] for r in rows] == ["24", "36", "48", "60"]
+        assert all(r[2].endswith("%") for r in rows)
+
+    def test_duration_filter(self, browser):
+        browser.get("http://www.carfinance.com/rates")
+        page = browser.submit_by_attribute({"zipcode": "10001", "duration": "48"})
+        rows = page.tables()[0][1:]
+        assert len(rows) == 1 and rows[0][1] == "48"
+
+    def test_unknown_zip(self, browser):
+        browser.get("http://www.carfinance.com/rates")
+        page = browser.submit_by_attribute({"zipcode": "99999"})
+        assert "No rates" in page.dom.text()
+
+
+class TestExtraSites:
+    def test_wwwheels_sloppy_html_still_parses(self, browser):
+        browser.get("http://www.wwwheels.com/find")
+        page = browser.submit_by_attribute({"make": "ford", "model": "escort"})
+        rows = page.tables()[0]
+        assert rows[0][0] == "Make"
+        assert rows[1][3].startswith("CAD ")
+
+    def test_nydaily_sloppy_refinement_flow(self, browser):
+        browser.get("http://www.nydailynews.com/classified/auto")
+        page = browser.submit_by_attribute({"make": "ford"})
+        assert page.forms  # refinement form
+        page = browser.submit_by_attribute({"model": "escort"})
+        assert page.tables()
+
+    def test_yahoocars_labeled_blocks(self, browser):
+        browser.get("http://cars.yahoo.com/listings")
+        page = browser.submit_by_attribute({"make": "ford", "model": "escort"})
+        labels = [dt.text() for dt in page.dom.find_all("dl")[0].find_all("dt")]
+        assert labels == ["Make", "Model", "Year", "Price", "Contact"]
+
+    def test_autoconnect_refine_threshold(self, browser):
+        browser.get("http://www.autoconnect.com/dealers")
+        page = browser.submit_by_attribute({"make": "ford"})
+        assert page.forms  # 12-ad threshold exceeded
+
+    def test_carreviews_direct_listing(self, browser):
+        browser.get("http://www.carreviews.com/classifieds")
+        page = browser.submit_by_attribute({"make": "ford", "model": "escort"})
+        assert page.tables()
+
+
+class TestUsedCarMart:
+    def test_entry_offers_both_search_forms(self, browser):
+        page = browser.get("http://www.usedcarmart.com/")
+        names = {l.name for l in page.links}
+        assert names == {"Search by Make", "Search by Zip Code"}
+
+    def test_both_forms_hit_the_same_cgi(self, browser):
+        browser.get("http://www.usedcarmart.com/bymake")
+        by_make = browser.page.forms[0]
+        browser.get("http://www.usedcarmart.com/byzip")
+        by_zip = browser.page.forms[0]
+        assert by_make.action.path == by_zip.action.path == "/cgi-bin/mart"
+        assert set(by_make.attribute_names) == {"make", "model"}
+        assert set(by_zip.attribute_names) == {"zip", "model"}
+
+    def test_results_agree_across_forms(self, browser, world):
+        browser.get("http://www.usedcarmart.com/bymake")
+        page = browser.submit_by_attribute({"make": "ford", "model": "escort"})
+        by_make_rows = page.tables()[0][1:]
+        browser.get("http://www.usedcarmart.com/byzip")
+        page = browser.submit_by_attribute({"zip": "10001", "model": "escort"})
+        by_zip_rows = page.tables()[0][1:]
+        # Rows common to both access paths are literally identical.
+        common = {tuple(r) for r in by_make_rows} & {tuple(r) for r in by_zip_rows}
+        expected = world.dataset.ads_for(
+            "www.usedcarmart.com", make="ford", model="escort", zipcode="10001"
+        )
+        assert len(common) == len(expected)
+
+
+class TestWorld:
+    def test_all_thirteen_sites_registered(self, world):
+        # The ten timing-table sites, CarPoint, CarFinance, and the
+        # multi-handle UsedCarMart.
+        assert len(world.server.hosts) == 13
+
+    def test_per_site_latency_varies_deterministically(self, world):
+        from repro.sites.world import build_world
+
+        again = build_world()
+        rtts = {h: world.server.latency_for(h).rtt for h in world.server.hosts}
+        again_rtts = {h: again.server.latency_for(h).rtt for h in again.server.hosts}
+        assert rtts == again_rtts
+        assert len(set(rtts.values())) > 1

@@ -1,0 +1,69 @@
+"""Unit tests for the per-site query/timing harness."""
+
+import pytest
+
+from repro.core.stats import (
+    DEFAULT_EXTRAS,
+    format_timing_table,
+    primary_relation,
+    site_given,
+    site_query_timings,
+)
+from repro.sites.world import TIMING_TABLE_HOSTS
+
+
+class TestPrimaryRelation:
+    def test_every_timing_host_has_one(self, webbase):
+        for host in TIMING_TABLE_HOSTS:
+            assert primary_relation(webbase, host)
+
+    def test_newsday_primary_is_the_listing_not_the_detail(self, webbase):
+        assert primary_relation(webbase, "www.newsday.com") == "newsday"
+
+
+class TestSiteGiven:
+    def test_direct_vocabulary(self, webbase):
+        given = site_given(webbase, "newsday", {"make": "ford", "model": "escort"})
+        assert given == {"make": "ford", "model": "escort"}
+
+    def test_alias_mapping_for_nytimes(self, webbase):
+        given = site_given(webbase, "nytimes", {"make": "ford", "model": "escort"})
+        assert given["manufacturer"] == "ford"
+        assert "make" not in given
+
+    def test_fuzzy_mapping_for_zip(self, webbase):
+        given = site_given(webbase, "carfinance", {"zip": "10001"})
+        assert given["zip_code"] == "10001"
+
+    def test_mandatory_defaults_filled(self, webbase):
+        given = site_given(webbase, "kellys", {"make": "ford", "model": "escort"})
+        assert given["condition"] == DEFAULT_EXTRAS["condition"]
+
+    def test_unmappable_attributes_dropped(self, webbase):
+        given = site_given(webbase, "caranddriver", {"make": "ford", "astrology": "x"})
+        assert "astrology" not in given
+
+
+class TestTimings:
+    def test_subset_of_hosts(self, webbase):
+        timings = site_query_timings(webbase, hosts=["www.newsday.com", "www.kbb.com"])
+        assert [t.host for t in timings] == ["www.newsday.com", "www.kbb.com"]
+
+    def test_custom_query(self, webbase):
+        timings = site_query_timings(
+            webbase, query={"make": "jaguar"}, hosts=["www.newsday.com"]
+        )
+        assert timings[0].rows > 0
+
+    def test_elapsed_is_cpu_plus_network(self, webbase):
+        timing = site_query_timings(webbase, hosts=["www.kbb.com"])[0]
+        assert timing.elapsed_seconds == pytest.approx(
+            timing.cpu_seconds + timing.network_seconds
+        )
+
+    def test_format_layout(self, webbase):
+        text = format_timing_table(site_query_timings(webbase, hosts=["www.kbb.com"]))
+        lines = text.splitlines()
+        assert lines[0].startswith("Site")
+        assert lines[1].startswith("---")
+        assert "www.kbb.com" in lines[2]
