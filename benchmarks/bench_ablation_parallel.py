@@ -1,16 +1,21 @@
 """Ablation A1 — parallelization of multi-site query evaluation.
 
 The paper's conclusion: "parallelization of query evaluation is crucial
-for obtaining acceptable response times."  We evaluate the ford/escort
-query over all ten sites sequentially and in parallel (one executor per
-site) and compare the elapsed-time models:
+for obtaining acceptable response times."  Both arms run through the real
+execution engine (``ExecutionContext`` fan-out over a bundle pool); the
+ablation is purely the worker count, so the elapsed-time models are
 
-  sequential elapsed = cpu + Σ network;   parallel elapsed = cpu + max network
+  sequential elapsed = cpu + Σ network  (one lane carries everything)
+  parallel elapsed   = cpu + busiest-lane network (online makespan)
+
+and both arms produce byte-identical rows.
 """
 
 from __future__ import annotations
 
 from repro.core.parallel import parallel_site_query, sequential_site_query
+
+QUERY = "SELECT make, model, price WHERE make = 'saab'"
 
 
 def test_ablation_parallel_fetching(benchmark, webbase):
@@ -28,17 +33,40 @@ def test_ablation_parallel_fetching(benchmark, webbase):
         )
     )
     print(
-        "  parallel:   cpu %.3fs + max network %.2fs = %.2fs elapsed  (%.1fx speedup)"
+        "  parallel:   cpu %.3fs + busiest lane %.2fs = %.2fs elapsed  (%.1fx speedup)"
         % (
             parallel.cpu_seconds,
-            max(parallel.network_by_host.values()),
+            parallel.critical_network_seconds,
             parallel.parallel_elapsed,
-            parallel.sequential_elapsed / parallel.parallel_elapsed,
+            parallel.speedup,
         )
     )
 
     # Same answers either way.
     assert parallel.rows_by_host == sequential.rows_by_host
-    # The headline shape: a substantial elapsed-time win, approaching the
-    # site count for similar site depths.
-    assert parallel.parallel_elapsed < parallel.sequential_elapsed / 2
+    # The acceptance bar: the engine's measured speedup on the 10-site
+    # workload clears 3x (it approaches the site count for similar depths).
+    assert parallel.speedup > 3.0
+
+
+def test_ablation_parallel_ur_query(webbase):
+    """The same ablation through the full UR query path (plan -> objects ->
+    union branches -> dependent-join probes all fan out)."""
+    narrow = webbase.execution_context(label="ur:sequential", max_workers=1)
+    wide = webbase.execution_context(label="ur:parallel", max_workers=8)
+    answer_narrow = webbase.query(QUERY, context=narrow)
+    answer_wide = webbase.query(QUERY, context=wide)
+
+    speedup = narrow.elapsed_seconds / wide.elapsed_seconds
+    print("\nAblation — UR query through the engine (%s)" % QUERY)
+    print(
+        "  1 worker : cpu %.3fs + network %.2fs = %.2fs elapsed"
+        % (narrow.cpu_seconds, narrow.network_seconds_critical, narrow.elapsed_seconds)
+    )
+    print(
+        "  8 workers: cpu %.3fs + busiest lane %.2fs = %.2fs elapsed  (%.1fx speedup)"
+        % (wide.cpu_seconds, wide.network_seconds_critical, wide.elapsed_seconds, speedup)
+    )
+
+    assert answer_wide == answer_narrow
+    assert wide.elapsed_seconds < narrow.elapsed_seconds

@@ -5,18 +5,23 @@ Run:  python examples/timing_and_parallel.py
 
 Runs ``SELECT make, model, year, price WHERE make=ford AND model=escort``
 against all ten timing-table sites, printing pages navigated, cpu and
-elapsed time per site — then repeats the sweep with one worker per site
-and compares elapsed times, and shows what the VPS result cache does for
-repeated queries.
+elapsed time per site — then repeats the sweep through the parallel
+execution engine (one worker per site) and compares elapsed times, shows
+what the VPS result cache does for repeated queries, and renders one
+query's structured trace.
 """
 
+from repro.core.execution import WebBaseConfig
 from repro.core.parallel import parallel_site_query, sequential_site_query
 from repro.core.stats import format_timing_table, site_query_timings
 from repro.core.webbase import WebBase
+from repro.vps.cache import CachePolicy
 
 
 def main() -> None:
-    webbase = WebBase.build(caching=True)
+    webbase = WebBase.create(
+        WebBaseConfig(cache=CachePolicy.lru(), max_workers=10)
+    )
 
     print("Per-site query: SELECT make,model,year,price WHERE make=ford AND model=escort\n")
     timings = site_query_timings(webbase)
@@ -32,7 +37,7 @@ def main() -> None:
     print("sequential elapsed: %6.2fs" % sequential.sequential_elapsed)
     print("parallel elapsed:   %6.2fs   (%.1fx speedup, 10 workers)" % (
         parallel.parallel_elapsed,
-        parallel.sequential_elapsed / parallel.parallel_elapsed,
+        parallel.speedup,
     ))
 
     print("\n--- the cache (repeat shopper) ---")
@@ -43,6 +48,15 @@ def main() -> None:
     after = webbase.cache.stats
     print("first run:  %s" % before)
     print("second run: %s  (no new misses: every fetch served locally)" % after)
+
+    print("\n--- one query, traced through the engine ---")
+    ctx = webbase.execution_context(label="example")
+    webbase.query("SELECT make, model, price WHERE make = 'saab'", context=ctx)
+    print(ctx.root.render())
+    print(
+        "\nelapsed %.2fs with %d workers (sequential would be %.2fs)"
+        % (ctx.elapsed_seconds, ctx.max_workers, ctx.sequential_elapsed_seconds)
+    )
 
 
 if __name__ == "__main__":

@@ -22,10 +22,22 @@ Quickstart::
     ).pretty())
 """
 
+from repro.core.execution import ExecutionContext, RetryPolicy, WebBaseConfig
 from repro.core.webbase import WebBase
 from repro.sites.world import World, build_world
 from repro.ur.builder import QueryBuilder
+from repro.vps.cache import CachePolicy
 
 __version__ = "0.1.0"
 
-__all__ = ["QueryBuilder", "WebBase", "World", "build_world", "__version__"]
+__all__ = [
+    "CachePolicy",
+    "ExecutionContext",
+    "QueryBuilder",
+    "RetryPolicy",
+    "WebBase",
+    "WebBaseConfig",
+    "World",
+    "build_world",
+    "__version__",
+]

@@ -3,6 +3,7 @@
 ::
 
     python -m repro query "SELECT make, model, price WHERE make = 'ford'"
+    python -m repro trace "SELECT make, model, price WHERE make = 'ford'"
     python -m repro plan  "SELECT make, bb_price WHERE condition = 'good'"
     python -m repro schema vps|logical|ur
     python -m repro expression newsday
@@ -11,7 +12,10 @@
     python -m repro baselines
 
 Every invocation builds the simulated Web and maps it by example (fast
-and deterministic); ``--seed`` and ``--ads-per-host`` change the world.
+and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
+``--workers`` sizes the execution engine's pool, and ``--fault-rate``
+injects deterministic transient faults for the retry machinery to absorb
+(watch them in ``trace``).
 """
 
 from __future__ import annotations
@@ -19,8 +23,11 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from repro.core.execution import WebBaseConfig
 from repro.core.stats import format_timing_table, site_query_timings
 from repro.core.webbase import WebBase
+from repro.vps.cache import CachePolicy
+from repro.web.server import FaultPlan
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,11 +42,28 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache", action="store_true", help="enable the VPS result cache"
     )
+    parser.add_argument(
+        "--workers", type=int, default=8, help="execution-engine worker pool size"
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject deterministic transient faults at this per-request rate",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7, help="seed of the injected fault schedule"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query", help="answer a universal-relation query")
     query.add_argument("text", help="SELECT attrs WHERE conditions")
     query.add_argument("--limit", type=int, default=25, help="rows to print")
+
+    trace = sub.add_parser(
+        "trace", help="answer a query and print the engine's structured trace"
+    )
+    trace.add_argument("text", help="SELECT attrs WHERE conditions")
 
     plan = sub.add_parser("plan", help="show a query's maximal objects")
     plan.add_argument("text")
@@ -63,14 +87,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    webbase = WebBase.build(
-        seed=args.seed, ads_per_host=args.ads_per_host, caching=args.cache
+    webbase = WebBase.create(
+        WebBaseConfig(
+            seed=args.seed,
+            ads_per_host=args.ads_per_host,
+            cache=CachePolicy.lru() if args.cache else CachePolicy.noop(),
+            max_workers=args.workers,
+            faults=(
+                FaultPlan(seed=args.fault_seed, error_rate=args.fault_rate)
+                if args.fault_rate > 0
+                else None
+            ),
+        )
     )
 
     if args.command == "query":
         result = webbase.query(args.text)
         print(result.pretty(limit=args.limit))
         print("(%d rows)" % len(result))
+        return 0
+
+    if args.command == "trace":
+        report = webbase.query_report(args.text)
+        print(report.pretty())
+        print()
+        print(report.trace.render())
         return 0
 
     if args.command == "plan":

@@ -1,5 +1,16 @@
 """The webbase core: the layered architecture assembled and instrumented."""
 
+from repro.core.execution import (
+    BundlePool,
+    ExecutionContext,
+    FanoutError,
+    FetchFailedError,
+    FetchFailure,
+    FetchTimeout,
+    RetryPolicy,
+    TraceSpan,
+    WebBaseConfig,
+)
 from repro.core.parallel import (
     ParallelOutcome,
     parallel_site_query,
@@ -16,10 +27,19 @@ from repro.core.stats import (
 from repro.core.webbase import WebBase
 
 __all__ = [
+    "BundlePool",
+    "ExecutionContext",
+    "FanoutError",
+    "FetchFailedError",
+    "FetchFailure",
+    "FetchTimeout",
     "ParallelOutcome",
+    "RetryPolicy",
     "SESSIONS",
     "SiteTiming",
+    "TraceSpan",
     "WebBase",
+    "WebBaseConfig",
     "build_all_builders",
     "build_all_maps",
     "format_timing_table",

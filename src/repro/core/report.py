@@ -3,14 +3,24 @@
 A webbase query fans out across sites; operators need to see where
 answers came from and what they cost.  :func:`run_with_report` evaluates
 a UR query *per maximal object* (instead of folding everything into one
-union) and accounts for the Web work each object caused: answer counts,
-pages fetched per host, simulated network seconds, and measured cpu time.
+union) on the execution engine and accounts for the Web work each object
+caused: answer counts, pages fetched per host, simulated network seconds,
+and measured cpu time — all read back from the engine's structured trace,
+which the report also carries (``report.trace``) for span-level drill-down
+(retries, cache hits, per-fetch costs).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.execution import (
+    ExecutionContext,
+    FanoutError,
+    FetchFailedError,
+    FetchFailure,
+    TraceSpan,
+)
 from repro.core.webbase import WebBase
 from repro.relational.algebra import evaluate
 from repro.relational.bindings import BindingError
@@ -43,6 +53,8 @@ class QueryReport:
     query_text: str
     answer: Relation
     objects: list[ObjectReport] = field(default_factory=list)
+    trace: TraceSpan | None = field(default=None, repr=False)
+    failures: list[FetchFailure] = field(default_factory=list)
 
     @property
     def total_pages(self) -> int:
@@ -55,6 +67,10 @@ class QueryReport:
     @property
     def total_cpu_seconds(self) -> float:
         return sum(o.cpu_seconds for o in self.objects)
+
+    @property
+    def total_retries(self) -> int:
+        return self.trace.total_retries if self.trace is not None else 0
 
     def pretty(self) -> str:
         lines = ["query: %s" % self.query_text]
@@ -87,53 +103,92 @@ class QueryReport:
                 self.total_cpu_seconds,
             )
         )
+        if self.total_retries:
+            lines.append("retries absorbed: %d" % self.total_retries)
+        for failure in self.failures:
+            lines.append("partial failure: %s" % failure.describe())
         return "\n".join(lines)
 
 
-def run_with_report(webbase: WebBase, query_text: str) -> QueryReport:
-    """Evaluate a UR query object by object, accounting for the Web work."""
+def _pages_by_host(span: TraceSpan) -> dict[str, int]:
+    """Per-host page counts from the fetch spans under ``span``."""
+    pages: dict[str, int] = {}
+    for fetch in span.spans("fetch"):
+        if fetch.pages:
+            host = str(fetch.attrs.get("host", "?"))
+            pages[host] = pages.get(host, 0) + fetch.pages
+    return pages
+
+
+def run_with_report(
+    webbase: WebBase, query_text: str, context: ExecutionContext | None = None
+) -> QueryReport:
+    """Evaluate a UR query object by object on the engine, reading each
+    object's Web work off its trace subtree."""
+    ctx = context or webbase.execution_context(label=query_text)
+    webbase.last_context = ctx
     plan: URPlan = webbase.plan(query_text)
-    server = webbase.world.server
-    clock = webbase.executor.browser.clock
     outputs = plan.query.outputs
     answer = Relation(Schema(outputs), [])
-    report = QueryReport(query_text=query_text, answer=answer)
+    report = QueryReport(query_text=query_text, answer=answer, trace=ctx.root)
     evaluated = 0
-    for obj in plan.objects:
-        if not obj.feasible:
+    with ctx.accounted(), ctx.span("query", query_text):
+        for obj in plan.objects:
+            if not obj.feasible:
+                report.objects.append(
+                    ObjectReport(obj.relations, 0, {}, 0.0, 0.0, skipped=obj.note)
+                )
+                continue
+            timer = CpuTimer().start()
+            piece: Relation | None = None
+            skipped = ""
+            with ctx.span("object", " ⋈ ".join(obj.relations)) as ospan:
+                try:
+                    piece = evaluate(obj.expression, webbase.logical, context=ctx)
+                except BindingError as exc:
+                    ospan.status = "skipped"
+                    ospan.error = skipped = str(exc)
+                except FetchFailedError as exc:
+                    # Exhausted retries under this object: report it as a
+                    # partial failure instead of aborting the query.
+                    ospan.status = "error"
+                    ospan.error = skipped = str(exc)
+                except FanoutError as exc:
+                    expected = (BindingError, FetchFailedError)
+                    if any(not isinstance(e, expected) for e in exc.errors):
+                        raise  # a real defect, not a fetch/binding outcome
+                    ospan.status = "error"
+                    ospan.error = skipped = str(exc)
+            cpu = timer.stop()
+            ospan.cpu_seconds = cpu
+            if piece is None:
+                report.objects.append(
+                    ObjectReport(
+                        obj.relations,
+                        0,
+                        _pages_by_host(ospan),
+                        ospan.total_network_seconds,
+                        cpu,
+                        skipped=skipped,
+                    )
+                )
+                continue
             report.objects.append(
-                ObjectReport(obj.relations, 0, {}, 0.0, 0.0, skipped=obj.note)
+                ObjectReport(
+                    relations=obj.relations,
+                    rows=len(piece),
+                    pages_by_host=_pages_by_host(ospan),
+                    network_seconds=ospan.total_network_seconds,
+                    cpu_seconds=cpu,
+                )
             )
-            continue
-        pages_before = {host: server.stats[host].pages_ok for host in server.stats}
-        network_before = clock.network_seconds
-        timer = CpuTimer().start()
-        try:
-            piece = evaluate(obj.expression, webbase.logical)
-        except BindingError as exc:
-            timer.stop()
-            report.objects.append(
-                ObjectReport(obj.relations, 0, {}, 0.0, 0.0, skipped=str(exc))
-            )
-            continue
-        cpu = timer.stop()
-        pages = {
-            host: server.stats[host].pages_ok - pages_before[host]
-            for host in server.stats
-            if server.stats[host].pages_ok != pages_before[host]
-        }
-        report.objects.append(
-            ObjectReport(
-                relations=obj.relations,
-                rows=len(piece),
-                pages_by_host=pages,
-                network_seconds=clock.network_seconds - network_before,
-                cpu_seconds=cpu,
-            )
-        )
-        answer = answer.union(piece)
-        evaluated += 1
+            answer = answer.union(piece)
+            evaluated += 1
+    report.failures = list(ctx.failures)
     if evaluated == 0:
-        raise PlanError("no maximal object was evaluable; plan:\n%s" % plan.describe())
+        detail = plan.describe()
+        if ctx.failures:
+            detail += "\n" + ctx.failure_report()
+        raise PlanError("no maximal object was evaluable; plan:\n%s" % detail)
     report.answer = answer
     return report

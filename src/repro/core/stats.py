@@ -89,28 +89,31 @@ def site_query_timings(
     query: dict[str, Any] | None = None,
     hosts: list[str] | None = None,
 ) -> list[SiteTiming]:
-    """Run the per-site query against every timing-table host."""
+    """Run the per-site query against every timing-table host.
+
+    Each site runs on its own single-worker execution context, so the
+    table's pages and network seconds come from the engine's per-host
+    accounting — the same instrumentation the query path reports."""
     query = query or {"make": "ford", "model": "escort"}
     hosts = hosts or TIMING_TABLE_HOSTS
-    server = webbase.world.server
-    clock = webbase.executor.browser.clock
     timings = []
     for host in hosts:
         relation_name = primary_relation(webbase, host)
         given = site_given(webbase, relation_name, query)
-        pages_before = server.stats[host].pages_ok
-        network_before = clock.network_seconds
+        context = webbase.execution_context(
+            label="timing:%s" % host, max_workers=1
+        )
         timer = CpuTimer().start()
-        result = webbase.fetch_vps(relation_name, given)
+        result = webbase.vps.fetch(relation_name, given, context=context)
         cpu = timer.stop()
         timings.append(
             SiteTiming(
                 host=host,
                 relation=relation_name,
                 rows=len(result),
-                pages=server.stats[host].pages_ok - pages_before,
+                pages=context.pages_by_host.get(host, 0),
                 cpu_seconds=cpu,
-                network_seconds=clock.network_seconds - network_before,
+                network_seconds=context.network_by_host.get(host, 0.0),
             )
         )
     return timings

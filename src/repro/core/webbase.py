@@ -5,12 +5,19 @@
 * the designer sessions build navigation maps by example;
 * the maps compile into navigation expressions and handles — the
   **virtual physical schema**;
-* Table 2's view definitions form the **logical schema** (optionally
-  behind a result cache);
+* Table 2's view definitions form the **logical schema**, behind the
+  always-present result-cache layer (a :class:`~repro.vps.cache.CachePolicy`
+  decides whether it stores anything);
 * the UsedCarUR concept hierarchy and compatibility rules form the
   **external schema**, queried with ``SELECT ... WHERE ...``.
 
->>> webbase = WebBase.build()
+Queries run on the parallel execution engine: every facade call gets (or
+shares) an :class:`~repro.core.execution.ExecutionContext` that fans
+independent fetches across a worker pool, retries transient failures, and
+records a structured trace.  Assembly is driven by one
+:class:`~repro.core.execution.WebBaseConfig` value::
+
+>>> webbase = WebBase.create(WebBaseConfig(max_workers=4))
 >>> answers = webbase.query("SELECT make, model, price WHERE make = 'ford' AND model = 'escort'")
 """
 
@@ -18,6 +25,12 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.execution import (
+    BundlePool,
+    ExecutionContext,
+    RetryPolicy,
+    WebBaseConfig,
+)
 from repro.core.sessions import build_all_builders
 from repro.logical import car_logical_schema
 from repro.logical.schema import LogicalSchema
@@ -28,14 +41,25 @@ from repro.relational.relation import Relation
 from repro.sites.world import World, build_world
 from repro.ur.planner import StructuredUR, URPlan
 from repro.ur.usedcars import build_used_car_ur
-from repro.vps.cache import CachingVps
+from repro.vps.cache import CachePolicy, ResultCache
 from repro.vps.schema import VpsSchema
 
 
 class WebBase:
     """A fully assembled webbase over the simulated car-domain Web."""
 
-    def __init__(self, world: World, caching: bool = False) -> None:
+    def __init__(
+        self,
+        world: World,
+        config: WebBaseConfig | None = None,
+        caching: bool = False,
+    ) -> None:
+        if config is None:
+            # Compatibility with the pre-config construction path.
+            config = WebBaseConfig(
+                cache=CachePolicy.lru() if caching else CachePolicy.noop()
+            )
+        self.config = config
         self.world = world
         self.builders: dict[str, MapBuilder] = build_all_builders(world)
         self.compiled: dict[str, CompiledSite] = {
@@ -45,40 +69,114 @@ class WebBase:
         self.vps = VpsSchema(self.executor)
         for compiled in self.compiled.values():
             self.vps.add_compiled_site(compiled)
-        self.cache: CachingVps | None = CachingVps(self.vps) if caching else None
-        self.logical: LogicalSchema = car_logical_schema(self.cache or self.vps)
+        self.pool = BundlePool(world.server, self.compiled.values())
+        self.cache: ResultCache = ResultCache(self.vps, config.cache)
+        self.logical: LogicalSchema = car_logical_schema(self.cache)
         self.ur: StructuredUR = build_used_car_ur(self.logical)
+        if config.faults is not None:
+            world.server.install_faults(config.faults)
+        # The engine context behind the most recent facade call that made
+        # its own — the place to look for the trace and the cost accounting.
+        self.last_context: ExecutionContext | None = None
+
+    @classmethod
+    def create(cls, config: WebBaseConfig | None = None) -> "WebBase":
+        """Build the simulated Web per ``config`` and assemble the webbase
+        (the canonical constructor)."""
+        config = config or WebBaseConfig()
+        world = build_world(seed=config.seed, ads_per_host=config.ads_per_host)
+        return cls(world, config=config)
 
     @classmethod
     def build(
         cls, seed: int = 1999, ads_per_host: int = 120, caching: bool = False
     ) -> "WebBase":
-        """Build the simulated Web and assemble the webbase over it."""
-        return cls(build_world(seed=seed, ads_per_host=ads_per_host), caching=caching)
+        """Deprecated shim over :meth:`create`.
+
+        .. deprecated:: the boolean-flag signature predates
+           :class:`~repro.core.execution.WebBaseConfig`; it maps onto a
+           config with the default engine settings and an LRU or no-op
+           cache policy.
+        """
+        return cls.create(
+            WebBaseConfig(
+                seed=seed,
+                ads_per_host=ads_per_host,
+                cache=CachePolicy.lru() if caching else CachePolicy.noop(),
+            )
+        )
+
+    # -- the execution engine ---------------------------------------------------
+
+    def execution_context(
+        self,
+        label: str = "query",
+        max_workers: int | None = None,
+        retry: RetryPolicy | None = None,
+        timeout_seconds: float | None = None,
+    ) -> ExecutionContext:
+        """A fresh per-query engine context, defaulting to the webbase
+        config's worker/retry/timeout policies.  Pass the same context to
+        several facade calls to pool their workers, per-context cache,
+        accounting and trace."""
+        config = self.config
+        return ExecutionContext(
+            self.pool,
+            max_workers=config.max_workers if max_workers is None else max_workers,
+            retry=retry or config.retry,
+            timeout_seconds=(
+                config.timeout_seconds if timeout_seconds is None else timeout_seconds
+            ),
+            label=label,
+        )
 
     # -- querying, layer by layer ------------------------------------------------
 
-    def query(self, text: str) -> Relation:
+    def query(self, text: str, context: ExecutionContext | None = None) -> Relation:
         """Answer an end-user query against the universal relation."""
-        return self.ur.answer(text)
+        ctx = context or self.execution_context(label=text)
+        self.last_context = ctx
+        with ctx.accounted(), ctx.span("query", text):
+            with ctx.span("plan", "ur") as span:
+                plan = self.ur.plan(text)
+                span.attrs["objects"] = len(plan.objects)
+                span.attrs["feasible"] = len(plan.feasible_objects)
+            return self.ur.answer(text, plan=plan, context=ctx)
 
     def plan(self, text: str) -> URPlan:
         """Show how a UR query decomposes into maximal objects."""
         return self.ur.plan(text)
 
-    def query_report(self, text: str):
-        """Answer a query with per-object provenance and cost accounting."""
+    def query_report(self, text: str, context: ExecutionContext | None = None):
+        """Answer a query with per-object provenance, cost accounting, and
+        the engine's structured trace."""
         from repro.core.report import run_with_report
 
-        return run_with_report(self, text)
+        return run_with_report(self, text, context=context)
 
-    def fetch_logical(self, name: str, given: dict[str, Any]) -> Relation:
+    def fetch_logical(
+        self,
+        name: str,
+        given: dict[str, Any],
+        context: ExecutionContext | None = None,
+    ) -> Relation:
         """Query one logical relation directly (site-independent view)."""
-        return self.logical.fetch(name, given)
+        ctx = context or self.execution_context(label="logical:%s" % name)
+        self.last_context = ctx
+        with ctx.accounted():
+            return self.logical.fetch(name, given, context=ctx)
 
-    def fetch_vps(self, name: str, given: dict[str, Any]) -> Relation:
+    def fetch_vps(
+        self,
+        name: str,
+        given: dict[str, Any],
+        context: ExecutionContext | None = None,
+    ) -> Relation:
         """Query one VPS relation directly (one site's form interface)."""
-        return (self.cache or self.vps).fetch(name, given)
+        ctx = context or self.execution_context(label="vps:%s" % name)
+        self.last_context = ctx
+        with ctx.accounted():
+            return self.cache.fetch(name, given, context=ctx)
 
     # -- introspection ---------------------------------------------------------------
 

@@ -36,8 +36,14 @@ class LogicalRelation:
         self.schema: Schema = schema_of(definition, vps)
         self.binding_sets: BindingSets = binding_sets_of(definition, vps)
 
-    def fetch(self, given: dict[str, Any]) -> Relation:
-        return evaluate(self.definition, self._vps, given)
+    def fetch(self, given: dict[str, Any], context: Any = None) -> Relation:
+        """Evaluate the view; with an execution context, independent VPS
+        fetches under the view fan out across its workers and the view gets
+        its own trace span."""
+        if context is None:
+            return evaluate(self.definition, self._vps, given)
+        with context.span("view", self.name):
+            return evaluate(self.definition, self._vps, given, context)
 
     def __repr__(self) -> str:
         return "LogicalRelation(%s%s)" % (self.name, tuple(self.schema))
@@ -101,5 +107,5 @@ class LogicalSchema:
     def base_binding_sets(self, name: str) -> BindingSets:
         return self.relation(name).binding_sets
 
-    def fetch(self, name: str, given: dict[str, Any]) -> Relation:
-        return self.relation(name).fetch(given)
+    def fetch(self, name: str, given: dict[str, Any], context: Any = None) -> Relation:
+        return self.relation(name).fetch(given, context=context)

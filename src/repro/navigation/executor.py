@@ -32,7 +32,7 @@ from repro.flogic.engine import Engine
 from repro.flogic.formulas import Pred, Program
 from repro.flogic.terms import Struct, Var, resolve, unify
 from repro.navigation.compiler import CompiledRelation, CompiledSite
-from repro.web.browser import Browser, NavigationError
+from repro.web.browser import Browser, NavigationError, TransientNetworkError
 from repro.web.clock import SimClock
 from repro.web.http import Request, Url, parse_url
 from repro.web.page import FormSpec, WebPage
@@ -93,6 +93,12 @@ class NavigationExecutor:
         except KeyError:
             raise ExecutorError("unknown relation %r" % name) from None
 
+    @property
+    def pages_last_fetch(self) -> int:
+        """Pages actually navigated (memo misses) by the most recent
+        :meth:`fetch` call — readable even when the fetch raised."""
+        return self._pages_this_fetch
+
     # -- fetching -------------------------------------------------------------
 
     def fetch(
@@ -148,6 +154,10 @@ class NavigationExecutor:
             )
         try:
             page = self.browser.request(request)
+        except TransientNetworkError:
+            # Retryable: let the execution engine's retry policy decide,
+            # instead of silently degrading to an empty answer.
+            raise
         except NavigationError:
             return None
         self._pages_this_fetch += 1

@@ -230,17 +230,32 @@ def binding_sets_of(expr: Expr, catalog: Catalog) -> BindingSets:
 # -- evaluation ----------------------------------------------------------------------
 
 
-def evaluate(expr: Expr, catalog: Catalog, given: dict[str, Any] | None = None) -> Relation:
+def evaluate(
+    expr: Expr,
+    catalog: Catalog,
+    given: dict[str, Any] | None = None,
+    context: Any = None,
+) -> Relation:
     """Evaluate ``expr`` with the bound attribute values in ``given``.
 
     ``given`` values are pushed into base fetches (satisfying mandatory
     attributes and narrowing results at the source) and are additionally
     applied as equality filters, so the result is exactly the sub-relation
     consistent with ``given``.
+
+    ``context`` is an :class:`~repro.core.execution.ExecutionContext` (or
+    anything with its ``map``/``run_fetch`` shape).  When present, it is
+    handed to base fetches and used to fan out the independent branches of
+    the tree — both sides of a union, and the probe batch of a dependent
+    join — across its worker pool.  Fan-outs collect results in submission
+    order, so a parallel evaluation returns exactly the sequential answer.
     """
     given = dict(given or {})
     if isinstance(expr, Base):
-        relation = catalog.fetch(expr.name, given)
+        if context is None:
+            relation = catalog.fetch(expr.name, given)
+        else:
+            relation = catalog.fetch(expr.name, given, context=context)
         return _filter_given(relation, given)
     if isinstance(expr, Fixed):
         return _filter_given(expr.relation, given)
@@ -248,24 +263,28 @@ def evaluate(expr: Expr, catalog: Catalog, given: dict[str, Any] | None = None) 
         constants = equality_bindings(expr.condition)
         child_given = dict(given)
         child_given.update(constants)
-        result = evaluate(expr.child, catalog, child_given)
+        result = evaluate(expr.child, catalog, child_given, context)
         # The caller's bound values still constrain the result even when the
         # selection's own constants contradict them (contradiction => empty).
         return _filter_given(result.select(expr.condition.evaluate), given)
     if isinstance(expr, Project):
         # Bound values for projected-away attributes must be applied before
         # projecting; evaluate the child with all of them, then project.
-        return evaluate(expr.child, catalog, given).project(expr.attrs)
+        return evaluate(expr.child, catalog, given, context).project(expr.attrs)
     if isinstance(expr, Rename):
         reverse = {new: old for old, new in expr.mapping}
         child_given = {reverse.get(a, a): v for a, v in given.items()}
-        return evaluate(expr.child, catalog, child_given).rename(expr.mapping_dict)
+        return evaluate(expr.child, catalog, child_given, context).rename(
+            expr.mapping_dict
+        )
     if isinstance(expr, Derive):
         child_given = {a: v for a, v in given.items() if a != expr.attr}
-        result = evaluate(expr.child, catalog, child_given).derive(expr.attr, expr.fn)
+        result = evaluate(expr.child, catalog, child_given, context).derive(
+            expr.attr, expr.fn
+        )
         return _filter_given(result, given)
     if isinstance(expr, Join):
-        return _evaluate_join(expr, catalog, given)
+        return _evaluate_join(expr, catalog, given, context)
     if isinstance(expr, Union):
         left_sets = binding_sets_of(expr.left, catalog)
         right_sets = binding_sets_of(expr.right, catalog)
@@ -273,12 +292,18 @@ def evaluate(expr: Expr, catalog: Catalog, given: dict[str, Any] | None = None) 
         left_ok = feasible(left_sets, bound)
         right_ok = feasible(right_sets, bound)
         if left_ok and right_ok:
-            left = evaluate(expr.left, catalog, given)
-            right = evaluate(expr.right, catalog, given)
+            if context is not None:
+                left, right = context.map(
+                    lambda side: evaluate(side, catalog, given, context),
+                    [expr.left, expr.right],
+                )
+            else:
+                left = evaluate(expr.left, catalog, given)
+                right = evaluate(expr.right, catalog, given)
             return left.union(right)
         if expr.relaxed and (left_ok or right_ok):
             side = expr.left if left_ok else expr.right
-            return evaluate(side, catalog, given)
+            return evaluate(side, catalog, given, context)
         raise BindingError(
             "union not computable with bound attributes %s" % sorted(bound)
         )
@@ -292,7 +317,9 @@ def _filter_given(relation: Relation, given: dict[str, Any]) -> Relation:
     return relation.select(lambda row: all(row[a] == v for a, v in relevant.items()))
 
 
-def _evaluate_join(expr: Join, catalog: Catalog, given: dict[str, Any]) -> Relation:
+def _evaluate_join(
+    expr: Join, catalog: Catalog, given: dict[str, Any], context: Any = None
+) -> Relation:
     bound = frozenset(given)
     left_schema = schema_of(expr.left, catalog)
     right_schema = schema_of(expr.right, catalog)
@@ -308,17 +335,32 @@ def _evaluate_join(expr: Join, catalog: Catalog, given: dict[str, Any]) -> Relat
         second_sets = binding_sets_of(second, catalog)
         if feasible(second_sets, bound):
             # Independent: both sides computable from the given bindings.
-            first_rel = evaluate(first, catalog, given)
-            second_rel = evaluate(second, catalog, given)
+            if context is not None:
+                first_rel, second_rel = context.map(
+                    lambda side: evaluate(side, catalog, given, context),
+                    [first, second],
+                )
+            else:
+                first_rel = evaluate(first, catalog, given)
+                second_rel = evaluate(second, catalog, given)
             return first_rel.natural_join(second_rel)
         if feasible(second_sets, bound | frozenset(common)):
             # Dependent: feed common-attribute values from the first side.
-            first_rel = evaluate(first, catalog, given)
-            pieces = []
-            for combo in first_rel.distinct_values(common):
+            first_rel = evaluate(first, catalog, given, context)
+
+            def probe(combo: tuple) -> Relation:
                 fed = dict(given)
                 fed.update(dict(zip(common, combo)))
-                pieces.append(evaluate(second, catalog, fed))
+                return evaluate(second, catalog, fed, context)
+
+            combos = list(first_rel.distinct_values(common))
+            if context is not None:
+                # The probe batch is the join's fan-out opportunity: each
+                # distinct binding combination probes the second side
+                # independently, and the fold below runs in combo order.
+                pieces = context.map(probe, combos)
+            else:
+                pieces = [probe(combo) for combo in combos]
             if pieces:
                 second_rel = pieces[0]
                 for piece in pieces[1:]:

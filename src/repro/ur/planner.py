@@ -11,6 +11,7 @@ be optimized and evaluated by standard query evaluation techniques."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.logical.schema import LogicalSchema
 from repro.relational.algebra import (
@@ -171,22 +172,72 @@ class StructuredUR:
 
     # -- evaluation -----------------------------------------------------------------
 
-    def answer(self, query: URQuery | str, plan: URPlan | None = None) -> Relation:
-        """Evaluate a query: the union of its feasible objects' answers."""
+    def answer(
+        self,
+        query: URQuery | str,
+        plan: URPlan | None = None,
+        context: Any = None,
+    ) -> Relation:
+        """Evaluate a query: the union of its feasible objects' answers.
+
+        With an execution context the maximal objects evaluate in parallel
+        on its worker pool (results still union in plan order, so the
+        answer matches the sequential one exactly), and an object whose
+        fetches exhaust their retry budget is skipped — recorded in
+        ``context.failures`` — instead of aborting the whole query.
+        """
         if plan is None:
             plan = self.plan(query)
         outputs = plan.query.outputs
         result = Relation(Schema(outputs), [])
+        if context is None:
+            pieces = []
+            for obj in plan.feasible_objects:
+                try:
+                    pieces.append(evaluate(obj.expression, self.logical))
+                except BindingError:
+                    pieces.append(None)
+        else:
+            pieces = context.map(
+                lambda obj: self._evaluate_object(obj, context),
+                plan.feasible_objects,
+            )
         evaluated = 0
-        for obj in plan.feasible_objects:
-            try:
-                piece = evaluate(obj.expression, self.logical)
-            except BindingError:
+        for piece in pieces:
+            if piece is None:
                 continue
             result = result.union(piece)
             evaluated += 1
         if evaluated == 0:
-            raise PlanError(
-                "no maximal object was evaluable; plan:\n%s" % plan.describe()
-            )
+            detail = plan.describe()
+            if context is not None and context.failures:
+                detail += "\n" + context.failure_report()
+            raise PlanError("no maximal object was evaluable; plan:\n%s" % detail)
         return result
+
+    def _evaluate_object(self, obj: ObjectPlan, context: Any) -> Relation | None:
+        """Evaluate one maximal object under the engine; ``None`` means the
+        object contributed nothing (infeasible bindings or exhausted
+        retries — the partial-failure path)."""
+        from repro.core.execution import FanoutError, FetchFailedError
+
+        with context.span("object", " ⋈ ".join(obj.relations)) as span:
+            try:
+                return evaluate(obj.expression, self.logical, context=context)
+            except BindingError as exc:
+                span.status = "skipped"
+                span.error = str(exc)
+                return None
+            except FetchFailedError as exc:
+                # The failure is already on context.failures; degrade to a
+                # partial answer instead of aborting the query.
+                span.status = "error"
+                span.error = str(exc)
+                return None
+            except FanoutError as exc:
+                expected = (BindingError, FetchFailedError)
+                if any(not isinstance(e, expected) for e in exc.errors):
+                    raise  # a real defect, not a fetch/binding outcome
+                span.status = "error"
+                span.error = str(exc)
+                return None

@@ -1,13 +1,15 @@
 """The virtual physical schema layer: handles, virtual relations, caching."""
 
-from repro.vps.cache import CachingVps
+from repro.vps.cache import CachePolicy, CachingVps, ResultCache
 from repro.vps.handle import Handle, HandleError, check_handle_family
 from repro.vps.schema import VirtualRelation, VpsSchema
 from repro.vps.verify import AgreementReport, Disagreement, verify_handle_agreement
 
 __all__ = [
     "AgreementReport",
+    "CachePolicy",
     "CachingVps",
+    "ResultCache",
     "Disagreement",
     "Handle",
     "HandleError",

@@ -5,12 +5,22 @@ technique for acceptable response times when querying many sites.  This is
 that cache: a bounded memo of ``(relation, bound-values) -> Relation`` that
 sits in front of a :class:`~repro.vps.schema.VpsSchema` and satisfies the
 same Catalog protocol, so it can be slotted under the logical layer
-transparently.  The ablation benchmark compares cold vs warm evaluations.
+transparently.
+
+The cache is an *always-present* layer of the webbase: a
+:class:`CachePolicy` decides whether it stores anything.  With the no-op
+policy every fetch passes straight through (the cold ablation arm); with
+an LRU policy results are shared across queries.  Either way there is
+exactly one fetch path — no ``cache or vps`` branching at call sites.
+The ablation benchmark compares cold vs warm evaluations.
 """
 
 from __future__ import annotations
 
+import threading
+
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any
 
 from repro.relational.bindings import BindingSets
@@ -19,15 +29,44 @@ from repro.relational.schema import Schema
 from repro.vps.schema import VpsSchema
 
 
-class CachingVps:
-    """An LRU result cache over a VPS schema (Catalog-compatible)."""
+@dataclass(frozen=True)
+class CachePolicy:
+    """Whether, and how much, the cross-query result cache may store."""
 
-    def __init__(self, inner: VpsSchema, max_entries: int = 1024) -> None:
+    enabled: bool = True
+    max_entries: int = 1024
+
+    @classmethod
+    def noop(cls) -> "CachePolicy":
+        """A disabled cache: every fetch goes to the source."""
+        return cls(enabled=False, max_entries=0)
+
+    @classmethod
+    def lru(cls, max_entries: int = 1024) -> "CachePolicy":
+        """A bounded least-recently-used cache shared across queries."""
+        return cls(enabled=True, max_entries=max_entries)
+
+
+class ResultCache:
+    """The always-present cache layer over a VPS schema (Catalog-compatible).
+
+    Thread-safe: parallel execution contexts fetch through one shared
+    instance.  An :class:`~repro.core.execution.ExecutionContext` passed to
+    :meth:`fetch` rides through to the VPS layer on misses, so uncached
+    fetches still get the engine's workers, retries and tracing.
+    """
+
+    def __init__(self, inner: VpsSchema, policy: CachePolicy | None = None) -> None:
         self.inner = inner
-        self.max_entries = max_entries
+        self.policy = policy or CachePolicy.lru()
         self._cache: OrderedDict[tuple, Relation] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self.policy.max_entries
 
     def base_schema(self, name: str) -> Schema:
         return self.inner.base_schema(name)
@@ -35,32 +74,51 @@ class CachingVps:
     def base_binding_sets(self, name: str) -> BindingSets:
         return self.inner.base_binding_sets(name)
 
-    def fetch(self, name: str, given: dict[str, Any]) -> Relation:
+    def _fetch_inner(self, name: str, given: dict[str, Any], context: Any) -> Relation:
+        if context is None:
+            return self.inner.fetch(name, given)
+        return self.inner.fetch(name, given, context=context)
+
+    def fetch(
+        self, name: str, given: dict[str, Any], context: Any = None
+    ) -> Relation:
+        if not self.policy.enabled:
+            return self._fetch_inner(name, given, context)
         key = (name, tuple(sorted((a, v) for a, v in given.items() if v is not None)))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self.misses += 1
-        result = self.inner.fetch(name, given)
-        self._cache[key] = result
-        if len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                return cached
+            self.misses += 1
+        result = self._fetch_inner(name, given, context)
+        with self._lock:
+            self._cache[key] = result
+            if len(self._cache) > self.policy.max_entries:
+                self._cache.popitem(last=False)
         return result
 
     def invalidate(self, name: str | None = None) -> int:
         """Drop cached results (all of them, or one relation's); returns the
         number of entries removed."""
-        if name is None:
-            removed = len(self._cache)
-            self._cache.clear()
-            return removed
-        stale = [k for k in self._cache if k[0] == name]
-        for key in stale:
-            del self._cache[key]
-        return len(stale)
+        with self._lock:
+            if name is None:
+                removed = len(self._cache)
+                self._cache.clear()
+                return removed
+            stale = [k for k in self._cache if k[0] == name]
+            for key in stale:
+                del self._cache[key]
+            return len(stale)
 
     @property
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
+
+class CachingVps(ResultCache):
+    """Backwards-compatible LRU cache (the pre-engine bolt-on interface)."""
+
+    def __init__(self, inner: VpsSchema, max_entries: int = 1024) -> None:
+        super().__init__(inner, CachePolicy.lru(max_entries))

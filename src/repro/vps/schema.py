@@ -54,12 +54,15 @@ class VirtualRelation:
             )
         return max(usable, key=lambda h: (len(h.selection & given), sorted(h.mandatory)))
 
-    def fetch(self, given: dict[str, Any]) -> Relation:
+    def fetch(
+        self, given: dict[str, Any], executor: "NavigationExecutor | None" = None
+    ) -> Relation:
         """Populate the relation for the bound values in ``given``.
 
         Values for attributes outside the handle's selection set and the
         relation schema are ignored (they belong to other relations in a
-        larger expression).
+        larger expression).  ``executor`` substitutes a worker's private
+        navigation stack for the default one (parallel fetch lanes).
         """
         keys = frozenset(a for a, v in given.items() if v is not None)
         handle = self.handle_for(keys)
@@ -68,7 +71,7 @@ class VirtualRelation:
             for a, v in given.items()
             if v is not None and (a in handle.selection or a in self.schema)
         }
-        rows = self._executor.fetch(self.name, relevant, goal=handle.goal)
+        rows = (executor or self._executor).fetch(self.name, relevant, goal=handle.goal)
         return Relation.from_dicts(
             self.schema, [{a: r.get(a) for a in self.schema} for r in rows]
         )
@@ -104,5 +107,13 @@ class VpsSchema:
     def base_binding_sets(self, name: str) -> BindingSets:
         return self.relation(name).binding_sets
 
-    def fetch(self, name: str, given: dict[str, Any]) -> Relation:
-        return self.relation(name).fetch(given)
+    def fetch(self, name: str, given: dict[str, Any], context: Any = None) -> Relation:
+        """Fetch a relation, optionally through an execution context.
+
+        With a context, the fetch runs on the engine — worker checkout,
+        per-context caching, timeout/retry, trace spans; without one it
+        runs directly on the schema's own executor (the simple path test
+        doubles and small tools use)."""
+        if context is None:
+            return self.relation(name).fetch(given)
+        return context.run_fetch(self.relation(name), given)

@@ -21,11 +21,20 @@ from dataclasses import dataclass
 from repro.web.clock import SimClock
 from repro.web.http import Request, Response, Url
 from repro.web.page import FormSpec, Link, WebPage, parse_page
-from repro.web.server import HttpError, WebServer
+from repro.web.server import HttpError, TransientHttpError, WebServer
 
 
 class NavigationError(Exception):
     """A navigation step could not be completed (bad page, failed fetch)."""
+
+
+class TransientNetworkError(NavigationError):
+    """A navigation step failed transiently: retrying may well succeed.
+
+    Raised for injected :class:`~repro.web.server.TransientHttpError`
+    outcomes; unlike a plain :class:`NavigationError` (broken site,
+    vanished page), callers with a retry budget should re-issue the fetch
+    rather than degrade to an empty answer."""
 
 
 @dataclass(frozen=True)
@@ -146,12 +155,16 @@ class Browser:
         from repro.web.http import parse_url
 
         for _ in range(self.MAX_REDIRECTS + 1):
+            latency = self.server.latency_for(request.url.host)
             try:
                 response = self.server.fetch(request)
+            except TransientHttpError as exc:
+                # The connection was made and dropped: the round trip is spent.
+                self.clock.charge(latency.rtt)
+                raise TransientNetworkError(str(exc)) from exc
             except HttpError as exc:
                 raise NavigationError(str(exc)) from exc
-            latency = self.server.latency_for(request.url.host)
-            self.clock.charge(latency.cost(len(response)))
+            self.clock.charge(latency.cost(len(response)) + response.extra_latency)
             if response.status in (301, 302, 303, 307) and response.location:
                 try:
                     target = parse_url(response.location, base=request.url)

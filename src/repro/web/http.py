@@ -186,6 +186,7 @@ class Response:
     content_type: str = "text/html"
     final_url: Url | None = None
     location: str | None = None  # redirect target for 3xx statuses
+    extra_latency: float = 0.0  # injected network delay (fault simulation)
 
     @classmethod
     def redirect(cls, location: "Url | str", status: int = 303) -> "Response":

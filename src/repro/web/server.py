@@ -9,6 +9,7 @@ traffic counters so benchmarks can report the paper's "# of pages" column.
 
 from __future__ import annotations
 
+import random
 import threading
 
 from dataclasses import dataclass
@@ -25,6 +26,56 @@ class HttpError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__("%d %s" % (status, message))
         self.status = status
+
+
+class TransientHttpError(HttpError):
+    """A failure that would succeed if the request were simply retried.
+
+    The real Web produces these constantly (overloaded CGI gateways,
+    dropped connections); the fault-injection layer raises them so the
+    execution engine's retry machinery has something real to chew on."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of transient faults for the simulated Web.
+
+    Every request to a covered host rolls against ``error_rate`` (raise a
+    transient 503) and ``spike_rate`` (deliver the page after an extra
+    ``spike_seconds`` of simulated latency).  Rolls depend only on
+    ``(seed, host, per-host request ordinal)``, so a given world replays
+    the identical fault sequence run after run — which is what makes the
+    retry/timeout machinery testable and benchable.
+
+    ``max_consecutive`` caps how many *consecutive* requests to one host
+    may fail: with the default of 1, the immediate retry of a failed
+    request always succeeds, so a retrying engine provably recovers.  Set
+    it to a large value (or ``error_rate=1.0``) to simulate a dead host
+    and exercise retry exhaustion.
+    """
+
+    seed: int = 7
+    error_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_seconds: float = 4.0
+    max_consecutive: int = 1
+    hosts: tuple[str, ...] | None = None  # None = every host
+
+    def covers(self, host: str) -> bool:
+        return self.hosts is None or host in self.hosts
+
+    def _roll(self, host: str, ordinal: int, kind: str) -> float:
+        return random.Random(
+            "%d:%s:%s:%d" % (self.seed, kind, host, ordinal)
+        ).random()
+
+    def should_fail(self, host: str, ordinal: int) -> bool:
+        return self.covers(host) and self._roll(host, ordinal, "err") < self.error_rate
+
+    def spike_for(self, host: str, ordinal: int) -> float:
+        if self.covers(host) and self._roll(host, ordinal, "spk") < self.spike_rate:
+            return self.spike_seconds
+        return 0.0
 
 
 # A route handler receives the request and returns either a full Response or
@@ -86,6 +137,7 @@ class TrafficStats:
     requests: int = 0
     pages_ok: int = 0
     bytes_sent: int = 0
+    faults: int = 0  # transient failures injected by the fault plan
 
     def record(self, response: Response) -> None:
         self.requests += 1
@@ -103,6 +155,18 @@ class WebServer:
         self.stats: dict[str, TrafficStats] = {}
         # The parallel fetcher serves several browsers from one server.
         self._stats_lock = threading.Lock()
+        self.fault_plan: FaultPlan | None = None
+        self._fault_ordinal: dict[str, int] = {}
+        self._fault_streak: dict[str, int] = {}
+
+    def install_faults(self, plan: FaultPlan | None) -> None:
+        """Install (or, with ``None``, remove) a deterministic fault plan.
+
+        Installing resets the per-host fault counters so the same plan on
+        the same workload replays the same fault sequence."""
+        self.fault_plan = plan
+        self._fault_ordinal = {}
+        self._fault_streak = {}
 
     def add_site(self, site: Site) -> Site:
         if site.host in self._sites:
@@ -128,14 +192,37 @@ class WebServer:
         return self.default_latency
 
     def fetch(self, request: Request) -> Response:
-        """Serve one request; raises :class:`HttpError` for unknown hosts."""
+        """Serve one request; raises :class:`HttpError` for unknown hosts
+        and :class:`TransientHttpError` when the fault plan injects one."""
         site = self._sites.get(request.url.host)
         if site is None:
             raise HttpError(502, "unknown host %r" % request.url.host)
+        spike = self._apply_faults(site.host)
         response = site.handle(request)
+        if spike:
+            response.extra_latency += spike
         with self._stats_lock:
             self.stats[site.host].record(response)
         return response
+
+    def _apply_faults(self, host: str) -> float:
+        """Roll the fault plan for one request; returns the latency spike
+        to charge (0.0 for none) or raises :class:`TransientHttpError`."""
+        plan = self.fault_plan
+        if plan is None or not plan.covers(host):
+            return 0.0
+        with self._stats_lock:
+            ordinal = self._fault_ordinal.get(host, 0)
+            self._fault_ordinal[host] = ordinal + 1
+            streak = self._fault_streak.get(host, 0)
+            if plan.should_fail(host, ordinal) and streak < plan.max_consecutive:
+                self._fault_streak[host] = streak + 1
+                self.stats[host].faults += 1
+                raise TransientHttpError(
+                    503, "injected transient fault at %s (request #%d)" % (host, ordinal)
+                )
+            self._fault_streak[host] = 0
+        return plan.spike_for(host, ordinal)
 
     def reset_stats(self) -> None:
         for host in self.stats:

@@ -1,0 +1,153 @@
+"""Tests for the parallel execution engine: contexts, fan-out, tracing."""
+
+import pytest
+
+from repro.core.execution import (
+    ExecutionContext,
+    FanoutError,
+    RetryPolicy,
+    TraceSpan,
+    WebBaseConfig,
+)
+from repro.core.webbase import WebBase
+from repro.vps.cache import CachePolicy
+
+
+class TestEndToEndSmoke:
+    """One traced UR query through the whole engine (the CI smoke path)."""
+
+    QUERY = "SELECT make, model, price WHERE make = 'saab'"
+
+    def test_traced_query_under_four_workers(self, webbase):
+        ctx = webbase.execution_context(max_workers=4)
+        result = webbase.query(self.QUERY, context=ctx)
+        assert len(result) > 0
+        # The trace covers the whole plan→object→view→fetch chain.
+        assert [s.kind for s in ctx.root.children] == ["query"]
+        assert ctx.root.spans("plan")
+        assert len(ctx.root.spans("object")) == 2  # classifieds + dealers
+        assert ctx.root.spans("view")
+        fetches = ctx.root.spans("fetch")
+        assert fetches and all(s.children for s in fetches)  # attempt spans
+        # Accounting: real Web work happened and was attributed.
+        assert ctx.fetches > 0
+        assert ctx.root.total_pages > 0
+        assert ctx.network_seconds_total > 0
+        assert sum(ctx.pages_by_host.values()) == ctx.root.total_pages
+        assert ctx.elapsed_seconds <= ctx.sequential_elapsed_seconds
+
+    def test_parallel_answer_matches_sequential(self, webbase):
+        sequential = webbase.query(
+            self.QUERY, context=webbase.execution_context(max_workers=1)
+        )
+        parallel = webbase.query(
+            self.QUERY, context=webbase.execution_context(max_workers=8)
+        )
+        assert parallel == sequential
+
+    def test_default_context_recorded(self, webbase):
+        webbase.query(self.QUERY)
+        ctx = webbase.last_context
+        assert ctx is not None and ctx.fetches > 0
+
+
+class TestElapsedModel:
+    def test_lanes_bound_by_workers(self, webbase):
+        wide = webbase.execution_context(max_workers=8)
+        webbase.query("SELECT make, model, price WHERE make = 'bmw'", context=wide)
+        narrow = webbase.execution_context(max_workers=1)
+        webbase.query("SELECT make, model, price WHERE make = 'bmw'", context=narrow)
+        # Same work either way; only the makespan model differs.
+        assert wide.network_seconds_total == pytest.approx(
+            narrow.network_seconds_total
+        )
+        assert narrow.network_seconds_critical == pytest.approx(
+            narrow.network_seconds_total
+        )
+        assert wide.network_seconds_critical < narrow.network_seconds_critical
+
+    def test_per_context_cache_deduplicates(self, webbase):
+        ctx = webbase.execution_context(max_workers=2)
+        first = webbase.fetch_vps("newsday", {"make": "saab"}, context=ctx)
+        again = webbase.fetch_vps("newsday", {"make": "saab"}, context=ctx)
+        assert again == first
+        assert ctx.fetches == 1 and ctx.cache_hits == 1
+        hit_spans = [s for s in ctx.root.spans("fetch") if s.cache == "hit"]
+        assert len(hit_spans) == 1 and hit_spans[0].network_seconds == 0
+
+
+class TestMapFanout:
+    def _context(self, webbase, workers=4):
+        return ExecutionContext(webbase.pool, max_workers=workers)
+
+    def test_preserves_order(self, webbase):
+        ctx = self._context(webbase)
+        assert ctx.map(lambda x: x * x, range(20)) == [x * x for x in range(20)]
+
+    def test_single_error_reraised_as_itself(self, webbase):
+        ctx = self._context(webbase)
+
+        def boom(x):
+            if x == 3:
+                raise KeyError("x3")
+            return x
+
+        with pytest.raises(KeyError):
+            ctx.map(boom, range(6))
+
+    def test_multiple_errors_aggregate(self, webbase):
+        ctx = self._context(webbase)
+
+        def boom(x):
+            if x % 2:
+                raise ValueError("odd %d" % x)
+            return x
+
+        with pytest.raises(FanoutError) as info:
+            ctx.map(boom, range(6))
+        assert len(info.value.errors) == 3
+        assert "3 of 6 parallel task(s) failed" in str(info.value)
+        assert "odd 1" in str(info.value) and "odd 5" in str(info.value)
+
+
+class TestConfig:
+    def test_create_with_config(self):
+        config = WebBaseConfig(
+            ads_per_host=40,
+            cache=CachePolicy.lru(64),
+            max_workers=3,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        webbase = WebBase.create(config)
+        assert webbase.config is config
+        assert webbase.cache.policy.max_entries == 64
+        ctx = webbase.execution_context()
+        assert ctx.max_workers == 3 and ctx.retry.max_attempts == 2
+
+    def test_build_shim_maps_to_config(self):
+        cached = WebBase.build(ads_per_host=40, caching=True)
+        plain = WebBase.build(ads_per_host=40, caching=False)
+        assert cached.config.cache.enabled
+        assert not plain.config.cache.enabled
+        # The no-op policy still exposes the one fetch path and its stats.
+        assert plain.cache.stats["entries"] == 0
+
+    def test_retry_policy_backoff_grows(self):
+        policy = RetryPolicy(max_attempts=4, backoff_seconds=0.5, backoff_factor=3.0)
+        assert policy.delay_before(1) == 0.0
+        assert policy.delay_before(2) == 0.5
+        assert policy.delay_before(3) == 1.5
+        assert policy.delay_before(4) == 4.5
+
+
+class TestTraceSpan:
+    def test_render_and_walk(self):
+        root = TraceSpan("query", "q")
+        child = TraceSpan("fetch", "newsday", pages=2, network_seconds=1.5)
+        child.attrs["attempts"] = 2
+        root.children.append(child)
+        assert [s.name for s in root.walk()] == ["q", "newsday"]
+        assert root.total_pages == 2
+        assert root.total_retries == 1
+        text = root.render()
+        assert "query q" in text and "2 attempts" in text and "net 1.50s" in text

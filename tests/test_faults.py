@@ -1,0 +1,178 @@
+"""Fault injection and the engine's retry/timeout/partial-failure paths."""
+
+import pytest
+
+from repro.core.execution import (
+    FetchFailedError,
+    RetryPolicy,
+    WebBaseConfig,
+)
+from repro.core.webbase import WebBase
+from repro.ur.planner import PlanError
+from repro.web.server import FaultPlan
+
+QUERY = "SELECT make, model, price WHERE make = 'saab'"
+CLASSIFIED_HOSTS = ("www.newsday.com", "www.nytimes.com")
+
+
+def _faulty_webbase(**fault_kwargs) -> WebBase:
+    retry = fault_kwargs.pop("retry", RetryPolicy(max_attempts=4))
+    return WebBase.create(
+        WebBaseConfig(faults=FaultPlan(**fault_kwargs), retry=retry)
+    )
+
+
+class TestFaultPlan:
+    def test_rolls_are_deterministic(self):
+        plan = FaultPlan(seed=11, error_rate=0.5)
+        decisions = [plan.should_fail("h.com", n) for n in range(50)]
+        again = [
+            FaultPlan(seed=11, error_rate=0.5).should_fail("h.com", n)
+            for n in range(50)
+        ]
+        assert decisions == again
+        assert any(decisions) and not all(decisions)
+
+    def test_host_scoping(self):
+        plan = FaultPlan(error_rate=1.0, hosts=("a.com",))
+        assert plan.should_fail("a.com", 0)
+        assert not plan.should_fail("b.com", 0)
+
+    def test_server_counts_injected_faults(self, fresh_world):
+        # Install after mapping-by-example so only query traffic is hit.
+        webbase = WebBase(fresh_world)
+        fresh_world.server.install_faults(
+            FaultPlan(error_rate=1.0, max_consecutive=10**6)
+        )
+        with pytest.raises(PlanError):
+            webbase.query(QUERY)
+        assert sum(s.faults for s in fresh_world.server.stats.values()) > 0
+
+
+class TestRetryRecovery:
+    def test_retries_recover_byte_identical(self):
+        """The acceptance scenario: a seeded fault run with retries gives
+        byte-identical answers to the fault-free run, and the trace shows
+        the retries that absorbed the faults."""
+        clean = WebBase.build().query(QUERY)
+        faulty = _faulty_webbase(error_rate=0.1)
+        # One worker makes the per-host request ordinals — hence the fault
+        # schedule — exactly reproducible.
+        ctx = faulty.execution_context(max_workers=1)
+        recovered = faulty.query(QUERY, context=ctx)
+        assert recovered.rows == clean.rows  # same rows, same order
+        assert ctx.retries > 0 and not ctx.failures
+        retried = [s for s in ctx.root.spans("fetch") if s.attrs["attempts"] > 1]
+        assert retried, "trace must record the retry spans"
+        failed_attempts = [
+            a for s in retried for a in s.children if a.status == "error"
+        ]
+        assert failed_attempts
+        assert all("injected transient fault" in a.error for a in failed_attempts)
+
+    def test_parallel_retry_recovery(self):
+        clean = WebBase.build().query(QUERY)
+        faulty = _faulty_webbase(error_rate=0.05, retry=RetryPolicy(max_attempts=5))
+        ctx = faulty.execution_context(max_workers=4)
+        assert faulty.query(QUERY, context=ctx) == clean
+        assert not ctx.failures
+
+    def test_backoff_charged_to_network_time(self):
+        plain = WebBase.build()
+        base_ctx = plain.execution_context()
+        plain.fetch_vps("newsday", {"make": "saab"}, context=base_ctx)
+        faulty = _faulty_webbase(
+            error_rate=0.9, retry=RetryPolicy(max_attempts=6, backoff_seconds=2.0)
+        )
+        ctx = faulty.execution_context()
+        try:
+            faulty.fetch_vps("newsday", {"make": "saab"}, context=ctx)
+        except FetchFailedError:
+            pass  # at 0.9 the retries may exhaust; the charges still land
+        assert ctx.retries > 0
+        # Failed attempts + backoff cost strictly more simulated time.
+        assert (
+            ctx.network_by_host["www.newsday.com"]
+            > base_ctx.network_by_host["www.newsday.com"]
+        )
+
+
+class TestPartialFailure:
+    def test_dead_sites_degrade_to_partial_answer(self):
+        """Exhausted retries on some sites produce a per-site failure
+        report and a partial answer — not a whole-query abort."""
+        clean = WebBase.build().query(QUERY)
+        faulty = _faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, hosts=CLASSIFIED_HOSTS
+        )
+        ctx = faulty.execution_context()
+        partial = faulty.query(QUERY, context=ctx)
+        assert 0 < len(partial) < len(clean)
+        assert set(partial.rows) <= set(clean.rows)
+        assert ctx.failures
+        assert {f.host for f in ctx.failures} <= set(CLASSIFIED_HOSTS)
+        assert "fetch failure(s)" in ctx.failure_report()
+
+    def test_report_carries_partial_failures(self):
+        faulty = _faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, hosts=CLASSIFIED_HOSTS
+        )
+        report = faulty.query_report(QUERY)
+        assert report.failures
+        skipped = [o for o in report.objects if o.skipped]
+        assert any("classifieds" in o.relations for o in skipped)
+        assert "partial failure" in report.pretty()
+
+    def test_every_site_dead_aborts_with_report(self):
+        faulty = _faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, retry=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(PlanError) as info:
+            faulty.query(QUERY)
+        assert "fetch failure(s)" in str(info.value)
+
+    def test_single_fetch_failure_surfaces(self):
+        faulty = _faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, retry=RetryPolicy(max_attempts=2)
+        )
+        ctx = faulty.execution_context()
+        with pytest.raises(FetchFailedError):
+            faulty.fetch_vps("newsday", {"make": "saab"}, context=ctx)
+        assert ctx.failures and ctx.failures[0].attempts == 2
+
+
+class TestSpikesAndTimeouts:
+    def test_latency_spikes_slow_but_succeed(self):
+        plain = WebBase.build()
+        base_ctx = plain.execution_context()
+        expected = plain.fetch_vps("newsday", {"make": "saab"}, context=base_ctx)
+        spiky = WebBase.create(
+            WebBaseConfig(faults=FaultPlan(spike_rate=1.0, spike_seconds=5.0))
+        )
+        ctx = spiky.execution_context()
+        result = spiky.fetch_vps("newsday", {"make": "saab"}, context=ctx)
+        assert result == expected and not ctx.failures
+        pages = ctx.pages_by_host["www.newsday.com"]
+        assert ctx.network_by_host["www.newsday.com"] == pytest.approx(
+            base_ctx.network_by_host["www.newsday.com"] + 5.0 * pages
+        )
+
+    def test_timeout_exhausts_into_failure(self, webbase):
+        ctx = webbase.execution_context(
+            timeout_seconds=0.05, retry=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(FetchFailedError):
+            webbase.fetch_vps("nytimes", {"manufacturer": "saab"}, context=ctx)
+        assert ctx.failures and "timed out" in ctx.failures[0].error
+        timed_out = [
+            a
+            for s in ctx.root.spans("fetch")
+            for a in s.children
+            if a.status == "error"
+        ]
+        assert timed_out and all("timed out" in a.error for a in timed_out)
+
+    def test_generous_timeout_passes(self, webbase):
+        ctx = webbase.execution_context(timeout_seconds=60.0)
+        result = webbase.fetch_vps("autoweb", {"make": "saab"}, context=ctx)
+        assert len(result) > 0 and not ctx.failures
