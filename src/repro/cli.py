@@ -3,24 +3,31 @@
 ::
 
     python -m repro query "SELECT make, model, price WHERE make = 'ford'"
-    python -m repro trace "SELECT make, model, price WHERE make = 'ford'"
+    python -m repro trace "SELECT make, model, price WHERE make = 'ford'" [--export-json [PATH]]
     python -m repro plan  "SELECT make, bb_price WHERE condition = 'good'"
     python -m repro schema vps|logical|ur
     python -m repro expression newsday
     python -m repro map www.newsday.com [--dot]
     python -m repro timing
+    python -m repro metrics [--repeat N]
+    python -m repro maintenance [host]
     python -m repro baselines
 
 Every invocation builds the simulated Web and maps it by example (fast
 and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
 ``--workers`` sizes the execution engine's pool, and ``--fault-rate``
 injects deterministic transient faults for the retry machinery to absorb
-(watch them in ``trace``).
+(watch them in ``trace``).  ``--cache`` turns on the cross-query result
+cache; ``--cache-ttl`` bounds how long its entries live and
+``--stale-mode`` picks what happens to entries of a site flagged by
+maintenance as needing manual attention (refetch them, or serve them
+with an explicit staleness flag).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Sequence
 
 from repro.core.execution import WebBaseConfig
@@ -41,6 +48,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache", action="store_true", help="enable the VPS result cache"
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default time-to-live of cross-query cache entries",
+    )
+    parser.add_argument(
+        "--stale-mode",
+        choices=["refetch", "serve-stale"],
+        default="refetch",
+        help="quarantined cache entries: refetch from the site, or serve "
+        "them flagged as stale",
     )
     parser.add_argument(
         "--workers", type=int, default=8, help="execution-engine worker pool size"
@@ -64,6 +85,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", help="answer a query and print the engine's structured trace"
     )
     trace.add_argument("text", help="SELECT attrs WHERE conditions")
+    trace.add_argument(
+        "--export-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the span tree as JSON ('-' or no value for stdout)",
+    )
 
     plan = sub.add_parser("plan", help="show a query's maximal objects")
     plan.add_argument("text")
@@ -81,17 +110,44 @@ def _build_parser() -> argparse.ArgumentParser:
     navmap.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
 
     sub.add_parser("timing", help="the Section 7 per-site timing table")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the 10-site workload through the cache and reconcile the "
+        "metrics registry against the trace spans",
+    )
+    metrics.add_argument(
+        "--repeat", type=int, default=2, help="workload passes (first is cold)"
+    )
+
+    maintenance = sub.add_parser(
+        "maintenance",
+        help="re-check the navigation maps against the live sites and drive "
+        "cache invalidation",
+    )
+    maintenance.add_argument("host", nargs="?", default=None)
+
     sub.add_parser("baselines", help="link-only and canned-interface baselines")
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    # The metrics workload is meaningless without a storing cache.
+    use_cache = args.cache or args.command == "metrics"
+    cache_policy = (
+        CachePolicy.lru(
+            ttl_seconds=args.cache_ttl,
+            stale_mode=args.stale_mode.replace("-", "_"),
+        )
+        if use_cache
+        else CachePolicy.noop()
+    )
     webbase = WebBase.create(
         WebBaseConfig(
             seed=args.seed,
             ads_per_host=args.ads_per_host,
-            cache=CachePolicy.lru() if args.cache else CachePolicy.noop(),
+            cache=cache_policy,
             max_workers=args.workers,
             faults=(
                 FaultPlan(seed=args.fault_seed, error_rate=args.fault_rate)
@@ -109,6 +165,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "trace":
         report = webbase.query_report(args.text)
+        if args.export_json is not None:
+            payload = json.dumps(report.trace.to_dict(), indent=2)
+            if args.export_json == "-":
+                print(payload)
+            else:
+                with open(args.export_json, "w") as handle:
+                    handle.write(payload + "\n")
+                print("trace written to %s" % args.export_json)
+            return 0
         print(report.pretty())
         print()
         print(report.trace.render())
@@ -158,6 +223,56 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "timing":
         print(format_timing_table(site_query_timings(webbase)))
+        return 0
+
+    if args.command == "metrics":
+        from repro.core.parallel import cached_site_query
+
+        contexts = []
+        for run in range(max(1, args.repeat)):
+            outcome = cached_site_query(webbase, label="metrics-run-%d" % (run + 1))
+            contexts.append(outcome.context)
+        print("metrics after %d pass(es) of the 10-site workload:" % len(contexts))
+        print(webbase.metrics.render())
+        print()
+        spans = [s for ctx in contexts for s in ctx.root.spans("fetch")]
+        hit_spans = sum(1 for s in spans if s.cache in ("hit", "stale"))
+        miss_spans = sum(1 for s in spans if s.cache == "miss")
+        counters = webbase.metrics.snapshot()["counters"]
+        counted_hits = (
+            counters.get("cache.hits", 0)
+            + counters.get("cache.stale_serves", 0)
+            + counters.get("engine.context_cache_hits", 0)
+        )
+        counted_fetches = counters.get("engine.fetches", 0)
+        print("reconciliation (registry vs trace spans):")
+        checks = [
+            ("cache serves", counted_hits, hit_spans),
+            ("live fetches", counted_fetches, miss_spans),
+            ("total fetch requests", counted_hits + counted_fetches, len(spans)),
+        ]
+        clean = True
+        for name, counted, traced in checks:
+            ok = counted == traced
+            clean = clean and ok
+            print(
+                "  %-22s registry=%-5d spans=%-5d %s"
+                % (name, counted, traced, "ok" if ok else "MISMATCH")
+            )
+        return 0 if clean else 1
+
+    if args.command == "maintenance":
+        reports = webbase.run_maintenance(args.host)
+        if not reports:
+            print("all navigation maps agree with the live sites; cache untouched")
+            return 0
+        for host, report in sorted(reports.items()):
+            print(report.summary())
+        quarantined = sorted(webbase.cache.quarantined_hosts())
+        if quarantined:
+            print("quarantined hosts (manual intervention pending): %s"
+                  % ", ".join(quarantined))
+        print("cache after maintenance: %s" % webbase.cache.stats)
         return 0
 
     if args.command == "baselines":

@@ -42,8 +42,9 @@ from dataclasses import dataclass, field
 from time import process_time
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
+from repro.core.metrics import MetricsRegistry
 from repro.navigation.executor import NavigationExecutor
-from repro.vps.cache import CachePolicy
+from repro.vps.cache import CachePolicy, InFlight
 from repro.web.browser import TransientNetworkError
 from repro.web.clock import SimClock
 from repro.web.server import FaultPlan, WebServer
@@ -217,6 +218,43 @@ class TraceSpan:
         )
         return "\n".join([line] + [c.render(indent + 1) for c in self.children])
 
+    def to_dict(self, timings: bool = True) -> dict[str, Any]:
+        """The span tree as JSON-friendly nested dicts (``trace
+        --export-json``).  ``timings=False`` drops the run-dependent
+        numbers, leaving only the structural fields."""
+        node: dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.status != "ok":
+            node["status"] = self.status
+            node["error"] = self.error
+        if self.cache:
+            node["cache"] = self.cache
+        if timings:
+            node["network_seconds"] = self.network_seconds
+            node["cpu_seconds"] = self.cpu_seconds
+            node["pages"] = self.pages
+        if self.children:
+            node["children"] = [c.to_dict(timings=timings) for c in self.children]
+        return node
+
+    def skeleton(self, indent: int = 0) -> str:
+        """The *normalized* trace: kinds, names, parent/child shape, cache
+        flags and statuses — no timings, pages or attempt counts.  This is
+        what the golden-trace regression test snapshots: it is stable
+        across machines and runs, yet any drift in plan shape, span
+        nesting or cache behaviour shows up as a readable text diff."""
+        bits = [self.cache] if self.cache else []
+        if self.status != "ok":
+            bits.append(self.status)
+        line = "%s%s %s%s" % (
+            "  " * indent,
+            self.kind,
+            self.name,
+            "  [%s]" % ", ".join(bits) if bits else "",
+        )
+        return "\n".join([line] + [c.skeleton(indent + 1) for c in self.children])
+
 
 # -- the worker pool ---------------------------------------------------------------
 
@@ -290,11 +328,13 @@ class ExecutionContext:
         retry: RetryPolicy | None = None,
         timeout_seconds: float | None = None,
         label: str = "context",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.pool = pool
         self.max_workers = max(1, int(max_workers))
         self.retry = retry or RetryPolicy()
         self.timeout_seconds = timeout_seconds
+        self.metrics = metrics or MetricsRegistry()
         self.root = TraceSpan("context", label)
         self.failures: list[FetchFailure] = []
         self.network_by_host: dict[str, float] = {}
@@ -311,6 +351,7 @@ class ExecutionContext:
         # so real interleaving says nothing about simulated concurrency).
         self._lane_seconds: list[float] = [0.0] * self.max_workers
         self._cache: dict[tuple, "Relation"] = {}
+        self._flights: dict[tuple, InFlight] = {}
         self._lock = threading.RLock()
         self._slots = threading.Semaphore(self.max_workers)
         self._local = threading.local()
@@ -434,28 +475,55 @@ class ExecutionContext:
 
     def run_fetch(self, relation: "VirtualRelation", given: dict[str, Any]) -> "Relation":
         """Fetch one VPS relation through the engine: per-context cache,
-        worker checkout, timeout, bounded retry, trace."""
+        worker checkout, timeout, bounded retry, trace.
+
+        Concurrent misses on the same ``(relation, bindings)`` key coalesce
+        into one upstream fetch (single-flight): the first worker fetches,
+        the rest wait and share its result.  A failed fetch is never
+        shared — each waiter retries on its own, so transient faults
+        cannot fan out into spurious failures or cached garbage.
+        """
         key = (
             relation.name,
             tuple(sorted((a, str(v)) for a, v in given.items() if v is not None)),
         )
-        with self._lock:
-            cached = self._cache.get(key)
-        if cached is not None:
+        while True:
+            leader = False
             with self._lock:
-                self.cache_hits += 1
-            with self.span("fetch", relation.name, host=relation.host) as span:
-                span.cache = "hit"
-            return cached
-        with self._slots:
-            bundle = self.pool.checkout()
+                cached = self._cache.get(key)
+                if cached is None:
+                    flight = self._flights.get(key)
+                    if flight is None:
+                        flight = self._flights[key] = InFlight()
+                        leader = True
+            if cached is not None:
+                with self._lock:
+                    self.cache_hits += 1
+                self.metrics.counter("engine.context_cache_hits").inc()
+                with self.span("fetch", relation.name, host=relation.host) as span:
+                    span.cache = "hit"
+                return cached
+            if not leader:
+                self.metrics.counter("engine.coalesced").inc()
+                flight.event.wait()
+                continue  # result (or nothing, if the leader failed) is cached now
             try:
-                result = self._fetch_with_retries(relation, given, bundle)
-            finally:
-                self.pool.checkin(bundle)
-        with self._lock:
-            self._cache[key] = result
-        return result
+                with self._slots:
+                    bundle = self.pool.checkout()
+                    try:
+                        result = self._fetch_with_retries(relation, given, bundle)
+                    finally:
+                        self.pool.checkin(bundle)
+            except BaseException:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+                raise
+            with self._lock:
+                self._cache[key] = result
+                self._flights.pop(key, None)
+            flight.event.set()
+            return result
 
     def _fetch_with_retries(
         self,
@@ -474,10 +542,12 @@ class ExecutionContext:
             attempts_used = 0
             for attempt in range(1, attempts_allowed + 1):
                 attempts_used = attempt
+                self.metrics.counter("engine.fetch_attempts").inc()
                 if attempt > 1:
                     bundle.clock.charge(policy.delay_before(attempt))
                     with self._lock:
                         self.retries += 1
+                    self.metrics.counter("engine.retries").inc()
                 attempt_start = bundle.clock.network_seconds
                 with self.span("attempt", "#%d" % attempt) as aspan:
                     try:
@@ -520,6 +590,9 @@ class ExecutionContext:
                 )
                 lane = min(range(self.max_workers), key=self._lane_seconds.__getitem__)
                 self._lane_seconds[lane] += total
+            self.metrics.counter("engine.fetches").inc()
+            self.metrics.histogram("engine.fetch_seconds").observe(total)
+            self.metrics.histogram("engine.fetch_pages").observe(pages_total)
             if result is None:
                 fspan.status = "error"
                 fspan.error = str(last_error)
@@ -531,5 +604,6 @@ class ExecutionContext:
                 )
                 with self._lock:
                     self.failures.append(failure)
+                self.metrics.counter("engine.failures").inc()
                 raise FetchFailedError(failure) from last_error
             return result

@@ -70,18 +70,23 @@ def _run_site_workload(
     hosts: list[str],
     max_workers: int,
     label: str,
+    through_cache: bool = False,
 ) -> ParallelOutcome:
     """Fan the per-site query across ``hosts`` on one engine context.
 
-    Fetches go through ``webbase.vps`` with the context (the engine's
-    worker/retry/trace path) rather than the cross-query result cache, so
-    both ablation arms do the same fresh Web work."""
+    By default fetches go through ``webbase.vps`` with the context (the
+    engine's worker/retry/trace path) rather than the cross-query result
+    cache, so both parallel-ablation arms do the same fresh Web work.
+    ``through_cache=True`` routes them through the always-present
+    :class:`~repro.vps.cache.ResultCache` layer instead — the cache
+    ablation's warm/staleness arms use that path."""
     ctx = webbase.execution_context(label=label, max_workers=max_workers)
+    catalog = webbase.cache if through_cache else webbase.vps
 
     def fetch_host(host: str) -> int:
         relation_name = primary_relation(webbase, host)
         given = site_given(webbase, relation_name, query)
-        return len(webbase.vps.fetch(relation_name, given, context=ctx))
+        return len(catalog.fetch(relation_name, given, context=ctx))
 
     timer = CpuTimer().start()
     with ctx.accounted():
@@ -111,6 +116,26 @@ def parallel_site_query(
     hosts = list(hosts or TIMING_TABLE_HOSTS)
     workers = max_workers or len(hosts)
     return _run_site_workload(webbase, query, hosts, workers, "parallel-sites")
+
+
+def cached_site_query(
+    webbase: WebBase,
+    query: dict[str, Any] | None = None,
+    hosts: list[str] | None = None,
+    max_workers: int | None = None,
+    label: str = "cached-sites",
+) -> ParallelOutcome:
+    """Evaluate the per-site query through the cross-query result cache.
+
+    First call over a cold cache populates it; repeat calls measure the
+    warm path (and, after site churn plus a maintenance sweep, the
+    staleness-invalidation path — see ``bench_ablation_cache``)."""
+    query = query or {"make": "ford", "model": "escort"}
+    hosts = list(hosts or TIMING_TABLE_HOSTS)
+    workers = max_workers or len(hosts)
+    return _run_site_workload(
+        webbase, query, hosts, workers, label, through_cache=True
+    )
 
 
 def sequential_site_query(

@@ -72,6 +72,26 @@ class QueryReport:
     def total_retries(self) -> int:
         return self.trace.total_retries if self.trace is not None else 0
 
+    def _cache_flag_count(self, flag: str) -> int:
+        if self.trace is None:
+            return 0
+        return sum(1 for s in self.trace.spans("fetch") if s.cache == flag)
+
+    @property
+    def cache_hits(self) -> int:
+        """Fetches served from a cache (per-context or cross-query)."""
+        return self._cache_flag_count("hit")
+
+    @property
+    def cache_misses(self) -> int:
+        """Fetches that went to the live site."""
+        return self._cache_flag_count("miss")
+
+    @property
+    def stale_serves(self) -> int:
+        """Quarantined entries served with the explicit staleness flag."""
+        return self._cache_flag_count("stale")
+
     def pretty(self) -> str:
         lines = ["query: %s" % self.query_text]
         for obj in self.objects:
@@ -103,6 +123,14 @@ class QueryReport:
                 self.total_cpu_seconds,
             )
         )
+        if self.cache_hits or self.stale_serves:
+            cache_line = "cache: %d hit(s), %d miss(es)" % (
+                self.cache_hits,
+                self.cache_misses,
+            )
+            if self.stale_serves:
+                cache_line += ", %d served stale" % self.stale_serves
+            lines.append(cache_line)
         if self.total_retries:
             lines.append("retries absorbed: %d" % self.total_retries)
         for failure in self.failures:

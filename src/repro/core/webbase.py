@@ -31,6 +31,7 @@ from repro.core.execution import (
     RetryPolicy,
     WebBaseConfig,
 )
+from repro.core.metrics import MetricsRegistry
 from repro.core.sessions import build_all_builders
 from repro.logical import car_logical_schema
 from repro.logical.schema import LogicalSchema
@@ -70,7 +71,13 @@ class WebBase:
         for compiled in self.compiled.values():
             self.vps.add_compiled_site(compiled)
         self.pool = BundlePool(world.server, self.compiled.values())
-        self.cache: ResultCache = ResultCache(self.vps, config.cache)
+        # One registry spans the whole webbase: the cache and every
+        # execution context count into it, so cache/fetch totals reconcile
+        # with trace spans (``python -m repro metrics``).
+        self.metrics = MetricsRegistry()
+        self.cache: ResultCache = ResultCache(
+            self.vps, config.cache, metrics=self.metrics
+        )
         self.logical: LogicalSchema = car_logical_schema(self.cache)
         self.ur: StructuredUR = build_used_car_ur(self.logical)
         if config.faults is not None:
@@ -128,7 +135,30 @@ class WebBase:
                 config.timeout_seconds if timeout_seconds is None else timeout_seconds
             ),
             label=label,
+            metrics=self.metrics,
         )
+
+    # -- maintenance -------------------------------------------------------------
+
+    def run_maintenance(self, host: str | None = None):
+        """One maintenance cycle over the mapped sites (or just ``host``):
+        re-check each navigation map against the live site, absorb the
+        auto-applicable changes, and drive the result cache's invalidation
+        — revision bumps for absorbed changes, quarantine for changes that
+        need the designer.  Returns the non-clean reports by host."""
+        from repro.navigation.maintenance import reconcile_site
+        from repro.web.browser import Browser
+
+        reports = {}
+        for site_host, builder in sorted(self.builders.items()):
+            if host is not None and site_host != host:
+                continue
+            report = reconcile_site(
+                builder.map, Browser(self.world.server), invalidation=self.cache
+            )
+            if not report.clean:
+                reports[site_host] = report
+        return reports
 
     # -- querying, layer by layer ------------------------------------------------
 

@@ -11,11 +11,22 @@ site and classifies every divergence as *auto* (new/removed select
 options, changed defaults — absorbed by :func:`apply_auto_changes`) or
 *manual* (new or removed form attributes, vanished links — the designer
 must re-demonstrate the affected flow).
+
+:func:`reconcile_site` is the maintenance *driver*: it runs the check,
+absorbs what it can, and pushes the outcome into an invalidation sink
+(the cross-query result cache, in the assembled webbase) — an
+auto-absorbed change bumps the host's map revision so the cache evicts
+everything captured under the old map, while a manual-intervention
+change quarantines the host's entries until the designer steps in.
+That wiring is what makes a warm cache safe over *dynamic* content: the
+same machinery that keeps the navigation maps truthful keeps the cached
+answers truthful.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.navigation.model import FormKey, LinkEdge, PageNode, WidgetModel
 from repro.navigation.navmap import NavigationMap
@@ -239,6 +250,44 @@ def check_site(navmap: NavigationMap, browser: Browser) -> MaintenanceReport:
     # Deduplicate (the same new link may appear on several result pages).
     unique = sorted(set(changes), key=lambda c: (c.node_id, c.kind, c.detail))
     return MaintenanceReport(navmap.host, unique, nodes_checked=len(visited))
+
+
+class InvalidationSink(Protocol):
+    """What maintenance needs from a cache to keep it truthful.
+
+    :class:`~repro.vps.cache.ResultCache` implements this; any other
+    cross-query store can participate by providing the same two hooks.
+    """
+
+    def bump_revision(self, host: str) -> int: ...
+
+    def quarantine(self, host: str) -> int: ...
+
+
+def reconcile_site(
+    navmap: NavigationMap,
+    browser: Browser,
+    invalidation: InvalidationSink | None = None,
+) -> MaintenanceReport:
+    """One maintenance cycle for one site: check, absorb, invalidate.
+
+    Auto changes are absorbed into the map and — because anything cached
+    before the change may describe a page that no longer exists — the
+    host's cache revision is bumped, evicting its entries.  Manual
+    changes cannot be absorbed, so the host's entries are quarantined
+    instead: the cache serves them flagged as stale or bypasses them,
+    per its :class:`~repro.vps.cache.CachePolicy`.
+    """
+    report = check_site(navmap, browser)
+    if report.clean:
+        return report
+    if report.auto_changes:
+        apply_auto_changes(navmap, report, browser)
+        if invalidation is not None:
+            invalidation.bump_revision(navmap.host)
+    if report.manual_changes and invalidation is not None:
+        invalidation.quarantine(navmap.host)
+    return report
 
 
 def apply_auto_changes(navmap: NavigationMap, report: MaintenanceReport, browser: Browser) -> int:

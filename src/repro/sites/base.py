@@ -106,6 +106,11 @@ class CarSite(Site):
         super().__init__(config.host, style=config.style)
         self.config = config
         self.dataset = dataset
+        # Live-site churn knobs (maintenance scenarios): extra select
+        # options are *auto-absorbable* changes, extra widgets require
+        # manual intervention — see repro.navigation.maintenance.
+        self.extra_makes: list[str] = []
+        self.extra_search_widgets: list[tuple[str, str]] = []  # (label, field)
         self.route("/", self.entry_page)
         self.route(config.search_path, self.search_page)
         self.route(config.results_path, self.results_page)
@@ -132,8 +137,9 @@ class CarSite(Site):
         """The first search form (the paper's ``form f1``)."""
         cfg = self.config
         voc = cfg.vocabulary
+        makes = MAKES + [m for m in self.extra_makes if m not in MAKES]
         if cfg.make_widget == "select":
-            make_widget = H.select(voc.make_field, MAKES)
+            make_widget = H.select(voc.make_field, makes)
         else:
             make_widget = H.text_input(voc.make_field)
         rows = [H.labeled("Make", make_widget)]
@@ -142,6 +148,8 @@ class CarSite(Site):
             rows.append(H.labeled("Model", H.select(voc.model_field, [""] + models)))
         if cfg.ask_zipcode:
             rows.append(H.labeled("Zip Code", H.text_input(voc.zip_field, size=5)))
+        for label, field_name in self.extra_search_widgets:
+            rows.append(H.labeled(label, H.text_input(field_name)))
         rows.append(H.submit_button("Search"))
         return H.form(cfg.results_path, *rows, method=cfg.form_method)
 

@@ -180,6 +180,16 @@ class Dataset:
             selected.append(ad)
         return selected
 
+    def add_ad(self, ad: Ad) -> Ad:
+        """Post one new advertisement (site churn between queries) —
+        keeps the per-host index consistent with the flat list."""
+        self.ads.append(ad)
+        self._ads_by_host.setdefault(ad.host, []).append(ad)
+        return ad
+
+    def next_ad_id(self) -> int:
+        return max((ad.ad_id for ad in self.ads), default=0) + 1
+
     def ad_by_id(self, ad_id: int) -> Ad | None:
         for ad in self.ads:
             if ad.ad_id == ad_id:

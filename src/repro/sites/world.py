@@ -21,7 +21,8 @@ from repro.sites import (
     nytimes,
     usedcarmart,
 )
-from repro.sites.dataset import Dataset, generate
+from repro.sites.base import CarSite
+from repro.sites.dataset import Ad, Car, Dataset, FEATURE_POOL, NY_ZIPCODES, generate
 from repro.web.clock import LatencyModel
 from repro.web.server import Site, WebServer
 
@@ -50,6 +51,72 @@ class World:
 
     def site(self, host: str) -> Site:
         return self.server.site(host)
+
+
+def mutate_site_listings(
+    world: World,
+    host: str,
+    make: str = "ford",
+    model: str = "escort",
+    count: int = 3,
+    seed: int = 0,
+    change: str = "auto",
+) -> list[Ad]:
+    """Churn one live site between queries (the dynamic-content hazard).
+
+    Posts ``count`` new classified ads for ``make model`` on ``host`` —
+    so query answers genuinely change — and applies one *structural* edit
+    the maintenance machinery can detect on its next sweep:
+
+    * ``change="auto"``   — the search form's make list gains an option
+      (``domain_value_added``, absorbed by ``apply_auto_changes``; the
+      cache invalidates the host via a revision bump);
+    * ``change="manual"`` — the search form grows a brand-new text
+      attribute (``new_form_attribute``; the cache quarantines the host
+      until a designer re-demonstrates the flow).
+
+    Returns the ads added.  Deterministic for a given ``seed``.
+    """
+    site = world.site(host)
+    if not isinstance(site, CarSite):
+        raise ValueError("host %r is not a mutable classified/dealer site" % host)
+    rng = random.Random("%s:mutate:%s:%s" % (seed, host, change))
+    added: list[Ad] = []
+    for _ in range(count):
+        car = Car(make=make, model=model, year=rng.choice(range(1993, 2000)))
+        added.append(
+            world.dataset.add_ad(
+                Ad(
+                    ad_id=world.dataset.next_ad_id(),
+                    host=host,
+                    car=car,
+                    price=int(round(rng.uniform(4000, 9000), -1)),
+                    contact="New Seller %d" % rng.randint(100, 999),
+                    zipcode=rng.choice(NY_ZIPCODES),
+                    features=tuple(sorted(rng.sample(FEATURE_POOL, 2))),
+                    picture="/pics/new%d.jpg" % rng.randint(1, 99),
+                    condition=rng.choice(["excellent", "good"]),
+                )
+            )
+        )
+    if change == "auto":
+        # Every call must produce a *fresh* structural divergence, or a
+        # second mutation would be invisible to the map diff and the cache
+        # would serve the pre-change answers: new select option when the
+        # form has one, otherwise a new (auto-classified) entry-page link.
+        if site.config.make_widget == "select":
+            site.extra_makes.append("newmake%d" % (len(site.extra_makes) + 1))
+        else:
+            idx = len(site.config.extra_entry_links) + 1
+            path = "/specials%d" % idx
+            site.config.extra_entry_links.append(("Specials %d" % idx, path))
+            site.route(path, site.dead_end_page)
+    elif change == "manual":
+        field = "extra%d" % (len(site.extra_search_widgets) + 1)
+        site.extra_search_widgets.append(("Extra %s" % field, field))
+    else:
+        raise ValueError("change must be 'auto' or 'manual'; got %r" % change)
+    return added
 
 
 def build_world(seed: int = 1999, ads_per_host: int = 120) -> World:

@@ -1,12 +1,13 @@
 """The virtual physical schema layer: handles, virtual relations, caching."""
 
-from repro.vps.cache import CachePolicy, CachingVps, ResultCache
+from repro.vps.cache import CacheEntry, CachePolicy, CachingVps, ResultCache
 from repro.vps.handle import Handle, HandleError, check_handle_family
 from repro.vps.schema import VirtualRelation, VpsSchema
 from repro.vps.verify import AgreementReport, Disagreement, verify_handle_agreement
 
 __all__ = [
     "AgreementReport",
+    "CacheEntry",
     "CachePolicy",
     "CachingVps",
     "ResultCache",

@@ -1,4 +1,4 @@
-"""Result caching for VPS fetches.
+"""Result caching for VPS fetches — staleness-aware and observable.
 
 The paper's conclusions call out caching (with parallelization) as the key
 technique for acceptable response times when querying many sites.  This is
@@ -12,29 +12,78 @@ The cache is an *always-present* layer of the webbase: a
 policy every fetch passes straight through (the cold ablation arm); with
 an LRU policy results are shared across queries.  Either way there is
 exactly one fetch path — no ``cache or vps`` branching at call sites.
-The ablation benchmark compares cold vs warm evaluations.
+
+Because the underlying sites are *dynamic*, a cross-query cache is only
+safe if it can notice the world moving underneath it.  Three mechanisms
+cover that:
+
+* **TTLs** — a default and per-relation time-to-live bound how long an
+  entry may be served without revalidation (``CachePolicy.ttl_seconds`` /
+  ``relation_ttls``);
+* **revision stamps** — every entry records the navigation-map revision of
+  its host at store time.  When site maintenance auto-absorbs a change
+  (:func:`~repro.navigation.maintenance.apply_auto_changes`), the host's
+  revision is bumped and the host's entries are evicted, so nothing
+  captured under the old map is ever served silently;
+* **quarantine** — a change that needs *manual* intervention (a new form
+  attribute, a vanished link) puts the host's entries in quarantine:
+  depending on ``CachePolicy.stale_mode`` they are either served with an
+  explicit staleness flag (``cache stale`` on the trace span, counted as
+  ``cache.stale_serves``) or bypassed entirely until the designer
+  re-demonstrates the flow and the quarantine is lifted.
+
+Concurrent misses on the same key coalesce into one upstream fetch
+(single-flight): the first worker fetches, the rest wait and share the
+result.  Failures are never stored and never shared — a waiter whose
+leader failed retries the fetch itself, so a transient fault cannot
+poison the cache.
+
+All cache traffic is counted into a :class:`~repro.core.metrics.MetricsRegistry`
+and, when a fetch carries an execution context, mirrored onto trace spans
+(``cache hit`` / ``miss`` / ``stale``), so ``python -m repro metrics`` can
+reconcile counters against spans.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Mapping
 
+from repro.core.metrics import MetricsRegistry
 from repro.relational.bindings import BindingSets
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.vps.schema import VpsSchema
 
+STALE_MODES = ("refetch", "serve_stale")
+
 
 @dataclass(frozen=True)
 class CachePolicy:
-    """Whether, and how much, the cross-query result cache may store."""
+    """Whether, and how much — and for how long — the cache may store.
+
+    ``ttl_seconds`` is the default entry lifetime (``None`` = no expiry);
+    ``relation_ttls`` overrides it per relation.  ``stale_mode`` picks what
+    happens to entries of a quarantined host (one with unabsorbed manual
+    site changes): ``"refetch"`` bypasses them, ``"serve_stale"`` serves
+    them flagged as stale.
+    """
 
     enabled: bool = True
     max_entries: int = 1024
+    ttl_seconds: float | None = None
+    relation_ttls: tuple[tuple[str, float], ...] = ()
+    stale_mode: str = "refetch"
+
+    def __post_init__(self) -> None:
+        if self.stale_mode not in STALE_MODES:
+            raise ValueError(
+                "stale_mode must be one of %s; got %r" % (STALE_MODES, self.stale_mode)
+            )
 
     @classmethod
     def noop(cls) -> "CachePolicy":
@@ -42,9 +91,51 @@ class CachePolicy:
         return cls(enabled=False, max_entries=0)
 
     @classmethod
-    def lru(cls, max_entries: int = 1024) -> "CachePolicy":
+    def lru(
+        cls,
+        max_entries: int = 1024,
+        ttl_seconds: float | None = None,
+        relation_ttls: Mapping[str, float] | None = None,
+        stale_mode: str = "refetch",
+    ) -> "CachePolicy":
         """A bounded least-recently-used cache shared across queries."""
-        return cls(enabled=True, max_entries=max_entries)
+        return cls(
+            enabled=True,
+            max_entries=max_entries,
+            ttl_seconds=ttl_seconds,
+            relation_ttls=tuple(sorted((relation_ttls or {}).items())),
+            stale_mode=stale_mode,
+        )
+
+    def ttl_for(self, relation: str) -> float | None:
+        """The effective TTL of one relation's entries."""
+        for name, ttl in self.relation_ttls:
+            if name == relation:
+                return ttl
+        return self.ttl_seconds
+
+
+@dataclass
+class CacheEntry:
+    """One stored result, stamped for staleness checks."""
+
+    value: Relation
+    relation: str
+    host: str
+    revision: int  # the host's navigation-map revision at store time
+    stored_at: float  # cache-clock seconds
+    expires_at: float | None  # None = never expires
+
+
+class InFlight:
+    """The rendezvous for one in-progress upstream fetch (single-flight)."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
 
 
 class ResultCache:
@@ -53,13 +144,28 @@ class ResultCache:
     Thread-safe: parallel execution contexts fetch through one shared
     instance.  An :class:`~repro.core.execution.ExecutionContext` passed to
     :meth:`fetch` rides through to the VPS layer on misses, so uncached
-    fetches still get the engine's workers, retries and tracing.
+    fetches still get the engine's workers, retries and tracing — and
+    cache hits are recorded as trace spans on it.
+
+    ``clock`` is the TTL time source (seconds, monotonic); tests inject a
+    fake one to step time deterministically.
     """
 
-    def __init__(self, inner: VpsSchema, policy: CachePolicy | None = None) -> None:
+    def __init__(
+        self,
+        inner: VpsSchema,
+        policy: CachePolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.inner = inner
         self.policy = policy or CachePolicy.lru()
-        self._cache: OrderedDict[tuple, Relation] = OrderedDict()
+        self.metrics = metrics or MetricsRegistry()
+        self._clock = clock or time.monotonic
+        self._cache: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._inflight: dict[tuple, InFlight] = {}
+        self._revisions: dict[str, int] = {}
+        self._quarantined: set[str] = set()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -74,30 +180,58 @@ class ResultCache:
     def base_binding_sets(self, name: str) -> BindingSets:
         return self.inner.base_binding_sets(name)
 
-    def _fetch_inner(self, name: str, given: dict[str, Any], context: Any) -> Relation:
-        if context is None:
-            return self.inner.fetch(name, given)
-        return self.inner.fetch(name, given, context=context)
+    # -- maintenance-driven invalidation ------------------------------------
 
-    def fetch(
-        self, name: str, given: dict[str, Any], context: Any = None
-    ) -> Relation:
-        if not self.policy.enabled:
-            return self._fetch_inner(name, given, context)
-        key = (name, tuple(sorted((a, v) for a, v in given.items() if v is not None)))
+    def host_of(self, name: str) -> str:
+        """The host serving one relation ('' when the inner catalog is a
+        test double without host information)."""
+        host_of = getattr(self.inner, "host_of", None)
+        if host_of is not None:
+            return host_of(name)
+        return ""
+
+    def revision(self, host: str) -> int:
+        """The navigation-map revision entries of ``host`` are stamped with."""
         with self._lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self.hits += 1
-                self._cache.move_to_end(key)
-                return cached
-            self.misses += 1
-        result = self._fetch_inner(name, given, context)
+            return self._revisions.get(host, 0)
+
+    def bump_revision(self, host: str) -> int:
+        """An auto-absorbed site change: advance the host's map revision and
+        evict its entries.  Returns the number of entries evicted."""
         with self._lock:
-            self._cache[key] = result
-            if len(self._cache) > self.policy.max_entries:
-                self._cache.popitem(last=False)
-        return result
+            self._revisions[host] = self._revisions.get(host, 0) + 1
+            return self._evict_host(host, "cache.invalidations")
+
+    def quarantine(self, host: str) -> int:
+        """A manual-intervention site change: flag the host's entries as
+        suspect.  Returns how many entries are affected."""
+        with self._lock:
+            self._quarantined.add(host)
+            return sum(1 for e in self._cache.values() if e.host == host)
+
+    def clear_quarantine(self, host: str, evict: bool = True) -> int:
+        """The designer re-demonstrated the flow: lift the quarantine and
+        (by default) drop the pre-change entries."""
+        with self._lock:
+            self._quarantined.discard(host)
+            if not evict:
+                return 0
+            self._revisions[host] = self._revisions.get(host, 0) + 1
+            return self._evict_host(host, "cache.invalidations")
+
+    def quarantined_hosts(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._quarantined)
+
+    def _evict_host(self, host: str, counter: str) -> int:
+        """Drop every entry of one host (caller holds the lock)."""
+        stale = [k for k, e in self._cache.items() if e.host == host]
+        for key in stale:
+            del self._cache[key]
+        if stale:
+            self.metrics.counter(counter).inc(len(stale))
+            self.metrics.gauge("cache.entries").set(len(self._cache))
+        return len(stale)
 
     def invalidate(self, name: str | None = None) -> int:
         """Drop cached results (all of them, or one relation's); returns the
@@ -106,15 +240,154 @@ class ResultCache:
             if name is None:
                 removed = len(self._cache)
                 self._cache.clear()
-                return removed
-            stale = [k for k in self._cache if k[0] == name]
-            for key in stale:
-                del self._cache[key]
-            return len(stale)
+            else:
+                stale = [k for k in self._cache if k[0] == name]
+                for key in stale:
+                    del self._cache[key]
+                removed = len(stale)
+            if removed:
+                self.metrics.counter("cache.invalidations").inc(removed)
+                self.metrics.gauge("cache.entries").set(len(self._cache))
+            return removed
+
+    # -- the fetch path ------------------------------------------------------
+
+    def _fetch_inner(self, name: str, given: dict[str, Any], context: Any) -> Relation:
+        if context is None:
+            return self.inner.fetch(name, given)
+        return self.inner.fetch(name, given, context=context)
+
+    def _key(self, name: str, given: dict[str, Any]) -> tuple:
+        return (name, tuple(sorted((a, v) for a, v in given.items() if v is not None)))
+
+    def _live_entry(self, key: tuple, host: str) -> CacheEntry | None:
+        """The entry under ``key`` if it is still servable; evicts revision
+        mismatches and TTL expiries (caller holds the lock)."""
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        if entry.revision != self._revisions.get(host, 0):
+            del self._cache[key]
+            self.metrics.counter("cache.invalidations").inc()
+            self.metrics.gauge("cache.entries").set(len(self._cache))
+            return None
+        if entry.expires_at is not None and self._clock() >= entry.expires_at:
+            del self._cache[key]
+            self.metrics.counter("cache.expirations").inc()
+            self.metrics.gauge("cache.entries").set(len(self._cache))
+            return None
+        return entry
+
+    def _record_hit(self, name: str, host: str, context: Any, stale: bool) -> None:
+        if stale:
+            self.metrics.counter("cache.stale_serves").inc()
+        else:
+            self.metrics.counter("cache.hits").inc()
+        if context is not None:
+            with context.span("fetch", name, host=host, layer="cache") as span:
+                span.cache = "stale" if stale else "hit"
+
+    def _store(self, key: tuple, name: str, host: str, revision: int, value: Relation) -> None:
+        """Insert one fetched result (caller holds the lock); skipped when
+        the host's revision moved mid-fetch — the result may straddle the
+        change, so it cannot be trusted across queries."""
+        if revision != self._revisions.get(host, 0):
+            return
+        now = self._clock()
+        ttl = self.policy.ttl_for(name)
+        self._cache[key] = CacheEntry(
+            value=value,
+            relation=name,
+            host=host,
+            revision=revision,
+            stored_at=now,
+            expires_at=None if ttl is None else now + ttl,
+        )
+        if len(self._cache) > self.policy.max_entries:
+            self._cache.popitem(last=False)
+            self.metrics.counter("cache.evictions").inc()
+        self.metrics.gauge("cache.entries").set(len(self._cache))
+
+    def fetch(
+        self, name: str, given: dict[str, Any], context: Any = None
+    ) -> Relation:
+        if not self.policy.enabled:
+            return self._fetch_inner(name, given, context)
+        self.metrics.counter("cache.requests").inc()
+        key = self._key(name, given)
+        host = self.host_of(name)
+
+        # Quarantined host: serve flagged-stale or bypass, never silently.
+        if host and host in self.quarantined_hosts():
+            if self.policy.stale_mode == "serve_stale":
+                with self._lock:
+                    entry = self._live_entry(key, host)
+                if entry is not None:
+                    with self._lock:
+                        self.hits += 1
+                        self._cache.move_to_end(key)
+                    self._record_hit(name, host, context, stale=True)
+                    return entry.value
+            self.metrics.counter("cache.quarantine_bypass").inc()
+            return self._fetch_inner(name, given, context)
+
+        while True:
+            leader = False
+            with self._lock:
+                entry = self._live_entry(key, host)
+                if entry is not None:
+                    self.hits += 1
+                    self._cache.move_to_end(key)
+                else:
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        flight = self._inflight[key] = InFlight()
+                        leader = True
+                        revision = self._revisions.get(host, 0)
+                        self.misses += 1
+                        self.metrics.counter("cache.misses").inc()
+            if entry is not None:
+                self._record_hit(name, host, context, stale=False)
+                return entry.value
+            if leader:
+                try:
+                    result = self._fetch_inner(name, given, context)
+                except BaseException as exc:
+                    # Never store or share a failure: waiters retry themselves.
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.error = exc
+                    flight.event.set()
+                    raise
+                with self._lock:
+                    self._store(key, name, host, revision, result)
+                    self._inflight.pop(key, None)
+                flight.result = result
+                flight.event.set()
+                return result
+            # Another worker is already fetching this key: wait and share.
+            self.metrics.counter("cache.coalesced").inc()
+            flight.event.wait()
+            if flight.error is None:
+                with self._lock:
+                    self.hits += 1
+                self._record_hit(name, host, context, stale=False)
+                return flight.result
+            # The leader failed; loop and try the fetch ourselves.
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+        counters = self.metrics.snapshot()["counters"]
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cache),
+            "evictions": int(counters.get("cache.evictions", 0)),
+            "expirations": int(counters.get("cache.expirations", 0)),
+            "invalidations": int(counters.get("cache.invalidations", 0)),
+            "stale_serves": int(counters.get("cache.stale_serves", 0)),
+            "coalesced": int(counters.get("cache.coalesced", 0)),
+        }
 
 
 class CachingVps(ResultCache):

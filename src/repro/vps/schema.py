@@ -99,6 +99,15 @@ class VpsSchema:
     def relation_names(self) -> list[str]:
         return sorted(self.relations)
 
+    def host_of(self, name: str) -> str:
+        """The host serving one relation — the unit of maintenance-driven
+        cache invalidation (a site change affects all of its relations)."""
+        return self.relation(name).host
+
+    def relations_of(self, host: str) -> list[str]:
+        """Every VPS relation served by ``host``."""
+        return sorted(n for n, r in self.relations.items() if r.host == host)
+
     # -- the Catalog protocol (consumed by the relational algebra) -------------
 
     def base_schema(self, name: str) -> Schema:

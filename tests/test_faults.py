@@ -4,11 +4,13 @@ import pytest
 
 from repro.core.execution import (
     FetchFailedError,
+    FetchFailure,
     RetryPolicy,
     WebBaseConfig,
 )
 from repro.core.webbase import WebBase
 from repro.ur.planner import PlanError
+from repro.vps.cache import CachePolicy, ResultCache
 from repro.web.server import FaultPlan
 
 QUERY = "SELECT make, model, price WHERE make = 'saab'"
@@ -139,6 +141,123 @@ class TestPartialFailure:
         with pytest.raises(FetchFailedError):
             faulty.fetch_vps("newsday", {"make": "saab"}, context=ctx)
         assert ctx.failures and ctx.failures[0].attempts == 2
+
+
+class TestFaultsMeetCache:
+    """The fault × cache matrix: failures must never poison the cache."""
+
+    def _caching_faulty_webbase(self, **fault_kwargs) -> WebBase:
+        retry = fault_kwargs.pop("retry", RetryPolicy(max_attempts=2))
+        return WebBase.create(
+            WebBaseConfig(
+                cache=CachePolicy.lru(),
+                faults=FaultPlan(**fault_kwargs),
+                retry=retry,
+            )
+        )
+
+    def test_exhausted_retries_leave_no_cache_entry(self):
+        webbase = self._caching_faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, hosts=("www.newsday.com",)
+        )
+        with pytest.raises(FetchFailedError):
+            webbase.fetch_vps("newsday", {"make": "saab"})
+        assert webbase.cache.stats["entries"] == 0
+        assert webbase.cache.stats["misses"] == 1
+        # The failure is not remembered either: the next call retries the
+        # live site (and fails again) instead of replaying a cached error.
+        with pytest.raises(FetchFailedError):
+            webbase.fetch_vps("newsday", {"make": "saab"})
+        assert webbase.cache.stats["misses"] == 2
+
+    def test_recovery_after_faults_clear(self):
+        """A dead host poisons nothing: once the faults are lifted, the
+        same cached webbase answers byte-identically to a clean one."""
+        clean = WebBase.build().query(QUERY)
+        webbase = self._caching_faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, hosts=("www.newsday.com",)
+        )
+        report = webbase.query_report(QUERY)
+        assert report.failures  # degraded while the host is down
+        webbase.world.server.install_faults(None)
+        recovered = webbase.query(QUERY)
+        assert recovered == clean
+        assert webbase.cache.stats["entries"] > 0  # now safely warm
+
+    def test_healthy_hosts_cache_through_a_partial_outage(self):
+        """Fetches that succeeded during the outage were cached and are
+        served warm afterwards; only the dead host refetches."""
+        webbase = self._caching_faulty_webbase(
+            error_rate=1.0, max_consecutive=10**6, hosts=("www.newsday.com",)
+        )
+        webbase.query_report(QUERY)
+        entries_during = webbase.cache.stats["entries"]
+        assert entries_during > 0
+        webbase.world.server.install_faults(None)
+        hits_before = webbase.cache.stats["hits"]
+        webbase.query(QUERY)
+        assert webbase.cache.stats["hits"] > hits_before
+
+    def test_coalesced_waiters_survive_leader_failure(self):
+        """Single-flight under failure: when the leader's fetch dies, the
+        waiting followers retry for themselves rather than inheriting the
+        error, so one transient fault can't fan out across the pool."""
+        import threading
+
+        class FlakyCatalog:
+            """First fetch blocks until followers pile up, then fails;
+            every later fetch succeeds."""
+
+            def __init__(self):
+                self.calls = 0
+                self.followers_waiting = threading.Event()
+                self._lock = threading.Lock()
+
+            def host_of(self, name):
+                return "flaky.example"
+
+            def fetch(self, name, given, context=None):
+                with self._lock:
+                    self.calls += 1
+                    ordinal = self.calls
+                if ordinal == 1:
+                    self.followers_waiting.wait(timeout=5.0)
+                    raise FetchFailedError(
+                        FetchFailure(name, "flaky.example", 1, "boom")
+                    )
+                return ("rows", name)
+
+        inner = FlakyCatalog()
+        cache = ResultCache(inner, CachePolicy.lru())
+        results, errors = [], []
+
+        def request():
+            try:
+                results.append(cache.fetch("newsday", {"make": "saab"}))
+            except FetchFailedError as exc:
+                errors.append(exc)
+
+        import time
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        deadline = time.monotonic() + 5.0
+        threads[0].start()
+        while inner.calls == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)  # leader owns the flight before followers arrive
+        for t in threads[1:]:
+            t.start()
+        while cache.stats["coalesced"] < 3 and time.monotonic() < deadline:
+            time.sleep(0.001)  # all three followers queued on the flight
+        inner.followers_waiting.set()
+        for t in threads:
+            t.join()
+        assert len(errors) == 1  # only the leader saw its own failure
+        assert len(results) == 3 and all(r == ("rows", "newsday") for r in results)
+        # Exactly one follower re-fetched as the new leader; the other two
+        # shared its result — the failure itself was never cached.
+        assert inner.calls == 2
+        assert cache.stats["misses"] == 2
+        assert cache.stats["entries"] == 1
 
 
 class TestSpikesAndTimeouts:

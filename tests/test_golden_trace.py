@@ -1,0 +1,74 @@
+"""Golden-trace regression guard for the end-to-end Jaguar query.
+
+The paper's flagship query exercises every layer: UR planning, maximal
+objects, logical views, VPS fetches, navigation and pagination.  We pin the
+*shape* of its execution — span kinds, nesting, order, cache flags and
+statuses, via :meth:`TraceSpan.skeleton` — not its timings, so the snapshot
+is stable across machines while still catching accidental plan changes,
+dropped fetches, retry storms, or cache-flag regressions.
+
+On drift the failure message carries a unified diff.  To accept an
+intentional change::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import pathlib
+
+from repro.core.execution import WebBaseConfig
+from repro.core.webbase import WebBase
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "jaguar_trace.txt"
+
+JAGUAR_QUERY = (
+    "SELECT make, model, year, price, bb_price, safety, contact "
+    "WHERE make = 'jaguar' AND year >= 1993 AND condition = 'good' "
+    "AND safety IN ('good', 'excellent') AND price < bb_price"
+)
+
+
+def _current_skeleton() -> str:
+    # One worker lane: span order then equals submission order, so the
+    # skeleton is identical run to run and machine to machine.
+    webbase = WebBase.create(WebBaseConfig(max_workers=1))
+    report = webbase.query_report(JAGUAR_QUERY)
+    return report.trace.skeleton().rstrip("\n") + "\n"
+
+
+def test_jaguar_trace_matches_golden():
+    actual = _current_skeleton()
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN.write_text(actual)
+    expected = GOLDEN.read_text()
+    if actual != expected:
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                actual.splitlines(keepends=True),
+                fromfile="tests/golden/jaguar_trace.txt",
+                tofile="current trace skeleton",
+            )
+        )
+        raise AssertionError(
+            "Jaguar trace skeleton drifted from the golden snapshot.\n"
+            "If intentional, regenerate with UPDATE_GOLDEN=1.\n\n" + diff
+        )
+
+
+def test_skeleton_is_deterministic_across_runs():
+    first = _current_skeleton()
+    for _ in range(2):  # three runs total, per the acceptance criteria
+        assert _current_skeleton() == first
+
+
+def test_skeleton_has_the_expected_layers():
+    skeleton = _current_skeleton()
+    for kind in ("context ", "query ", "object ", "view ", "fetch ", "attempt "):
+        assert kind.strip() in [
+            line.strip().split(" ")[0] for line in skeleton.splitlines()
+        ], "missing %r spans" % kind.strip()
+    assert "[miss]" in skeleton  # cache flags survive normalization

@@ -1,0 +1,171 @@
+"""The metrics registry: primitive semantics, thread-safety, reconciliation.
+
+The registry is the cache/engine's flight recorder; these tests pin the
+primitives (counters monotone, gauges settable, histograms summarizing),
+prove the registry safe under the engine's real worker pool, and close the
+loop end-to-end: every fetch request a workload makes is accounted for
+exactly once across the cache-serve and live-fetch counters, and the
+registry agrees with the trace spans span-for-span.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.execution import WebBaseConfig
+from repro.core.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.core.parallel import cached_site_query
+from repro.core.webbase import WebBase
+from repro.vps.cache import CachePolicy
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("n")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == pytest.approx(6.0)
+        assert s["min"] == pytest.approx(1.0)
+        assert s["max"] == pytest.approx(3.0)
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        assert Histogram("lat").summary()["count"] == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(Exception):
+            reg.gauge("x")
+
+    def test_value_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.5)
+        assert reg.value("c") == 3
+        assert reg.value("missing") == 0
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(2)
+        reg.histogram("engine.fetch_seconds").observe(0.25)
+        text = reg.render()
+        assert "cache.hits" in text
+        assert "engine.fetch_seconds" in text
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lossless(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("n")
+        hist = reg.histogram("h")
+        workers, per_worker = 8, 2000
+
+        def spin():
+            for _ in range(per_worker):
+                counter.inc()
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=spin) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == workers * per_worker
+        assert hist.summary()["count"] == workers * per_worker
+
+    def test_lossless_under_the_engine_worker_pool(self):
+        """The registry's real concurrency load: a shared engine context
+        fanning fetches of distinct relations across the pool."""
+        webbase = WebBase.create(WebBaseConfig(cache=CachePolicy.lru()))
+        ctx = webbase.execution_context(max_workers=8)
+        jobs = [
+            ("newsday", {"make": "saab"}),
+            ("newsday", {"make": "honda"}),
+            ("newsday", {"make": "bmw"}),
+            ("autoweb", {"make": "saab"}),
+            ("autoweb", {"make": "honda"}),
+        ]
+        ctx.map(
+            lambda job: webbase.cache.fetch(job[0], dict(job[1]), context=ctx),
+            jobs * 2,
+        )
+        m = webbase.metrics
+        assert m.value("cache.misses") == len(jobs)
+        assert m.value("cache.requests") == len(jobs) * 2
+        assert m.value("cache.hits") == len(jobs)  # some coalesced, some stored
+        assert m.value("cache.coalesced") <= m.value("cache.hits")
+        assert m.value("engine.fetches") == len(jobs)
+
+
+class TestReconciliation:
+    def test_every_fetch_request_accounted_once(self):
+        """hits + stale serves + context-cache hits + live fetches ==
+        fetch spans, and the hit/miss split matches span flags exactly."""
+        webbase = WebBase.create(WebBaseConfig(cache=CachePolicy.lru()))
+        contexts = []
+        for run in range(2):
+            outcome = cached_site_query(webbase, label="recon-%d" % run)
+            contexts.append(outcome.context)
+        spans = [s for ctx in contexts for s in ctx.root.spans("fetch")]
+        m = webbase.metrics
+        served = (
+            m.value("cache.hits")
+            + m.value("cache.stale_serves")
+            + m.value("engine.context_cache_hits")
+        )
+        fetched = m.value("engine.fetches")
+        assert served == sum(1 for s in spans if s.cache in ("hit", "stale"))
+        assert fetched == sum(1 for s in spans if s.cache == "miss")
+        assert served + fetched == len(spans)
+        # Second pass was fully warm: ten hits, no new live fetches.
+        assert m.value("cache.hits") == 10
+        assert m.value("cache.misses") == 10
+        assert m.value("engine.fetch_attempts") >= m.value("engine.fetches")
+        assert m.histogram("engine.fetch_seconds").summary()["count"] == fetched
+
+    def test_cli_metrics_command_reconciles(self, capsys):
+        from repro.cli import main
+
+        assert main(["metrics", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+        assert "cache.hits" in out
