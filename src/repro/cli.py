@@ -5,6 +5,7 @@
     python -m repro query "SELECT make, model, price WHERE make = 'ford'"
     python -m repro trace "SELECT make, model, price WHERE make = 'ford'" [--export-json [PATH]]
     python -m repro plan  "SELECT make, bb_price WHERE condition = 'good'"
+    python -m repro explain "SELECT make, model, rate WHERE make = 'honda' AND duration = 36"
     python -m repro schema vps|logical|ur
     python -m repro expression newsday
     python -m repro map www.newsday.com [--dot]
@@ -17,7 +18,9 @@ Every invocation builds the simulated Web and maps it by example (fast
 and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
 ``--workers`` sizes the execution engine's pool, and ``--fault-rate``
 injects deterministic transient faults for the retry machinery to absorb
-(watch them in ``trace``).  ``--cache`` turns on the cross-query result
+(watch them in ``trace``).  ``--optimizer off`` reverts to the fixed
+(pre-cost-model) join order for A/B comparison — ``explain`` under both
+settings shows what the planner saves.  ``--cache`` turns on the cross-query result
 cache; ``--cache-ttl`` bounds how long its entries live and
 ``--stale-mode`` picks what happens to entries of a site flagged by
 maintenance as needing manual attention (refetch them, or serve them
@@ -67,6 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=8, help="execution-engine worker pool size"
     )
     parser.add_argument(
+        "--optimizer",
+        choices=["cost", "off"],
+        default="cost",
+        help="join-order strategy: the cost-based planner, or the fixed "
+        "binding-feasible order (A/B baseline)",
+    )
+    parser.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -96,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser("plan", help="show a query's maximal objects")
     plan.add_argument("text")
+
+    explain = sub.add_parser(
+        "explain",
+        help="run a query and print the plan tree with per-node cost "
+        "estimates vs. measured fetches",
+    )
+    explain.add_argument("text")
 
     schema = sub.add_parser("schema", help="print a layer's schema")
     schema.add_argument("layer", choices=["vps", "logical", "ur"])
@@ -149,6 +166,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             ads_per_host=args.ads_per_host,
             cache=cache_policy,
             max_workers=args.workers,
+            optimizer=args.optimizer,
             faults=(
                 FaultPlan(seed=args.fault_seed, error_rate=args.fault_rate)
                 if args.fault_rate > 0
@@ -177,6 +195,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(report.pretty())
         print()
         print(report.trace.render())
+        return 0
+
+    if args.command == "explain":
+        print(webbase.explain(args.text).render())
         return 0
 
     if args.command == "plan":

@@ -89,6 +89,15 @@ class WebBaseConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     timeout_seconds: float | None = None
     faults: FaultPlan | None = None
+    # "cost" orders each maximal object's join with the cost-based planner;
+    # "off" keeps the legacy first-feasible order (the A/B baseline).
+    optimizer: str = "cost"
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("cost", "off"):
+            raise ValueError(
+                "optimizer must be 'cost' or 'off'; got %r" % (self.optimizer,)
+            )
 
 
 # -- failures ---------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""EXPLAIN: the planner's predictions paired with the measured run.
+
+:func:`explain` plans a UR query, executes it on a fresh engine context,
+and walks the resulting trace to put the cost model's per-relation fetch
+estimates next to the counts the run actually produced.  The rendered
+tree (``python -m repro explain <query>``) is how an operator judges the
+cost model: a node whose error stays small is a statistic worth trusting;
+one that drifts points at a stale cardinality or distinct-value guess.
+
+Actuals are read the same way the planner's feedback loop reads them
+(:func:`~repro.relational.cost.observe_trace`): a relation's *accesses*
+are its ``view`` spans under the object, and its *live fetches* are the
+``fetch`` spans with ``cache == "miss"`` beneath those views — cache hits
+cost nothing on the Web, so they are not charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.execution import TraceSpan
+from repro.relational.cost import observe_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.webbase import WebBase
+
+
+@dataclass
+class ExplainNode:
+    """One relation's slot in an object's join order: estimate vs. run."""
+
+    relation: str
+    mode: str  # scan | independent | probe
+    est_accesses: float
+    est_fetches: float
+    actual_accesses: int
+    actual_fetches: int
+
+    @property
+    def error_pct(self) -> float | None:
+        """Signed estimate error relative to the actual live fetches
+        (``None`` when the run fetched nothing — nothing to divide by)."""
+        if self.actual_fetches == 0:
+            return None
+        return 100.0 * (self.est_fetches - self.actual_fetches) / self.actual_fetches
+
+    def describe(self) -> str:
+        if self.error_pct is None:
+            error = "n/a"
+        else:
+            error = "%+.0f%%" % self.error_pct
+        return (
+            "%s [%s]  est %.1f fetches / %.1f accesses, "
+            "actual %d fetches / %d accesses, err %s"
+            % (
+                self.relation,
+                self.mode,
+                self.est_fetches,
+                self.est_accesses,
+                self.actual_fetches,
+                self.actual_accesses,
+                error,
+            )
+        )
+
+
+@dataclass
+class ExplainObject:
+    """One maximal object: its chosen order with per-node numbers."""
+
+    relations: tuple[str, ...]
+    strategy: str
+    nodes: list[ExplainNode] = field(default_factory=list)
+    skipped: str = ""
+
+    @property
+    def est_fetches(self) -> float:
+        return sum(n.est_fetches for n in self.nodes)
+
+    @property
+    def actual_fetches(self) -> int:
+        return sum(n.actual_fetches for n in self.nodes)
+
+
+@dataclass
+class ExplainReport:
+    """The full EXPLAIN for one UR query."""
+
+    query_text: str
+    optimizer: str
+    objects: list[ExplainObject] = field(default_factory=list)
+    rows: int = 0
+    trace: TraceSpan | None = field(default=None, repr=False)
+
+    @property
+    def est_fetches(self) -> float:
+        return sum(o.est_fetches for o in self.objects)
+
+    @property
+    def actual_fetches(self) -> int:
+        return sum(o.actual_fetches for o in self.objects)
+
+    def render(self) -> str:
+        lines = [
+            "explain: %s" % self.query_text,
+            "optimizer=%s, %d answer row(s)" % (self.optimizer, self.rows),
+        ]
+        for obj in self.objects:
+            if obj.skipped:
+                lines.append(
+                    "object %s  [skipped: %s]"
+                    % (" ⋈ ".join(obj.relations), obj.skipped)
+                )
+                continue
+            lines.append(
+                "object %s  [%s, est %.1f fetches, actual %d]"
+                % (
+                    " ⋈ ".join(obj.relations),
+                    obj.strategy,
+                    obj.est_fetches,
+                    obj.actual_fetches,
+                )
+            )
+            for depth, node in enumerate(obj.nodes):
+                lines.append("  " * (depth + 1) + "→ " + node.describe())
+        lines.append(
+            "total: est %.1f live fetches, actual %d"
+            % (self.est_fetches, self.actual_fetches)
+        )
+        return "\n".join(lines)
+
+
+def _actuals(object_span: TraceSpan, relation: str) -> tuple[int, int]:
+    """(accesses, live fetches) for ``relation`` under one object span."""
+    accesses = fetches = 0
+    for view in object_span.spans("view"):
+        if view.name != relation:
+            continue
+        accesses += 1
+        fetches += sum(1 for f in view.spans("fetch") if f.cache == "miss")
+    return accesses, fetches
+
+
+def explain(webbase: "WebBase", text: str) -> ExplainReport:
+    """Plan ``text``, run it, and pair every plan node's estimate with the
+    measured access/fetch counts from the run's trace."""
+    ctx = webbase.execution_context(label="explain:%s" % text)
+    webbase.last_context = ctx
+    with ctx.accounted(), ctx.span("query", text):
+        with ctx.span("plan", "ur") as pspan:
+            plan = webbase.ur.plan(text)
+            pspan.attrs["objects"] = len(plan.objects)
+            pspan.attrs["feasible"] = len(plan.feasible_objects)
+            pspan.attrs["optimizer"] = plan.optimizer
+            plan.record_spans(ctx)
+        answer = webbase.ur.answer(text, plan=plan, context=ctx)
+    observe_trace(webbase.metrics, ctx.root)
+
+    report = ExplainReport(
+        query_text=text,
+        optimizer=plan.optimizer,
+        rows=len(answer),
+        trace=ctx.root,
+    )
+    object_spans = {s.name: s for s in ctx.root.spans("object")}
+    for obj in plan.objects:
+        if not obj.feasible:
+            report.objects.append(
+                ExplainObject(obj.relations, strategy="-", skipped=obj.note)
+            )
+            continue
+        strategy = obj.estimate.strategy if obj.estimate is not None else "fixed"
+        explained = ExplainObject(obj.relations, strategy=strategy)
+        span = object_spans.get(" ⋈ ".join(obj.relations))
+        steps = list(obj.estimate.steps) if obj.estimate is not None else []
+        for position, relation in enumerate(obj.relations):
+            step = steps[position] if position < len(steps) else None
+            accesses, fetches = (
+                _actuals(span, relation) if span is not None else (0, 0)
+            )
+            explained.nodes.append(
+                ExplainNode(
+                    relation=relation,
+                    mode=step.mode if step is not None else "?",
+                    est_accesses=step.est_accesses if step is not None else 0.0,
+                    est_fetches=step.est_fetches if step is not None else 0.0,
+                    actual_accesses=accesses,
+                    actual_fetches=fetches,
+                )
+            )
+        report.objects.append(explained)
+    return report

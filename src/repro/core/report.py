@@ -155,12 +155,17 @@ def run_with_report(
     object's Web work off its trace subtree."""
     ctx = context or webbase.execution_context(label=query_text)
     webbase.last_context = ctx
-    plan: URPlan = webbase.plan(query_text)
-    outputs = plan.query.outputs
-    answer = Relation(Schema(outputs), [])
-    report = QueryReport(query_text=query_text, answer=answer, trace=ctx.root)
     evaluated = 0
     with ctx.accounted(), ctx.span("query", query_text):
+        with ctx.span("plan", "ur") as pspan:
+            plan: URPlan = webbase.plan(query_text)
+            pspan.attrs["objects"] = len(plan.objects)
+            pspan.attrs["feasible"] = len(plan.feasible_objects)
+            pspan.attrs["optimizer"] = plan.optimizer
+            plan.record_spans(ctx)
+        outputs = plan.query.outputs
+        answer = Relation(Schema(outputs), [])
+        report = QueryReport(query_text=query_text, answer=answer, trace=ctx.root)
         for obj in plan.objects:
             if not obj.feasible:
                 report.objects.append(

@@ -34,7 +34,9 @@ from repro.core.execution import (
 from repro.core.metrics import MetricsRegistry
 from repro.core.sessions import build_all_builders
 from repro.logical import car_logical_schema
+from repro.logical.mapping import car_catalog_stats
 from repro.logical.schema import LogicalSchema
+from repro.relational.cost import observe_trace
 from repro.navigation.builder import MapBuilder
 from repro.navigation.compiler import CompiledSite, compile_map
 from repro.navigation.executor import NavigationExecutor
@@ -79,7 +81,12 @@ class WebBase:
             self.vps, config.cache, metrics=self.metrics
         )
         self.logical: LogicalSchema = car_logical_schema(self.cache)
-        self.ur: StructuredUR = build_used_car_ur(self.logical)
+        self.ur: StructuredUR = build_used_car_ur(
+            self.logical,
+            optimizer=config.optimizer,
+            stats=car_catalog_stats(self.logical, config.ads_per_host),
+            metrics=self.metrics,
+        )
         if config.faults is not None:
             world.server.install_faults(config.faults)
         # The engine context behind the most recent facade call that made
@@ -171,7 +178,22 @@ class WebBase:
                 plan = self.ur.plan(text)
                 span.attrs["objects"] = len(plan.objects)
                 span.attrs["feasible"] = len(plan.feasible_objects)
-            return self.ur.answer(text, plan=plan, context=ctx)
+                span.attrs["optimizer"] = plan.optimizer
+                plan.record_spans(ctx)
+            answer = self.ur.answer(text, plan=plan, context=ctx)
+        if context is None:
+            # Feed the fresh trace's access/fetch counts back into the
+            # planner's live statistics (a shared context is observed by
+            # whoever owns it, to avoid double counting).
+            observe_trace(self.metrics, ctx.root)
+        return answer
+
+    def explain(self, text: str):
+        """Plan and run a query, pairing the planner's per-node fetch
+        estimates with the measured counts (``python -m repro explain``)."""
+        from repro.core.explain import explain
+
+        return explain(self, text)
 
     def plan(self, text: str) -> URPlan:
         """Show how a UR query decomposes into maximal objects."""

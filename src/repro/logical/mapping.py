@@ -38,6 +38,63 @@ from repro.relational.algebra import (
 AD_SCHEMA = ("make", "model", "year", "price", "contact")
 
 
+def car_catalog_stats(logical: LogicalSchema, ads_per_host: int = 120):
+    """Optimizer statistics for the Table-2 relations.
+
+    Cardinalities and distinct-value counts follow from the simulated
+    world's generation parameters (catalog size, year range, zip pool);
+    fetch weights and probe attributes are derived from the definitions
+    themselves by :meth:`~repro.relational.cost.CatalogStats.from_catalog`.
+    The ``model → make`` functional dependency tells the cost model that
+    fixing a make leaves only a couple of models, not the whole catalog.
+    """
+    from repro.relational.cost import CatalogStats
+    from repro.sites.dataset import (
+        CAR_CATALOG,
+        CONDITIONS,
+        MAKES,
+        NY_ZIPCODES,
+        OTHER_ZIPCODES,
+        SAFETY_RATINGS,
+        YEARS,
+    )
+
+    makes, models, years = len(MAKES), len(CAR_CATALOG), len(YEARS)
+    zips = len(NY_ZIPCODES) + len(OTHER_ZIPCODES)
+    conditions, safety = len(CONDITIONS), len(SAFETY_RATINGS)
+    durations = 4  # the finance sites quote 24/36/48/60-month loans
+    ads = 2 * ads_per_host  # each listing relation unions two sites
+    common = {"make": makes, "model": models, "year": years}
+
+    def listing(card: int, **extra: int) -> dict[str, int]:
+        return {**common, "price": card, "contact": card, "features": card, **extra}
+
+    cardinalities = {
+        "classifieds": ads,
+        "dealers": ads,
+        "blue_price": models * years * conditions,
+        "reliability": models * years,
+        "interest": zips * durations,
+        "all_ads": 9 * ads_per_host,
+    }
+    distinct = {
+        "classifieds": listing(ads),
+        "dealers": listing(ads, zip=zips),
+        "blue_price": {**common, "condition": conditions,
+                       "bb_price": models * years * conditions},
+        "reliability": {**common, "safety": safety},
+        "interest": {"zip": zips, "duration": durations, "rate": zips * durations},
+        "all_ads": listing(9 * ads_per_host),
+    }
+    return CatalogStats.from_catalog(
+        logical,
+        logical.relation_names,
+        cardinalities=cardinalities,
+        distinct=distinct,
+        fd_parents={"model": "make"},
+    )
+
+
 def _standardize(
     expr: Expr,
     renames: dict[str, str] | None = None,

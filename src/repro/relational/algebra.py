@@ -354,6 +354,17 @@ def _evaluate_join(
                 return evaluate(second, catalog, fed, context)
 
             combos = list(first_rel.distinct_values(common))
+            if not combos and context is not None:
+                # Empty outer side: every probe of the second side is
+                # provably irrelevant, so none is issued.  Record the
+                # decision so traces and metrics show the saved fetches.
+                span = getattr(context, "span", None)
+                if span is not None:
+                    with span("prune", "empty-outer") as pspan:
+                        pspan.attrs["feeds"] = ",".join(common)
+                metrics = getattr(context, "metrics", None)
+                if metrics is not None:
+                    metrics.counter("planner.pruned_inner").inc()
             if context is not None:
                 # The probe batch is the join's fan-out opportunity: each
                 # distinct binding combination probes the second side

@@ -1,0 +1,209 @@
+"""Cost-based join ordering under binding constraints.
+
+:func:`~repro.relational.bindings.order_joins` answers *whether* a
+binding-feasible order exists (and returns the first one its backtracking
+finds); this module answers *which* feasible order is cheapest, using a
+:class:`~repro.relational.cost.CostModel` to score each placement by its
+estimated live-fetch count.
+
+Two search strategies, picked by fan-in:
+
+* **exhaustive dynamic programming** for up to ``dp_threshold`` (default
+  6) relations: the classic subset DP — step costs and row estimates are
+  set-determined, so the cheapest order reaching a subset is a valid
+  subproblem — restricted to binding-feasible placements only;
+* **greedy + branch-and-bound** above: a greedy descent (cheapest
+  feasible next relation) provides an upper bound, then a depth-first
+  search prunes every prefix whose cost already reaches it, with a node
+  budget as a backstop (ordering with multiple binding sets per relation
+  is NP-complete, so worst cases exist; the budget keeps them bounded
+  while typical instances still complete exactly).
+
+Infeasible placements are never scored: feasibility (some binding set
+covered by the query constants plus the prefix's schemas) is checked
+before the cost model is consulted, so the planner cannot choose — or
+even enumerate — an order the evaluator would reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.relational.bindings import JoinPart, feasible, order_joins
+from repro.relational.cost import CostModel, StepEstimate, total_fetches
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """One chosen order with its per-step cost predictions."""
+
+    order: tuple[int, ...]  # indices into the parts sequence
+    steps: tuple[StepEstimate, ...]
+    est_fetches: float
+    est_rows: float
+    strategy: str  # "trivial" | "dp" | "greedy"
+
+    def names(self, parts: Sequence[JoinPart]) -> tuple[str, ...]:
+        return tuple(parts[i].name for i in self.order)
+
+    def describe(self) -> str:
+        lines = [
+            "join order (%s, est %.1f fetches):" % (self.strategy, self.est_fetches)
+        ]
+        lines += ["  %d. %s" % (i + 1, s.describe()) for i, s in enumerate(self.steps)]
+        return "\n".join(lines)
+
+
+class JoinOrderPlanner:
+    """Search for the cheapest binding-feasible join order."""
+
+    def __init__(
+        self,
+        model: CostModel | None = None,
+        dp_threshold: int = 6,
+        node_budget: int = 20000,
+    ) -> None:
+        self.model = model or CostModel()
+        self.dp_threshold = dp_threshold
+        self.node_budget = node_budget
+
+    def plan(
+        self, parts: Sequence[JoinPart], initially_bound: Iterable[str] = ()
+    ) -> JoinPlan | None:
+        """The cheapest feasible order, or ``None`` when no order is
+        feasible (exactly when :func:`order_joins` finds none)."""
+        const = frozenset(initially_bound)
+        if not parts:
+            return JoinPlan((), (), 0.0, 0.0, "trivial")
+        if len(parts) <= self.dp_threshold:
+            order, strategy = self._dp(parts, const), "dp"
+        else:
+            order, strategy = self._greedy_bound(parts, const), "greedy"
+        if order is None:
+            return None
+        steps = tuple(self.model.estimate_order(parts, order, const))
+        return JoinPlan(
+            order=tuple(order),
+            steps=steps,
+            est_fetches=total_fetches(steps),
+            est_rows=steps[-1].est_rows if steps else 0.0,
+            strategy=strategy,
+        )
+
+    # -- placement ----------------------------------------------------------
+
+    def _placeable(
+        self, part: JoinPart, const: frozenset[str], prefix: Sequence[JoinPart]
+    ) -> bool:
+        bound = const
+        for other in prefix:
+            bound |= other.schema
+        return feasible(part.bindings, bound)
+
+    def _step_cost(
+        self, part: JoinPart, prefix: Sequence[JoinPart], const: frozenset[str]
+    ) -> float:
+        return self.model.step_estimate(part, prefix, const).est_fetches
+
+    # -- exhaustive DP (≤ dp_threshold relations) ---------------------------
+
+    def _dp(
+        self, parts: Sequence[JoinPart], const: frozenset[str]
+    ) -> list[int] | None:
+        n = len(parts)
+        # best[mask] = (cost, order): cheapest feasible order reaching the
+        # subset; ties broken on relation names for determinism.
+        best: dict[int, tuple[float, tuple[int, ...]]] = {0: (0.0, ())}
+        for mask in range(1, 1 << n):
+            winner: tuple[float, tuple[str, ...], tuple[int, ...]] | None = None
+            for last in range(n):
+                bit = 1 << last
+                if not mask & bit:
+                    continue
+                prev = best.get(mask ^ bit)
+                if prev is None:
+                    continue
+                prev_cost, prev_order = prev
+                prefix = [parts[i] for i in prev_order]
+                if not self._placeable(parts[last], const, prefix):
+                    continue
+                cost = prev_cost + self._step_cost(parts[last], prefix, const)
+                order = prev_order + (last,)
+                key = (cost, tuple(parts[i].name for i in order), order)
+                if winner is None or key < winner:
+                    winner = key
+            if winner is not None:
+                best[mask] = (winner[0], winner[2])
+        full = best.get((1 << n) - 1)
+        return list(full[1]) if full is not None else None
+
+    # -- greedy + branch-and-bound (> dp_threshold relations) ---------------
+
+    def _greedy(
+        self, parts: Sequence[JoinPart], const: frozenset[str]
+    ) -> list[int] | None:
+        """Cheapest-next descent; may dead-end even when an order exists."""
+        n = len(parts)
+        order: list[int] = []
+        prefix: list[JoinPart] = []
+        remaining = set(range(n))
+        while remaining:
+            candidates = [
+                i for i in sorted(remaining)
+                if self._placeable(parts[i], const, prefix)
+            ]
+            if not candidates:
+                return None
+            pick = min(
+                candidates,
+                key=lambda i: (self._step_cost(parts[i], prefix, const), parts[i].name),
+            )
+            order.append(pick)
+            prefix.append(parts[pick])
+            remaining.discard(pick)
+        return order
+
+    def _greedy_bound(
+        self, parts: Sequence[JoinPart], const: frozenset[str]
+    ) -> list[int] | None:
+        seed = self._greedy(parts, const)
+        if seed is None:
+            # Greedy dead-ended; fall back to any feasible order for the
+            # initial upper bound (exact backtracking, ignores cost).
+            seed = order_joins(parts, const)
+            if seed is None:
+                return None
+        best_order = list(seed)
+        best_cost = total_fetches(self.model.estimate_order(parts, seed, const))
+        n = len(parts)
+        budget = [self.node_budget]
+
+        def descend(order: list[int], prefix: list[JoinPart], cost: float) -> None:
+            nonlocal best_order, best_cost
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            if len(order) == n:
+                if cost < best_cost:
+                    best_cost, best_order = cost, list(order)
+                return
+            used = set(order)
+            scored = []
+            for i in range(n):
+                if i in used:
+                    continue
+                if not self._placeable(parts[i], const, prefix):
+                    continue
+                scored.append((self._step_cost(parts[i], prefix, const), parts[i].name, i))
+            for step_cost, _, i in sorted(scored):
+                if cost + step_cost >= best_cost:
+                    continue  # bound: this prefix cannot beat the incumbent
+                order.append(i)
+                prefix.append(parts[i])
+                descend(order, prefix, cost + step_cost)
+                order.pop()
+                prefix.pop()
+
+        descend([], [], 0.0)
+        return best_order

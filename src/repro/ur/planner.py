@@ -24,7 +24,9 @@ from repro.relational.algebra import (
 )
 from repro.relational.bindings import BindingError, JoinPart, order_joins
 from repro.relational.conditions import equality_bindings
+from repro.relational.cost import CatalogStats, CostModel
 from repro.relational.optimize import optimize
+from repro.relational.planner import JoinOrderPlanner, JoinPlan
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.ur.compat import CompatibilityRule
@@ -46,6 +48,7 @@ class ObjectPlan:
     feasible: bool
     note: str = ""
     rewrites: tuple[str, ...] = ()
+    estimate: JoinPlan | None = None  # cost-planner predictions, when used
 
 
 @dataclass
@@ -54,17 +57,38 @@ class URPlan:
 
     query: URQuery
     objects: list[ObjectPlan] = field(default_factory=list)
+    optimizer: str = "off"
 
     @property
     def feasible_objects(self) -> list[ObjectPlan]:
         return [o for o in self.objects if o.feasible]
 
     def describe(self) -> str:
-        lines = ["UR plan: %d object(s)" % len(self.objects)]
+        lines = [
+            "UR plan: %d object(s), optimizer=%s" % (len(self.objects), self.optimizer)
+        ]
         for obj in self.objects:
             status = "ok" if obj.feasible else "skipped (%s)" % obj.note
+            if obj.estimate is not None:
+                status += ", est %.1f fetches via %s" % (
+                    obj.estimate.est_fetches,
+                    obj.estimate.strategy,
+                )
             lines.append("  %s  [%s]" % (" ⋈ ".join(obj.relations), status))
         return "\n".join(lines)
+
+    def record_spans(self, context: Any) -> None:
+        """Record the planner's join-order decisions as trace spans (one
+        ``order`` span per object, under the caller's current span)."""
+        for obj in self.objects:
+            with context.span("order", " → ".join(obj.relations)) as span:
+                if not obj.feasible:
+                    span.status = "skipped"
+                    span.error = obj.note
+                    continue
+                if obj.estimate is not None:
+                    span.attrs["strategy"] = obj.estimate.strategy
+                    span.attrs["est_fetches"] = round(obj.estimate.est_fetches, 1)
 
 
 class StructuredUR:
@@ -77,12 +101,23 @@ class StructuredUR:
         rules: list[CompatibilityRule],
         relations: list[str] | None = None,
         optimize_plans: bool = True,
+        optimizer: str = "cost",
+        stats: CatalogStats | None = None,
+        metrics: Any = None,
     ) -> None:
+        if optimizer not in ("cost", "off"):
+            raise ValueError("optimizer must be 'cost' or 'off'; got %r" % optimizer)
         self.logical = logical
         self.hierarchy = hierarchy
         self.rules = list(rules)
         self.relations = sorted(relations or logical.relation_names)
         self.optimize_plans = optimize_plans
+        self.optimizer = optimizer
+        self.join_planner: JoinOrderPlanner | None = None
+        if optimizer == "cost":
+            if stats is None:
+                stats = CatalogStats.from_catalog(logical, self.relations)
+            self.join_planner = JoinOrderPlanner(CostModel(stats, metrics=metrics))
         self._schemas: dict[str, frozenset[str]] = {
             name: logical.base_schema(name).as_set() for name in self.relations
         }
@@ -127,7 +162,7 @@ class StructuredUR:
             raise PlanError(
                 "no compatible set of relations covers %s" % sorted(attrs)
             )
-        plan = URPlan(query=query)
+        plan = URPlan(query=query, optimizer=self.optimizer)
         for cover in covers:
             parts = [
                 JoinPart(
@@ -137,7 +172,12 @@ class StructuredUR:
                 )
                 for name in sorted(cover)
             ]
-            order = order_joins(parts, bound)
+            estimate: JoinPlan | None = None
+            if self.join_planner is not None:
+                estimate = self.join_planner.plan(parts, bound)
+                order = list(estimate.order) if estimate is not None else None
+            else:
+                order = order_joins(parts, bound)
             if order is None:
                 plan.objects.append(
                     ObjectPlan(
@@ -166,6 +206,7 @@ class StructuredUR:
                     expression=expr,
                     feasible=True,
                     rewrites=rewrites,
+                    estimate=estimate,
                 )
             )
         return plan

@@ -9,7 +9,10 @@ is advertised at one kind of source).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.logical.schema import LogicalSchema
+from repro.relational.cost import CatalogStats
 from repro.ur.compat import CompatibilityRule, allows, excludes, mutually_exclusive
 from repro.ur.concepts import Concept, used_car_hierarchy
 from repro.ur.planner import StructuredUR
@@ -23,13 +26,30 @@ def used_car_rules() -> list[CompatibilityRule]:
     return rules
 
 
-def build_used_car_ur(logical: LogicalSchema) -> StructuredUR:
-    """The UsedCarUR over an assembled logical schema."""
+def build_used_car_ur(
+    logical: LogicalSchema,
+    optimizer: str = "cost",
+    stats: CatalogStats | None = None,
+    metrics: Any = None,
+) -> StructuredUR:
+    """The UsedCarUR over an assembled logical schema.
+
+    ``optimizer="cost"`` orders each maximal object's join with the
+    cost-based planner (seeded by ``stats``, self-correcting through
+    ``metrics``); ``"off"`` keeps the legacy first-feasible order.
+    """
+    if stats is None and optimizer == "cost":
+        from repro.logical.mapping import car_catalog_stats
+
+        stats = car_catalog_stats(logical)
     return StructuredUR(
         logical=logical,
         hierarchy=used_car_hierarchy(),
         rules=used_car_rules(),
         relations=UR_RELATIONS,
+        optimizer=optimizer,
+        stats=stats,
+        metrics=metrics,
     )
 
 

@@ -344,6 +344,13 @@ class ResultCache:
                         flight = self._inflight[key] = InFlight()
                         leader = True
                         revision = self._revisions.get(host, 0)
+                        # Invariant: exactly one miss per *upstream fetch*.
+                        # Only the flight leader counts one, here, under the
+                        # lock; coalesced waiters count a hit when the shared
+                        # result arrives.  A waiter promoted to leader after a
+                        # failed flight counts a fresh miss — correct, because
+                        # its retry is a second upstream fetch.  Pinned by
+                        # tests/test_metrics.py::TestSingleFlightMissAccounting.
                         self.misses += 1
                         self.metrics.counter("cache.misses").inc()
             if entry is not None:

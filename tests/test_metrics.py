@@ -11,6 +11,7 @@ registry agrees with the trace spans span-for-span.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -18,7 +19,9 @@ from repro.core.execution import WebBaseConfig
 from repro.core.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.core.parallel import cached_site_query
 from repro.core.webbase import WebBase
-from repro.vps.cache import CachePolicy
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.vps.cache import CachePolicy, ResultCache
 
 
 class TestCounter:
@@ -134,6 +137,88 @@ class TestThreadSafety:
         assert m.value("cache.hits") == len(jobs)  # some coalesced, some stored
         assert m.value("cache.coalesced") <= m.value("cache.hits")
         assert m.value("engine.fetches") == len(jobs)
+
+
+class _GatedInner:
+    """A Catalog test double whose fetch blocks on a gate — lets a test park
+    every coalesced waiter behind one in-flight upstream fetch, then release
+    them all at a chosen moment."""
+
+    def __init__(self, gate: threading.Event, fail_first: bool = False) -> None:
+        self.gate = gate
+        self.fail_first = fail_first
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def fetch(self, name, given, context=None):
+        with self._lock:
+            self.calls += 1
+            first = self.calls == 1
+        assert self.gate.wait(timeout=5.0), "test gate never opened"
+        if first and self.fail_first:
+            raise RuntimeError("transient upstream failure")
+        return Relation(Schema(("a",)), [("v",)])
+
+
+class TestSingleFlightMissAccounting:
+    """The single-flight invariant: one miss per *upstream fetch*, never one
+    per waiter.  N concurrent requests for a cold key must count exactly one
+    miss (the flight leader's) and N-1 hits, however many workers coalesce."""
+
+    WORKERS = 8
+
+    def _race(self, fail_first: bool):
+        gate = threading.Event()
+        inner = _GatedInner(gate, fail_first=fail_first)
+        metrics = MetricsRegistry()
+        cache = ResultCache(inner, CachePolicy.lru(), metrics=metrics)
+        results: list[Relation] = []
+        errors: list[BaseException] = []
+
+        def fetch():
+            try:
+                results.append(cache.fetch("r", {"k": "v"}))
+            except BaseException as exc:  # pragma: no cover - test failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch) for _ in range(self.WORKERS)]
+        for t in threads:
+            t.start()
+        # Wait until every non-leader has parked behind the flight, so the
+        # miss/hit split is deterministic, then open the gate.
+        deadline = time.time() + 5.0
+        while (
+            metrics.value("cache.coalesced") < self.WORKERS - 1
+            and time.time() < deadline
+        ):
+            time.sleep(0.001)
+        assert metrics.value("cache.coalesced") == self.WORKERS - 1
+        gate.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert all(sorted(r.rows) == [("v",)] for r in results)
+        return inner, metrics, results, errors
+
+    def test_coalesced_waiters_count_hits_not_misses(self):
+        inner, metrics, results, errors = self._race(fail_first=False)
+        assert not errors
+        assert len(results) == self.WORKERS
+        assert inner.calls == 1  # one upstream fetch total
+        assert metrics.value("cache.misses") == 1
+        assert metrics.value("cache.hits") == self.WORKERS - 1
+        assert metrics.value("cache.requests") == self.WORKERS
+
+    def test_failed_leader_promotes_one_waiter_one_extra_miss(self):
+        """A failed flight is never shared: the error raises to the leader's
+        own caller, exactly one waiter retries as the new leader — a second
+        upstream fetch, hence a second miss — and the rest still count hits."""
+        inner, metrics, results, errors = self._race(fail_first=True)
+        assert [type(e) for e in errors] == [RuntimeError]  # the failed leader
+        assert len(results) == self.WORKERS - 1
+        assert inner.calls == 2  # failed flight + the promoted waiter's retry
+        assert metrics.value("cache.misses") == 2
+        assert metrics.value("cache.hits") == self.WORKERS - 2
+        assert metrics.value("cache.requests") == self.WORKERS
 
 
 class TestReconciliation:
