@@ -22,8 +22,14 @@ Quickstart::
     ).pretty())
 """
 
-from repro.core.execution import ExecutionContext, RetryPolicy, WebBaseConfig
+from repro.core.execution import (
+    DeadlineExceeded,
+    ExecutionContext,
+    RetryPolicy,
+    WebBaseConfig,
+)
 from repro.core.webbase import WebBase
+from repro.service import ServiceClient, ServiceConfig, WebBaseService
 from repro.sites.world import World, build_world
 from repro.ur.builder import QueryBuilder
 from repro.vps.cache import CachePolicy
@@ -32,11 +38,15 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CachePolicy",
+    "DeadlineExceeded",
     "ExecutionContext",
     "QueryBuilder",
     "RetryPolicy",
+    "ServiceClient",
+    "ServiceConfig",
     "WebBase",
     "WebBaseConfig",
+    "WebBaseService",
     "World",
     "build_world",
     "__version__",

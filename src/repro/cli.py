@@ -13,6 +13,8 @@
     python -m repro metrics [--repeat N]
     python -m repro maintenance [host]
     python -m repro baselines
+    python -m repro serve [--port N] [--queue-limit N] [--service-workers N]
+    python -m repro client "SELECT ..." [--port N] [--deadline-ms MS]
 
 Every invocation builds the simulated Web and maps it by example (fast
 and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
@@ -20,11 +22,18 @@ and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
 injects deterministic transient faults for the retry machinery to absorb
 (watch them in ``trace``).  ``--optimizer off`` reverts to the fixed
 (pre-cost-model) join order for A/B comparison — ``explain`` under both
-settings shows what the planner saves.  ``--cache`` turns on the cross-query result
-cache; ``--cache-ttl`` bounds how long its entries live and
-``--stale-mode`` picks what happens to entries of a site flagged by
-maintenance as needing manual attention (refetch them, or serve them
-with an explicit staleness flag).
+settings shows what the planner saves.  ``--cache``/``--no-cache``
+explicitly enable or disable the cross-query result cache (default: on
+for ``metrics`` and ``serve``, whose workloads are meaningless without a
+storing cache; off elsewhere); ``--cache-ttl`` bounds how long its
+entries live and ``--stale-mode`` picks what happens to entries of a
+site flagged by maintenance as needing manual attention (refetch them,
+or serve them with an explicit staleness flag).
+
+``serve`` runs the long-lived multi-client query service on a TCP
+socket; ``client`` talks to it (no webbase is built client-side).
+``query --deadline-ms`` bounds a one-shot query's wall-clock time the
+same way a served request's deadline does.
 """
 
 from __future__ import annotations
@@ -50,7 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ads-per-host", type=int, default=120, help="listing depth per site"
     )
     parser.add_argument(
-        "--cache", action="store_true", help="enable the VPS result cache"
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="enable/disable the cross-query VPS result cache (default: "
+        "--cache for 'metrics' and 'serve', --no-cache otherwise)",
     )
     parser.add_argument(
         "--cache-ttl",
@@ -90,6 +103,14 @@ def _build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="answer a universal-relation query")
     query.add_argument("text", help="SELECT attrs WHERE conditions")
     query.add_argument("--limit", type=int, default=25, help="rows to print")
+    query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock deadline; an expired query stops fetching and "
+        "exits with a structured DeadlineExceeded error",
+    )
 
     trace = sub.add_parser(
         "trace", help="answer a query and print the engine's structured trace"
@@ -145,13 +166,98 @@ def _build_parser() -> argparse.ArgumentParser:
     maintenance.add_argument("host", nargs="?", default=None)
 
     sub.add_parser("baselines", help="link-only and canned-interface baselines")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived multi-client query service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8571, help="0 = ephemeral")
+    serve.add_argument(
+        "--queue-limit", type=int, default=16, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--service-workers", type=int, default=4, help="query executor threads"
+    )
+    serve.add_argument(
+        "--per-client", type=int, default=2, help="concurrent queries per connection"
+    )
+    serve.add_argument(
+        "--page-size", type=int, default=50, help="rows per streamed result page"
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline applied to requests that carry none",
+    )
+
+    client = sub.add_parser("client", help="query a running service")
+    client.add_argument("text", help="SELECT attrs WHERE conditions")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8571)
+    client.add_argument("--deadline-ms", type=float, default=None, metavar="MS")
+    client.add_argument("--page-size", type=int, default=None)
+    client.add_argument("--limit", type=int, default=25, help="rows to print")
+    client.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="keep retrying the connection this long (a freshly started "
+        "server maps its world by example before it listens)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    # The metrics workload is meaningless without a storing cache.
-    use_cache = args.cache or args.command == "metrics"
+
+    if args.command == "client":
+        # Pure network client: no webbase is built on this side.
+        from repro.service.client import ServiceClient, ServiceError
+
+        try:
+            with ServiceClient(
+                host=args.host,
+                port=args.port,
+                connect_timeout=args.connect_timeout,
+            ) as client:
+                outcome = client.query(
+                    args.text,
+                    deadline_ms=args.deadline_ms,
+                    page_size=args.page_size,
+                )
+        except ServiceError as exc:
+            print(
+                "service error [%s%s]: %s"
+                % (exc.code, ", retriable" if exc.retriable else "", exc)
+            )
+            return 2
+        except OSError as exc:
+            print("cannot reach %s:%d: %s" % (args.host, args.port, exc))
+            return 1
+        from repro.relational.relation import Relation
+
+        print(Relation(outcome.schema, outcome.rows).pretty(limit=args.limit))
+        print(
+            "(%d rows in %d page(s); %s)"
+            % (
+                len(outcome),
+                outcome.pages,
+                ", ".join("%s=%s" % kv for kv in sorted(outcome.stats.items())),
+            )
+        )
+        return 0
+
+    # Both serving and one-shot paths configure the cache the same way: an
+    # explicit --cache/--no-cache wins; the default is on only for the two
+    # commands whose workloads are meaningless without a storing cache.
+    use_cache = (
+        args.cache
+        if args.cache is not None
+        else args.command in ("metrics", "serve")
+    )
     cache_policy = (
         CachePolicy.lru(
             ttl_seconds=args.cache_ttl,
@@ -176,9 +282,61 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     if args.command == "query":
-        result = webbase.query(args.text)
+        from repro.core.execution import DeadlineExceeded
+
+        context = None
+        if args.deadline_ms is not None:
+            context = webbase.execution_context(
+                label=args.text, deadline_seconds=args.deadline_ms / 1000.0
+            )
+        try:
+            result = webbase.query(args.text, context=context)
+        except DeadlineExceeded as exc:
+            print("deadline exceeded [stage=%s]: %s" % (exc.stage, exc))
+            return 2
         print(result.pretty(limit=args.limit))
         print("(%d rows)" % len(result))
+        return 0
+
+    if args.command == "serve":
+        from repro.service.server import ServiceConfig, WebBaseService
+
+        service = WebBaseService(
+            webbase,
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                queue_limit=args.queue_limit,
+                workers=args.service_workers,
+                per_client_limit=args.per_client,
+                default_deadline_ms=args.default_deadline_ms,
+                page_size=args.page_size,
+            ),
+        )
+        host, port = service.start()
+        print(
+            "serving on %s:%d (queue=%d, workers=%d, per-client=%d, cache=%s)"
+            % (
+                host,
+                port,
+                args.queue_limit,
+                args.service_workers,
+                args.per_client,
+                "on" if use_cache else "off",
+            ),
+            flush=True,
+        )
+        try:
+            import threading
+
+            threading.Event().wait()  # serve until interrupted
+        except KeyboardInterrupt:
+            print("\ndraining ...")
+        snapshot = service.shutdown()
+        print("final service metrics:")
+        for name, value in sorted(snapshot["counters"].items()):
+            if name.startswith("service."):
+                print("  %-28s %d" % (name, value))
         return 0
 
     if args.command == "trace":

@@ -39,7 +39,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from time import process_time
+from time import monotonic, process_time
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.metrics import MetricsRegistry
@@ -123,6 +123,35 @@ class FetchFailure:
 
 class FetchTimeout(TransientNetworkError):
     """A fetch exceeded its per-attempt simulated-network-seconds budget."""
+
+
+class DeadlineExceeded(Exception):
+    """The query's wall-clock deadline expired (or the context was
+    cancelled) — a *structured* error: ``stage`` names where the check
+    fired (``fetch:<relation>``, ``retry:<relation>``, ``cancelled``),
+    ``deadline_seconds`` the budget, ``elapsed_seconds`` the wall time
+    spent when it fired.  Deliberately not a
+    :class:`~repro.web.browser.TransientNetworkError`: an expired deadline
+    must never be retried, it must propagate to the caller."""
+
+    def __init__(
+        self,
+        stage: str,
+        deadline_seconds: float | None,
+        elapsed_seconds: float,
+    ) -> None:
+        self.stage = stage
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+        if deadline_seconds is None:
+            message = "cancelled at %s (%.3fs elapsed)" % (stage, elapsed_seconds)
+        else:
+            message = "deadline of %.3fs exceeded at %s (%.3fs elapsed)" % (
+                deadline_seconds,
+                stage,
+                elapsed_seconds,
+            )
+        super().__init__(message)
 
 
 class FetchFailedError(Exception):
@@ -338,12 +367,25 @@ class ExecutionContext:
         timeout_seconds: float | None = None,
         label: str = "context",
         metrics: MetricsRegistry | None = None,
+        deadline_seconds: float | None = None,
+        wall_clock: Callable[[], float] = monotonic,
     ) -> None:
         self.pool = pool
         self.max_workers = max(1, int(max_workers))
         self.retry = retry or RetryPolicy()
         self.timeout_seconds = timeout_seconds
         self.metrics = metrics or MetricsRegistry()
+        # Wall-clock deadline: unlike ``timeout_seconds`` (a per-attempt
+        # budget in *simulated* network seconds), the deadline bounds the
+        # query's *real* elapsed time — the contract a serving client cares
+        # about.  ``wall_clock`` is injectable so tests can step time.
+        self._wall_clock = wall_clock
+        self._started_wall = wall_clock()
+        self.deadline_seconds = deadline_seconds
+        self._deadline_at = (
+            None if deadline_seconds is None else self._started_wall + deadline_seconds
+        )
+        self._cancelled = threading.Event()
         self.root = TraceSpan("context", label)
         self.failures: list[FetchFailure] = []
         self.network_by_host: dict[str, float] = {}
@@ -388,6 +430,58 @@ class ExecutionContext:
     def sequential_elapsed_seconds(self) -> float:
         """What the same work would cost with one worker."""
         return self.cpu_seconds + self.network_seconds_total
+
+    # -- deadlines and cancellation -----------------------------------------
+
+    @property
+    def wall_elapsed_seconds(self) -> float:
+        """Real wall-clock seconds since the context was created."""
+        return self._wall_clock() - self._started_wall
+
+    @property
+    def deadline_remaining_seconds(self) -> float | None:
+        """Wall seconds left before the deadline (``None`` = no deadline)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - self._wall_clock()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def cancel(self) -> None:
+        """Abandon the context: every subsequent deadline check — one runs
+        before each fetch and between retries — raises
+        :class:`DeadlineExceeded`, so outstanding workers stop picking up
+        new fetches and fan-outs unwind promptly."""
+        self._cancelled.set()
+
+    def check_deadline(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline expired or the
+        context was cancelled; record the event as a trace span and count
+        it.  The engine calls this before every fetch and before every
+        retry attempt, so an expired query stops issuing Web work."""
+        expired = self._deadline_at is not None and self._wall_clock() >= self._deadline_at
+        if not expired and not self._cancelled.is_set():
+            return
+        if expired:
+            exc = DeadlineExceeded(stage, self.deadline_seconds, self.wall_elapsed_seconds)
+        else:
+            exc = DeadlineExceeded("cancelled", None, self.wall_elapsed_seconds)
+        # One expiry cancels the whole context: sibling workers abandon
+        # their remaining fetches at their own next check.
+        self._cancelled.set()
+        self.metrics.counter("engine.deadline_exceeded").inc()
+        span = TraceSpan("deadline", stage, status="error", error=str(exc))
+        parent = self.current_span()
+        with self._lock:
+            parent.children.append(span)
+        raise exc
+
+    def adopt(self, span: TraceSpan) -> None:
+        """Make ``span`` the calling thread's current trace span (worker
+        threads adopt the fan-out parent before running tasks)."""
+        self._local.stack = [span]
 
     @contextmanager
     def accounted(self) -> Iterator[None]:
@@ -453,7 +547,7 @@ class ExecutionContext:
         pending = list(range(len(items)))
 
         def worker() -> None:
-            self._local.stack = [parent]
+            self.adopt(parent)
             while True:
                 with self._lock:
                     if not pending:
@@ -464,6 +558,8 @@ class ExecutionContext:
                 except Exception as exc:  # noqa: BLE001 - reported in full below
                     with self._lock:
                         errors.append((index, exc))
+                    if isinstance(exc, DeadlineExceeded):
+                        return  # the context is cancelled; stop taking work
 
         threads = [
             threading.Thread(target=worker, daemon=True)
@@ -475,6 +571,11 @@ class ExecutionContext:
             thread.join()
         if errors:
             errors.sort(key=lambda pair: pair[0])
+            # A deadline expiry trumps aggregation: the whole fan-out was
+            # abandoned for one reason, so report that reason directly.
+            for _, exc in errors:
+                if isinstance(exc, DeadlineExceeded):
+                    raise exc
             if len(errors) == 1:
                 raise errors[0][1]
             raise FanoutError([exc for _, exc in errors], total=len(items))
@@ -497,6 +598,7 @@ class ExecutionContext:
             tuple(sorted((a, str(v)) for a, v in given.items() if v is not None)),
         )
         while True:
+            self.check_deadline("fetch:%s" % relation.name)
             leader = False
             with self._lock:
                 cached = self._cache.get(key)
@@ -553,6 +655,9 @@ class ExecutionContext:
                 attempts_used = attempt
                 self.metrics.counter("engine.fetch_attempts").inc()
                 if attempt > 1:
+                    # The deadline is re-checked between retries, so a dying
+                    # query stops burning its retry budget on a lost cause.
+                    self.check_deadline("retry:%s" % relation.name)
                     bundle.clock.charge(policy.delay_before(attempt))
                     with self._lock:
                         self.retries += 1

@@ -19,6 +19,8 @@ dotted strings, values are numbers, and a snapshot is a plain dict.
 
 from __future__ import annotations
 
+import math
+import random
 import threading
 from typing import Any
 
@@ -76,11 +78,17 @@ class Gauge:
 class Histogram:
     """Summary statistics of an observed distribution (fetch latencies).
 
-    Keeps count/sum/min/max rather than buckets: enough for the mean and
-    the extremes, O(1) memory, and no bucket-boundary bikeshed.
+    Keeps count/sum/min/max plus a bounded reservoir of observations:
+    enough for the mean, the extremes, and tail percentiles (p50/p95/p99
+    — what a service's latency SLO is written in) in O(1) memory per
+    histogram and with no bucket-boundary bikeshed.  The reservoir is
+    uniform (Vitter's algorithm R) with a fixed-seed generator, so a
+    deterministic observation sequence yields deterministic percentiles.
     """
 
-    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+    RESERVOIR = 2048
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_samples", "_rng", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -88,6 +96,8 @@ class Histogram:
         self._total = 0.0
         self._min: float | None = None
         self._max: float | None = None
+        self._samples: list[float] = []
+        self._rng = random.Random(0x5EED)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -98,6 +108,24 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            if len(self._samples) < self.RESERVOIR:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.RESERVOIR:
+                    self._samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (nearest-rank over the reservoir); 0 when
+        nothing has been observed."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]; got %r" % q)
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+            return ordered[rank - 1]
 
     @property
     def count(self) -> int:
@@ -116,12 +144,22 @@ class Histogram:
 
     def summary(self) -> dict[str, float]:
         with self._lock:
+            ordered = sorted(self._samples)
+
+            def rank(q: float) -> float:
+                if not ordered:
+                    return 0.0
+                return ordered[max(1, math.ceil(q / 100.0 * len(ordered))) - 1]
+
             return {
                 "count": self._count,
                 "sum": self._total,
                 "min": self._min if self._min is not None else 0.0,
                 "max": self._max if self._max is not None else 0.0,
                 "mean": self._total / self._count if self._count else 0.0,
+                "p50": rank(50),
+                "p95": rank(95),
+                "p99": rank(99),
             }
 
 
@@ -201,7 +239,8 @@ class MetricsRegistry:
             lines.append("%-*s  %g" % (width, name, value))
         for name, summary in snap["histograms"].items():
             lines.append(
-                "%-*s  count=%d sum=%.3f min=%.3f max=%.3f mean=%.3f"
+                "%-*s  count=%d sum=%.3f min=%.3f max=%.3f mean=%.3f "
+                "p50=%.3f p95=%.3f p99=%.3f"
                 % (
                     width,
                     name,
@@ -210,6 +249,9 @@ class MetricsRegistry:
                     summary["min"],
                     summary["max"],
                     summary["mean"],
+                    summary["p50"],
+                    summary["p95"],
+                    summary["p99"],
                 )
             )
         return "\n".join(lines) if lines else "(no metrics recorded)"

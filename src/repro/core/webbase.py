@@ -128,11 +128,13 @@ class WebBase:
         max_workers: int | None = None,
         retry: RetryPolicy | None = None,
         timeout_seconds: float | None = None,
+        deadline_seconds: float | None = None,
     ) -> ExecutionContext:
         """A fresh per-query engine context, defaulting to the webbase
-        config's worker/retry/timeout policies.  Pass the same context to
-        several facade calls to pool their workers, per-context cache,
-        accounting and trace."""
+        config's worker/retry/timeout policies.  ``deadline_seconds``
+        bounds the query's wall-clock time (checked before each fetch and
+        between retries).  Pass the same context to several facade calls
+        to pool their workers, per-context cache, accounting and trace."""
         config = self.config
         return ExecutionContext(
             self.pool,
@@ -143,6 +145,7 @@ class WebBase:
             ),
             label=label,
             metrics=self.metrics,
+            deadline_seconds=deadline_seconds,
         )
 
     # -- maintenance -------------------------------------------------------------
@@ -187,6 +190,27 @@ class WebBase:
             # whoever owns it, to avoid double counting).
             observe_trace(self.metrics, ctx.root)
         return answer
+
+    def query_stream(self, text: str, context: ExecutionContext | None = None):
+        """Answer a query *incrementally*: yields ``(ObjectPlan, Relation)``
+        pairs as each maximal object completes (the serving path — see
+        :meth:`repro.ur.planner.StructuredUR.answer_stream`).  Rows may
+        repeat across objects; callers that need exact ``query`` semantics
+        deduplicate (the service layer does)."""
+        ctx = context or self.execution_context(label=text)
+        self.last_context = ctx
+        with ctx.accounted(), ctx.span("query", text):
+            with ctx.span("plan", "ur") as span:
+                plan = self.ur.plan(text)
+                span.attrs["objects"] = len(plan.objects)
+                span.attrs["feasible"] = len(plan.feasible_objects)
+                span.attrs["optimizer"] = plan.optimizer
+                plan.record_spans(ctx)
+            for obj, piece in self.ur.answer_stream(text, plan=plan, context=ctx):
+                if piece is not None:
+                    yield obj, piece
+        if context is None:
+            observe_trace(self.metrics, ctx.root)
 
     def explain(self, text: str):
         """Plan and run a query, pairing the planner's per-node fetch

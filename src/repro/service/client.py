@@ -1,0 +1,246 @@
+"""The service client library: blocking, line-oriented, structured errors.
+
+:class:`ServiceClient` speaks :mod:`repro.service.protocol` over one TCP
+connection.  Server-side rejections surface as typed exceptions carrying
+the wire error's ``code`` and ``retriable`` flag — an ``OVERLOADED`` shed
+becomes :class:`Overloaded` (retry with backoff), an expired deadline
+:class:`DeadlineExceededError` (do not retry) — so callers dispatch on
+type instead of parsing messages.  Pages stream through :meth:`stream`;
+:meth:`query` collects them into one :class:`QueryOutcome`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+
+class ServiceError(Exception):
+    """A structured error frame from the server."""
+
+    code = protocol.E_INTERNAL
+
+    def __init__(self, message: str, code: str | None = None, retriable: bool | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.retriable = (
+            retriable
+            if retriable is not None
+            else self.code in protocol.RETRIABLE_CODES
+        )
+
+
+class Overloaded(ServiceError):
+    """The admission queue was full; the request was shed.  Retriable."""
+
+    code = protocol.E_OVERLOADED
+
+
+class ClientLimited(ServiceError):
+    """This connection holds too many in-flight queries.  Retriable."""
+
+    code = protocol.E_CLIENT_LIMIT
+
+
+class ServiceShuttingDown(ServiceError):
+    """The server is draining; try another replica.  Retriable."""
+
+    code = protocol.E_SHUTTING_DOWN
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired server-side.  Not retriable."""
+
+    code = protocol.E_DEADLINE_EXCEEDED
+
+
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (Overloaded, ClientLimited, ServiceShuttingDown, DeadlineExceededError)
+}
+
+
+def error_for(code: str, message: str, retriable: bool) -> ServiceError:
+    """The typed exception for one wire error frame."""
+    cls = _ERROR_TYPES.get(code, ServiceError)
+    return cls(message, code=code, retriable=retriable)
+
+
+@dataclass
+class Page:
+    """One streamed page of rows."""
+
+    seq: int
+    schema: list[str]
+    rows: list[tuple]
+    source: str = ""
+
+
+@dataclass
+class QueryOutcome:
+    """A fully collected streamed answer."""
+
+    schema: list[str]
+    rows: list[tuple]
+    pages: int
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.WebBaseService`.
+
+    ``connect_timeout`` is a *retry window*: the constructor keeps
+    attempting to connect until it succeeds or the window closes, so a
+    client started alongside a server that is still mapping its world by
+    example simply waits for it to come up.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8571,
+        timeout: float = 60.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._next_id = 0
+        deadline = time.monotonic() + max(0.0, connect_timeout)
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+        self._sock.settimeout(timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _send(self, payload: dict[str, Any]) -> None:
+        self._sock.sendall(protocol.encode(payload))
+
+    def _recv(self, request_id: int) -> dict[str, Any]:
+        """The next frame for ``request_id`` (frames for other ids — e.g.
+        abandoned requests on a shared connection — are skipped)."""
+        while True:
+            line = self._reader.readline(protocol.MAX_LINE_BYTES + 2)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            frame = protocol.decode_line(line)
+            if frame.get("id") == request_id:
+                return frame
+
+    def _request_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> float:
+        """Round-trip one ping; returns the wall seconds it took."""
+        request_id = self._request_id()
+        started = time.monotonic()
+        self._send({"id": request_id, "op": "ping"})
+        frame = self._recv(request_id)
+        if frame.get("type") != "pong":
+            raise ProtocolError("expected pong, got %r" % frame.get("type"))
+        return time.monotonic() - started
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's full metrics snapshot."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "metrics"})
+        frame = self._recv(request_id)
+        if frame.get("type") != "metrics":
+            raise ProtocolError("expected metrics, got %r" % frame.get("type"))
+        return frame["metrics"]
+
+    def stream(
+        self,
+        text: str,
+        deadline_ms: float | None = None,
+        page_size: int | None = None,
+    ) -> Iterator[Page]:
+        """Issue one query and yield its pages as the server streams them.
+
+        Raises the typed :class:`ServiceError` subclass on a terminal
+        error frame (pages already yielded remain valid partial results).
+        The generator ends after the terminal ``result`` frame; its stats
+        land on the generator's ``StopIteration`` value via :meth:`query`.
+        """
+        request_id = self._request_id()
+        payload: dict[str, Any] = {"id": request_id, "op": "query", "text": text}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if page_size is not None:
+            payload["page_size"] = page_size
+        self._send(payload)
+        while True:
+            frame = self._recv(request_id)
+            kind = frame.get("type")
+            if kind == "page":
+                yield Page(
+                    seq=int(frame["seq"]),
+                    schema=list(frame["schema"]),
+                    rows=[tuple(row) for row in frame["rows"]],
+                    source=str(frame.get("source", "")),
+                )
+            elif kind == "result":
+                stats = {
+                    k: v for k, v in frame.items() if k not in ("id", "type")
+                }
+                return stats  # noqa: B901 - surfaced via StopIteration.value
+            elif kind == "error":
+                raise error_for(
+                    str(frame.get("code", protocol.E_INTERNAL)),
+                    str(frame.get("message", "")),
+                    bool(frame.get("retriable", False)),
+                )
+            else:
+                raise ProtocolError("unexpected frame type %r" % kind)
+
+    def query(
+        self,
+        text: str,
+        deadline_ms: float | None = None,
+        page_size: int | None = None,
+    ) -> QueryOutcome:
+        """Issue one query and collect the full streamed answer."""
+        schema: list[str] = []
+        rows: list[tuple] = []
+        pages = 0
+        stream = self.stream(text, deadline_ms=deadline_ms, page_size=page_size)
+        while True:
+            try:
+                page = next(stream)
+            except StopIteration as stop:
+                stats = stop.value or {}
+                break
+            schema = page.schema
+            rows.extend(page.rows)
+            pages += 1
+        return QueryOutcome(schema=schema, rows=rows, pages=pages, stats=stats)

@@ -1,0 +1,160 @@
+"""The service wire protocol: line-delimited JSON over TCP.
+
+One request or response per line, UTF-8 JSON with no embedded newlines —
+trivially debuggable with ``nc`` and implementable from any language.
+Every frame carries the request ``id`` it belongs to, so responses to a
+client's concurrent requests may interleave on one connection.
+
+Requests::
+
+    {"id": 1, "op": "query", "text": "SELECT ... WHERE ...",
+     "deadline_ms": 2000, "page_size": 25}
+    {"id": 2, "op": "ping"}
+    {"id": 3, "op": "metrics"}
+
+Responses to a query are a stream: zero or more ``page`` frames (rows in
+arrival order, deduplicated across maximal objects) followed by exactly
+one terminal frame — ``result`` (with the request's stats) or ``error``.
+Errors are *structured*: a stable ``code``, a human message, and a
+``retriable`` flag (an ``OVERLOADED`` shed should be retried after
+backoff; a ``DEADLINE_EXCEEDED`` or ``BAD_REQUEST`` should not).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+# A line longer than this is a protocol violation, not a big query.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+# -- error codes -------------------------------------------------------------------
+
+E_OVERLOADED = "OVERLOADED"  # admission queue full; shed — retry later
+E_CLIENT_LIMIT = "CLIENT_LIMIT"  # per-connection concurrency limit hit
+E_SHUTTING_DOWN = "SHUTTING_DOWN"  # server is draining; try another replica
+E_DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"  # the request's deadline expired
+E_BAD_REQUEST = "BAD_REQUEST"  # malformed frame, unknown op, unparsable query
+E_INTERNAL = "INTERNAL"  # unexpected server-side failure
+
+RETRIABLE_CODES = frozenset({E_OVERLOADED, E_CLIENT_LIMIT, E_SHUTTING_DOWN})
+
+
+class ProtocolError(Exception):
+    """A frame that violates the wire format (maps to ``BAD_REQUEST``)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed client request."""
+
+    id: int
+    op: str
+    text: str = ""
+    deadline_ms: float | None = None
+    page_size: int | None = None
+
+
+OPS = ("query", "ping", "metrics")
+
+
+def parse_request(payload: dict[str, Any]) -> Request:
+    """Validate a decoded request frame into a :class:`Request`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    request_id = payload.get("id")
+    if not isinstance(request_id, int):
+        raise ProtocolError("request 'id' must be an integer")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError("unknown op %r; expected one of %s" % (op, list(OPS)))
+    text = payload.get("text", "")
+    if not isinstance(text, str):
+        raise ProtocolError("'text' must be a string")
+    if op == "query" and not text.strip():
+        raise ProtocolError("a query request needs a non-empty 'text'")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms < 0:
+            raise ProtocolError("'deadline_ms' must be a non-negative number")
+    page_size = payload.get("page_size")
+    if page_size is not None:
+        if not isinstance(page_size, int) or page_size < 1:
+            raise ProtocolError("'page_size' must be a positive integer")
+    return Request(
+        id=request_id,
+        op=op,
+        text=text,
+        deadline_ms=deadline_ms,
+        page_size=page_size,
+    )
+
+
+# -- framing -----------------------------------------------------------------------
+
+
+def encode(frame: dict[str, Any]) -> bytes:
+    """One frame as a newline-terminated JSON line."""
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one received line into a frame dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("frame exceeds %d bytes" % MAX_LINE_BYTES)
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("frame is not valid JSON: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return payload
+
+
+# -- response frames ---------------------------------------------------------------
+
+
+def page_frame(
+    request_id: int,
+    seq: int,
+    schema: list[str],
+    rows: list[tuple],
+    source: str = "",
+) -> dict[str, Any]:
+    """One page of result rows (``source`` names the maximal object that
+    produced them)."""
+    return {
+        "id": request_id,
+        "type": "page",
+        "seq": seq,
+        "schema": schema,
+        "rows": [list(row) for row in rows],
+        "source": source,
+    }
+
+
+def result_frame(request_id: int, stats: dict[str, Any]) -> dict[str, Any]:
+    """The terminal success frame, carrying the request's stats."""
+    return {"id": request_id, "type": "result", **stats}
+
+
+def error_frame(request_id: int, code: str, message: str) -> dict[str, Any]:
+    """The terminal failure frame — structured, with the retriable flag."""
+    return {
+        "id": request_id,
+        "type": "error",
+        "code": code,
+        "message": message,
+        "retriable": code in RETRIABLE_CODES,
+    }
+
+
+def pong_frame(request_id: int) -> dict[str, Any]:
+    return {"id": request_id, "type": "pong"}
+
+
+def metrics_frame(request_id: int, snapshot: dict[str, Any]) -> dict[str, Any]:
+    return {"id": request_id, "type": "metrics", "metrics": snapshot}

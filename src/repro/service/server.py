@@ -1,0 +1,411 @@
+"""The webbase query server: admission control, deadlines, streaming.
+
+One :class:`WebBaseService` owns one :class:`~repro.core.webbase.WebBase`
+— its cross-query result cache, its metrics registry, its navigation maps
+— and serves it to many concurrent clients over TCP (stdlib only:
+``socketserver`` + ``threading``).  The expensive resource is the bounded
+pool of live source accesses; the service's job is to make N clients
+share it gracefully rather than degrade everyone:
+
+* **bounded admission queue with load shedding** — a query is either
+  admitted to a FIFO queue drained by ``config.workers`` executor threads,
+  or (queue full) *shed* with a retriable ``OVERLOADED`` error.  Shedding
+  keeps latency bounded for admitted work instead of letting every
+  client's tail grow without bound;
+* **per-client concurrency limits** — one connection may hold at most
+  ``config.per_client_limit`` queries in flight (``CLIENT_LIMIT``,
+  retriable), so a single greedy client cannot monopolize the queue;
+* **per-request deadlines** — the remaining budget (queue wait counts!)
+  propagates into the query's
+  :class:`~repro.core.execution.ExecutionContext`, which re-checks it
+  before every fetch and between retries and cancels outstanding worker
+  fetches on expiry (``DEADLINE_EXCEEDED``, not retriable);
+* **streaming results** — rows are sent in pages as each maximal object
+  completes (deduplicated across objects), so a ``More``-loop query
+  reaches the client incrementally instead of buffering the relation;
+* **graceful drain** — :meth:`WebBaseService.shutdown` stops accepting,
+  rejects new queries with ``SHUTTING_DOWN``, finishes in-flight work,
+  and flushes a final metrics snapshot;
+* **service metrics** — queue depth, admitted/shed/limited counts and
+  per-stage latency histograms (queue wait, execution, total — with
+  p50/p95/p99) feed the webbase's own
+  :class:`~repro.core.metrics.MetricsRegistry`, so cache and engine
+  counters reconcile with service traffic in one place.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import socketserver
+import threading
+from dataclasses import dataclass
+from time import monotonic
+from typing import Any
+
+from repro.core.execution import DeadlineExceeded, ExecutionContext
+from repro.core.webbase import WebBase
+from repro.service import protocol
+from repro.service.protocol import (
+    E_BAD_REQUEST,
+    E_CLIENT_LIMIT,
+    E_DEADLINE_EXCEEDED,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+)
+from repro.ur.planner import PlanError
+from repro.ur.query import QueryParseError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing and policy knobs of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick an ephemeral port (see WebBaseService.address)
+    queue_limit: int = 16  # bounded admission queue; beyond this, shed
+    workers: int = 4  # executor threads draining the queue
+    per_client_limit: int = 2  # concurrent queries per connection
+    default_deadline_ms: float | None = None  # applied when a request has none
+    page_size: int = 50  # rows per streamed page (request may override)
+    drain_timeout_seconds: float = 30.0  # graceful-drain wait bound
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1; got %r" % self.queue_limit)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1; got %r" % self.workers)
+        if self.per_client_limit < 1:
+            raise ValueError(
+                "per_client_limit must be >= 1; got %r" % self.per_client_limit
+            )
+        if self.page_size < 1:
+            raise ValueError("page_size must be >= 1; got %r" % self.page_size)
+
+
+@dataclass
+class _Job:
+    """One admitted query, waiting for (or on) an executor thread."""
+
+    handler: "_ClientHandler"
+    request: Request
+    admitted_at: float
+    deadline_at: float | None  # wall (monotonic) expiry; queue wait counts
+
+
+class _ClientHandler(socketserver.StreamRequestHandler):
+    """One connected client: reads request lines, enforces its concurrency
+    slots, and serializes response frames onto the socket."""
+
+    server: "_TcpServer"
+
+    def setup(self) -> None:
+        super().setup()
+        self._write_lock = threading.Lock()
+        self._slots = 0
+        self._slots_lock = threading.Lock()
+
+    # -- the per-client concurrency limit -----------------------------------
+
+    def acquire_slot(self, limit: int) -> bool:
+        with self._slots_lock:
+            if self._slots >= limit:
+                return False
+            self._slots += 1
+            return True
+
+    def release_slot(self) -> None:
+        with self._slots_lock:
+            self._slots = max(0, self._slots - 1)
+
+    # -- frame I/O -----------------------------------------------------------
+
+    def send(self, frame: dict[str, Any]) -> None:
+        """Write one frame; a vanished client is not an error (its in-flight
+        work just completes into the void)."""
+        data = protocol.encode(frame)
+        with self._write_lock:
+            try:
+                self.wfile.write(data)
+                self.wfile.flush()
+            except (OSError, ValueError):
+                pass
+
+    def handle(self) -> None:
+        service = self.server.service
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES + 2)
+            except (OSError, ValueError):
+                return
+            if not line:
+                return  # client closed the connection
+            if not line.strip():
+                continue
+            try:
+                request = protocol.parse_request(protocol.decode_line(line))
+            except ProtocolError as exc:
+                payload_id = 0
+                try:
+                    maybe = protocol.decode_line(line).get("id")
+                    if isinstance(maybe, int):
+                        payload_id = maybe
+                except ProtocolError:
+                    pass
+                self.send(protocol.error_frame(payload_id, E_BAD_REQUEST, str(exc)))
+                continue
+            if request.op == "ping":
+                self.send(protocol.pong_frame(request.id))
+            elif request.op == "metrics":
+                self.send(
+                    protocol.metrics_frame(request.id, service.metrics.snapshot())
+                )
+            else:
+                service.submit_query(self, request)
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: "WebBaseService") -> None:
+        super().__init__(address, _ClientHandler)
+        self.service = service
+
+
+class WebBaseService:
+    """A multi-client query service over one shared webbase."""
+
+    def __init__(self, webbase: WebBase, config: ServiceConfig | None = None) -> None:
+        self.webbase = webbase
+        self.config = config or ServiceConfig()
+        self.metrics = webbase.metrics
+        self._queue: "queue_mod.Queue[_Job]" = queue_mod.Queue(
+            maxsize=self.config.queue_limit
+        )
+        self._draining = threading.Event()
+        self._stopping = threading.Event()
+        self._state = threading.Condition()
+        self._inflight = 0
+        self._server: _TcpServer | None = None
+        self._acceptor: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves port 0 to the ephemeral pick."""
+        if self._server is None:
+            raise RuntimeError("service not started")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        """Bind the socket, start the acceptor and the executor pool."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = _TcpServer((self.config.host, self.config.port), self)
+        self._acceptor = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="service-acceptor",
+            daemon=True,
+        )
+        self._acceptor.start()
+        for i in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name="service-worker-%d" % i, daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self.address
+
+    def shutdown(self, drain: bool = True) -> dict[str, Any]:
+        """Graceful drain: stop accepting, reject new queries with
+        ``SHUTTING_DOWN``, finish queued and in-flight work (bounded by
+        ``config.drain_timeout_seconds``), stop the executors, and return
+        the flushed final metrics snapshot."""
+        self._draining.set()
+        if self._server is not None:
+            self._server.shutdown()  # stop accepting new connections
+        if drain:
+            deadline = monotonic() + self.config.drain_timeout_seconds
+            with self._state:
+                while (not self._queue.empty() or self._inflight > 0) and (
+                    monotonic() < deadline
+                ):
+                    self._state.wait(timeout=0.1)
+        self._stopping.set()
+        for worker in self._workers:
+            worker.join(timeout=self.config.drain_timeout_seconds)
+        if self._server is not None:
+            self._server.server_close()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+        self.metrics.gauge("service.queue_depth").set(self._queue.qsize())
+        self.metrics.counter("service.drains").inc()
+        return self.metrics.snapshot()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit_query(self, handler: _ClientHandler, request: Request) -> None:
+        """Admit one query into the bounded queue — or reject it with a
+        structured, retriable error rather than degrading everyone."""
+        self.metrics.counter("service.requests").inc()
+        if self._draining.is_set():
+            self.metrics.counter("service.rejected_draining").inc()
+            handler.send(
+                protocol.error_frame(
+                    request.id, E_SHUTTING_DOWN, "server is draining; retry elsewhere"
+                )
+            )
+            return
+        if not handler.acquire_slot(self.config.per_client_limit):
+            self.metrics.counter("service.client_limited").inc()
+            handler.send(
+                protocol.error_frame(
+                    request.id,
+                    E_CLIENT_LIMIT,
+                    "per-client limit of %d concurrent queries reached"
+                    % self.config.per_client_limit,
+                )
+            )
+            return
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        job = _Job(
+            handler=handler,
+            request=request,
+            admitted_at=monotonic(),
+            deadline_at=(
+                None if deadline_ms is None else monotonic() + deadline_ms / 1000.0
+            ),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue_mod.Full:
+            handler.release_slot()
+            self.metrics.counter("service.shed").inc()
+            handler.send(
+                protocol.error_frame(
+                    request.id,
+                    E_OVERLOADED,
+                    "admission queue full (%d); retry with backoff"
+                    % self.config.queue_limit,
+                )
+            )
+            return
+        self.metrics.counter("service.admitted").inc()
+        self.metrics.gauge("service.queue_depth").set(self._queue.qsize())
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            self.metrics.gauge("service.queue_depth").set(self._queue.qsize())
+            with self._state:
+                self._inflight += 1
+            self.metrics.gauge("service.inflight").set(self._inflight)
+            try:
+                self._run_job(job)
+            finally:
+                job.handler.release_slot()
+                self._queue.task_done()
+                with self._state:
+                    self._inflight -= 1
+                    self._state.notify_all()
+                self.metrics.gauge("service.inflight").set(self._inflight)
+
+    def _run_job(self, job: _Job) -> None:
+        request = job.request
+        waited = monotonic() - job.admitted_at
+        self.metrics.histogram("service.queue_seconds").observe(waited)
+        if job.deadline_at is not None and monotonic() >= job.deadline_at:
+            # Expired while queued: don't waste an executor on a lost cause.
+            self.metrics.counter("service.deadline_exceeded").inc()
+            job.handler.send(
+                protocol.error_frame(
+                    request.id,
+                    E_DEADLINE_EXCEEDED,
+                    "deadline expired after %.3fs in the admission queue" % waited,
+                )
+            )
+            return
+        started = monotonic()
+        try:
+            stats = self._execute(job)
+        except DeadlineExceeded as exc:
+            self.metrics.counter("service.deadline_exceeded").inc()
+            job.handler.send(
+                protocol.error_frame(request.id, E_DEADLINE_EXCEEDED, str(exc))
+            )
+        except (PlanError, QueryParseError) as exc:
+            self.metrics.counter("service.bad_requests").inc()
+            job.handler.send(protocol.error_frame(request.id, E_BAD_REQUEST, str(exc)))
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            self.metrics.counter("service.errors").inc()
+            job.handler.send(
+                protocol.error_frame(
+                    request.id, E_INTERNAL, "%s: %s" % (type(exc).__name__, exc)
+                )
+            )
+        else:
+            self.metrics.counter("service.completed").inc()
+            job.handler.send(protocol.result_frame(request.id, stats))
+        finally:
+            finished = monotonic()
+            self.metrics.histogram("service.exec_seconds").observe(finished - started)
+            self.metrics.histogram("service.total_seconds").observe(
+                finished - job.admitted_at
+            )
+
+    def _execute(self, job: _Job) -> dict[str, Any]:
+        """Run one query on the shared webbase, streaming pages as maximal
+        objects complete; returns the terminal ``result`` stats."""
+        request = job.request
+        remaining = (
+            None if job.deadline_at is None else max(0.0, job.deadline_at - monotonic())
+        )
+        ctx: ExecutionContext = self.webbase.execution_context(
+            label="svc:%s" % request.text, deadline_seconds=remaining
+        )
+        page_size = request.page_size or self.config.page_size
+        seen: set[tuple] = set()
+        seq = 0
+        for obj, piece in self.webbase.query_stream(request.text, context=ctx):
+            fresh = [row for row in piece.rows if row not in seen]
+            seen.update(fresh)
+            source = " ⋈ ".join(obj.relations)
+            for start in range(0, len(fresh), page_size):
+                job.handler.send(
+                    protocol.page_frame(
+                        request.id,
+                        seq,
+                        list(piece.schema),
+                        fresh[start : start + page_size],
+                        source=source,
+                    )
+                )
+                seq += 1
+        cache_hits = sum(
+            1 for span in ctx.root.spans("fetch") if span.cache in ("hit", "stale")
+        )
+        return {
+            "rows": len(seen),
+            "pages": seq,
+            "fetches": ctx.fetches,
+            "cache_hits": cache_hits,
+            "failures": len(ctx.failures),
+            "modelled_seconds": round(ctx.elapsed_seconds, 4),
+            "wall_ms": round(ctx.wall_elapsed_seconds * 1000.0, 3),
+        }

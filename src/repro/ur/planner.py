@@ -10,8 +10,10 @@ be optimized and evaluated by standard query evaluation techniques."
 
 from __future__ import annotations
 
+import queue as queue_mod
+import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.logical.schema import LogicalSchema
 from repro.relational.algebra import (
@@ -255,6 +257,77 @@ class StructuredUR:
                 detail += "\n" + context.failure_report()
             raise PlanError("no maximal object was evaluable; plan:\n%s" % detail)
         return result
+
+    def answer_stream(
+        self,
+        query: URQuery | str,
+        plan: URPlan | None = None,
+        context: Any = None,
+    ) -> Iterator[tuple[ObjectPlan, Relation | None]]:
+        """Evaluate a query *incrementally*: yield ``(object, piece)`` as
+        each feasible maximal object completes, instead of buffering the
+        union.  This is the serving path — a ``More``-loop query's early
+        objects reach the client while slower sites are still fetching.
+
+        With an execution context the objects evaluate concurrently on its
+        worker pool and arrive in *completion* order; without one they
+        evaluate (and arrive) in plan order.  A piece of ``None`` means the
+        object contributed nothing (infeasible bindings or exhausted
+        retries).  Like :meth:`answer`, raises :class:`PlanError` when no
+        object was evaluable; an engine :class:`DeadlineExceeded` (or any
+        unexpected error) propagates after the remaining objects unwind.
+        """
+        if plan is None:
+            plan = self.plan(query)
+        feasible = plan.feasible_objects
+        evaluated = 0
+        if context is None:
+            for obj in feasible:
+                try:
+                    piece: Relation | None = evaluate(obj.expression, self.logical)
+                except BindingError:
+                    piece = None
+                if piece is not None:
+                    evaluated += 1
+                yield obj, piece
+        else:
+            done: queue_mod.Queue = queue_mod.Queue()
+            parent = context.current_span()
+
+            def run(obj: ObjectPlan) -> None:
+                context.adopt(parent)
+                try:
+                    done.put((obj, self._evaluate_object(obj, context), None))
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    done.put((obj, None, exc))
+
+            threads = [
+                threading.Thread(target=run, args=(obj,), daemon=True)
+                for obj in feasible
+            ]
+            for thread in threads:
+                thread.start()
+            first_error: BaseException | None = None
+            for _ in feasible:
+                obj, piece, error = done.get()
+                if error is not None:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                if piece is not None:
+                    evaluated += 1
+                yield obj, piece
+            for thread in threads:
+                thread.join()
+            if first_error is not None:
+                raise first_error
+        if evaluated == 0 and feasible:
+            detail = plan.describe()
+            if context is not None and context.failures:
+                detail += "\n" + context.failure_report()
+            raise PlanError("no maximal object was evaluable; plan:\n%s" % detail)
+        if not feasible:
+            raise PlanError("no maximal object was evaluable; plan:\n%s" % plan.describe())
 
     def _evaluate_object(self, obj: ObjectPlan, context: Any) -> Relation | None:
         """Evaluate one maximal object under the engine; ``None`` means the

@@ -227,7 +227,10 @@ class TestSingleFlight:
         assert all(r == results[0] for r in results)
         assert ctx.fetches == 1  # one engine fetch, ever
         assert webbase.cache.stats["misses"] == 1
-        assert webbase.cache.stats["coalesced"] + webbase.cache.stats["hits"] == 5
+        # Every non-leader counts a hit (a parked waiter counts in
+        # ``coalesced`` *as well* — how many park is a timing accident).
+        assert webbase.cache.stats["hits"] == 5
+        assert webbase.cache.stats["coalesced"] <= 5
         # The live site only paid for one flow's worth of pages.
         pages_spent = sum(s.pages_ok for s in server.stats.values()) - pages_before
         assert pages_spent == ctx.pages_by_host["www.newsday.com"]

@@ -1,0 +1,133 @@
+"""Wall-clock deadlines and cancellation in the execution engine.
+
+The per-attempt ``timeout_seconds`` bounds *simulated* network seconds;
+``deadline_seconds`` bounds the *real* elapsed time a serving client
+waits.  The contract: the deadline is checked before every fetch (and
+re-checked when a single-flight waiter is promoted to leader) and between
+retries, expiry raises a structured :class:`DeadlineExceeded` naming the
+stage it died at, records a ``deadline`` trace span, bumps the
+``engine.deadline_exceeded`` counter, and cancels the whole context so
+sibling fan-out workers stop instead of finishing into the void.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import (
+    DeadlineExceeded,
+    ExecutionContext,
+    RetryPolicy,
+    WebBaseConfig,
+)
+from repro.core.webbase import WebBase
+from repro.web.server import FaultPlan
+
+QUERY = "SELECT make, model, price WHERE make = 'saab'"
+
+
+class SteppingClock:
+    """A wall clock that jumps ``step`` seconds every time it is read."""
+
+    def __init__(self, step: float) -> None:
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestDeadlineExpiry:
+    def test_zero_deadline_fails_before_the_first_fetch(self):
+        webbase = WebBase.create(WebBaseConfig())
+        ctx = webbase.execution_context(deadline_seconds=0.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            webbase.query(QUERY, context=ctx)
+        exc = excinfo.value
+        assert exc.stage.startswith("fetch:")
+        assert exc.deadline_seconds == 0.0
+        assert "deadline of 0.000s exceeded" in str(exc)
+        assert ctx.cancelled
+        # The expiry is visible in the structured trace and the metrics.
+        assert ctx.root.spans("deadline"), "expiry must be recorded as a trace span"
+        assert webbase.metrics.value("engine.deadline_exceeded") >= 1
+
+    def test_no_fetch_happens_after_expiry(self):
+        webbase = WebBase.create(WebBaseConfig())
+        ctx = webbase.execution_context(deadline_seconds=0.0)
+        with pytest.raises(DeadlineExceeded):
+            webbase.query(QUERY, context=ctx)
+        assert ctx.fetches == 0
+
+    def test_deadline_checked_between_retries(self):
+        """A query dying mid-retry stops burning its retry budget: with every
+        request failing transiently, a stepping clock expires the deadline at
+        the between-retries check, and the error names the ``retry:`` stage."""
+        webbase = WebBase.create(
+            WebBaseConfig(faults=FaultPlan(error_rate=1.0))
+        )
+        clock = SteppingClock(step=0.3)
+        # Clock reads: 0.3 at construction (deadline_at = 0.8), 0.6 at the
+        # pre-fetch check (passes), 0.9 at the before-retry check (expires).
+        ctx = ExecutionContext(
+            webbase.pool,
+            retry=RetryPolicy(max_attempts=3),
+            metrics=webbase.metrics,
+            deadline_seconds=0.5,
+            wall_clock=clock,
+        )
+        relation = webbase.vps.relations["newsday"]
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            ctx.run_fetch(relation, {"make": "saab"})
+        assert excinfo.value.stage == "retry:newsday"
+        assert ctx.cancelled
+
+    def test_remaining_seconds_counts_down(self):
+        clock = SteppingClock(step=1.0)
+        webbase = WebBase.create(WebBaseConfig())
+        ctx = ExecutionContext(
+            webbase.pool, deadline_seconds=10.0, wall_clock=clock
+        )
+        remaining = ctx.deadline_remaining_seconds
+        assert remaining is not None and remaining < 10.0
+
+    def test_no_deadline_means_no_limit(self, webbase):
+        ctx = webbase.execution_context()
+        assert ctx.deadline_remaining_seconds is None
+        ctx.check_deadline("anywhere")  # must not raise
+        result = webbase.query(QUERY, context=ctx)
+        assert len(result) > 0
+
+
+class TestCancellation:
+    def test_cancel_aborts_the_query(self):
+        webbase = WebBase.create(WebBaseConfig())
+        ctx = webbase.execution_context()
+        ctx.cancel()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            webbase.query(QUERY, context=ctx)
+        exc = excinfo.value
+        assert exc.deadline_seconds is None
+        assert "cancelled at" in str(exc)
+        assert ctx.fetches == 0
+
+    def test_expiry_cancels_siblings(self):
+        """Once one worker hits the deadline the context is cancelled, so
+        the aggregate error is the deadline itself — never a fan-out wrapper
+        around it."""
+        webbase = WebBase.create(WebBaseConfig())
+        ctx = webbase.execution_context(deadline_seconds=0.0)
+        with pytest.raises(DeadlineExceeded):
+            webbase.query(QUERY, context=ctx)
+
+
+class TestCliDeadline:
+    def test_query_deadline_flag_reports_structured_expiry(self, capsys):
+        from repro.cli import main
+
+        rc = main(["query", QUERY, "--deadline-ms", "0"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "deadline exceeded" in out
+        assert "stage=" in out

@@ -62,6 +62,62 @@ class TestHistogram:
         assert Histogram("lat").summary()["count"] == 0
 
 
+class TestHistogramPercentiles:
+    """Tail latency via reservoir sampling: deterministic (fixed-seed
+    Vitter R), exact while the sample fits the reservoir, bounded and sane
+    far beyond it."""
+
+    def test_exact_below_reservoir_size(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100, well inside the reservoir
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(95) == pytest.approx(95.0)
+        assert h.percentile(99) == pytest.approx(99.0)
+        assert h.percentile(100) == pytest.approx(100.0)
+
+    def test_order_independent(self):
+        forward, backward = Histogram("f"), Histogram("b")
+        for v in range(1, 51):
+            forward.observe(float(v))
+            backward.observe(float(51 - v))
+        assert forward.percentile(95) == backward.percentile(95)
+
+    def test_summary_and_render_carry_percentiles(self):
+        h = Histogram("lat")
+        for v in (0.1, 0.2, 0.3, 0.4):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] == pytest.approx(0.2)
+        assert s["p95"] == pytest.approx(0.4)
+        assert s["p99"] == pytest.approx(0.4)
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(1.0)
+        assert "p95" in reg.render()
+
+    def test_empty_percentile_is_zero(self):
+        h = Histogram("lat")
+        assert h.percentile(95) == 0.0
+        assert h.summary()["p99"] == 0.0
+
+    def test_reservoir_bounds_memory_and_stays_representative(self):
+        h = Histogram("lat")
+        for v in range(50_000):  # uniform 0..49999, 24x the reservoir
+            h.observe(float(v))
+        assert len(h._samples) == h.RESERVOIR  # noqa: SLF001 - bounded memory
+        assert h.summary()["count"] == 50_000
+        # Fixed-seed sampling: representative within a loose tolerance.
+        assert abs(h.percentile(50) - 25_000) < 5_000
+        assert h.percentile(99) > 40_000
+
+    def test_deterministic_across_instances(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in range(10_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.percentile(95) == b.percentile(95)
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         reg = MetricsRegistry()

@@ -1,0 +1,300 @@
+"""The query service: admission control, deadlines, streaming, drain.
+
+These tests run a real :class:`WebBaseService` on an ephemeral port and
+talk to it through :class:`ServiceClient` (or a raw socket where the
+client library deliberately prevents the abuse being tested).  Load
+states that depend on timing — a busy executor, a full queue — are made
+deterministic with a gated service subclass whose ``_execute`` blocks on
+an event, so admission decisions are asserted exactly, not probed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.execution import WebBaseConfig
+from repro.core.webbase import WebBase
+from repro.service import protocol
+from repro.service.client import (
+    DeadlineExceededError,
+    Overloaded,
+    ServiceClient,
+    ServiceError,
+    ServiceShuttingDown,
+)
+from repro.service.server import ServiceConfig, WebBaseService
+from repro.vps.cache import CachePolicy
+
+QUERY = "SELECT make, model, price WHERE make = 'saab'"
+
+
+def _fresh_webbase() -> WebBase:
+    return WebBase.create(WebBaseConfig(cache=CachePolicy.lru()))
+
+
+class GatedService(WebBaseService):
+    """A service whose executor blocks until released — pins the worker
+    pool and queue into exact states for admission tests."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.entered = threading.Semaphore(0)
+        self.release = threading.Event()
+
+    def _execute(self, job):
+        self.entered.release()
+        assert self.release.wait(timeout=10.0), "test forgot to open the gate"
+        return {"rows": 0, "pages": 0}
+
+
+@pytest.fixture()
+def service():
+    webbase = _fresh_webbase()
+    svc = WebBaseService(webbase, ServiceConfig(port=0))
+    host, port = svc.start()
+    try:
+        yield svc, host, port
+    finally:
+        svc.shutdown()
+
+
+class TestRoundtrip:
+    def test_streamed_answer_matches_direct_query(self, service):
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            outcome = client.query(QUERY)
+        direct = svc.webbase.query(QUERY)
+        assert outcome.schema == list(direct.schema)
+        assert sorted(outcome.rows) == sorted(set(direct.rows))
+        assert outcome.stats["rows"] == len(outcome.rows)
+        assert outcome.stats["fetches"] > 0
+
+    def test_pages_respect_page_size(self, service):
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            pages = list(client.stream(QUERY, page_size=5))
+        assert pages, "expected at least one page"
+        assert all(len(page.rows) <= 5 for page in pages)
+        assert all(page.source for page in pages)
+        total = sum(len(page.rows) for page in pages)
+        assert total == len(set(svc.webbase.query(QUERY).rows))
+
+    def test_rows_deduplicated_across_pages(self, service):
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            outcome = client.query(QUERY, page_size=3)
+        assert len(outcome.rows) == len(set(outcome.rows))
+
+    def test_ping_and_metrics_ops(self, service):
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            assert client.ping() < 5.0
+            client.query(QUERY)
+            snapshot = client.metrics()
+        assert snapshot["counters"]["service.completed"] >= 1
+        assert "service.total_seconds" in snapshot["histograms"]
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_structured_overloaded(self):
+        """One executing job + one queued job + queue_limit=1: the third
+        query is shed with a retriable OVERLOADED and counted."""
+        webbase = _fresh_webbase()
+        svc = GatedService(
+            webbase, ServiceConfig(port=0, queue_limit=1, workers=1)
+        )
+        host, port = svc.start()
+        results: list = []
+
+        def issue():
+            with ServiceClient(host=host, port=port) as client:
+                results.append(client.query(QUERY))
+
+        try:
+            first = threading.Thread(target=issue, daemon=True)
+            first.start()
+            assert svc.entered.acquire(timeout=10.0)  # worker now busy
+            second = threading.Thread(target=issue, daemon=True)
+            second.start()
+            for _ in range(200):  # queue occupied by the second job
+                if svc._queue.qsize() == 1:
+                    break
+                threading.Event().wait(0.01)
+            assert svc._queue.qsize() == 1
+            with ServiceClient(host=host, port=port) as client:
+                with pytest.raises(Overloaded) as excinfo:
+                    client.query(QUERY)
+            assert excinfo.value.retriable
+            assert excinfo.value.code == protocol.E_OVERLOADED
+            assert "retry" in str(excinfo.value)
+            svc.release.set()
+            first.join(timeout=10.0)
+            second.join(timeout=10.0)
+            assert len(results) == 2
+            assert webbase.metrics.value("service.shed") == 1
+            assert webbase.metrics.value("service.admitted") == 2
+        finally:
+            svc.release.set()
+            svc.shutdown()
+
+    def test_per_client_limit_rejects_second_concurrent_query(self):
+        """The client library issues one query at a time, so the greedy
+        client is a raw socket pipelining two queries on one connection."""
+        webbase = _fresh_webbase()
+        svc = GatedService(
+            webbase,
+            ServiceConfig(port=0, queue_limit=8, workers=2, per_client_limit=1),
+        )
+        host, port = svc.start()
+        try:
+            with socket.create_connection((host, port), timeout=10.0) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(protocol.encode({"id": 1, "op": "query", "text": QUERY}))
+                assert svc.entered.acquire(timeout=10.0)  # job 1 holds the slot
+                sock.sendall(protocol.encode({"id": 2, "op": "query", "text": QUERY}))
+                frame = protocol.decode_line(reader.readline())
+                assert frame["id"] == 2
+                assert frame["type"] == "error"
+                assert frame["code"] == protocol.E_CLIENT_LIMIT
+                assert frame["retriable"] is True
+                svc.release.set()
+                frame = protocol.decode_line(reader.readline())
+                assert frame["id"] == 1
+                assert frame["type"] == "result"
+            assert webbase.metrics.value("service.client_limited") == 1
+        finally:
+            svc.release.set()
+            svc.shutdown()
+
+    def test_draining_rejects_new_queries(self, service):
+        svc, host, port = service
+        svc._draining.set()
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ServiceShuttingDown) as excinfo:
+                client.query(QUERY)
+        assert excinfo.value.retriable
+        assert svc.metrics.value("service.rejected_draining") == 1
+        svc._draining.clear()  # let the fixture's shutdown drain normally
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_structured_and_counted(self, service):
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                client.query(QUERY, deadline_ms=0)
+        exc = excinfo.value
+        assert not exc.retriable
+        assert exc.code == protocol.E_DEADLINE_EXCEEDED
+        assert svc.metrics.value("service.deadline_exceeded") == 1
+
+    def test_queue_wait_counts_toward_the_deadline(self):
+        """A request whose deadline expires while it sits in the admission
+        queue is rejected without wasting an executor on it."""
+        webbase = _fresh_webbase()
+        svc = GatedService(webbase, ServiceConfig(port=0, queue_limit=4, workers=1))
+        host, port = svc.start()
+        errors: list[ServiceError] = []
+
+        def blocked():
+            with ServiceClient(host=host, port=port) as client:
+                client.query(QUERY)
+
+        def doomed():
+            with ServiceClient(host=host, port=port) as client:
+                try:
+                    client.query(QUERY, deadline_ms=50)
+                except ServiceError as exc:
+                    errors.append(exc)
+
+        try:
+            first = threading.Thread(target=blocked, daemon=True)
+            first.start()
+            assert svc.entered.acquire(timeout=10.0)  # worker busy
+            second = threading.Thread(target=doomed, daemon=True)
+            second.start()
+            threading.Event().wait(0.2)  # let the 50ms budget expire in-queue
+            svc.release.set()
+            first.join(timeout=10.0)
+            second.join(timeout=10.0)
+            assert len(errors) == 1
+            assert isinstance(errors[0], DeadlineExceededError)
+            assert "admission queue" in str(errors[0])
+            assert webbase.metrics.value("service.deadline_exceeded") == 1
+        finally:
+            svc.release.set()
+            svc.shutdown()
+
+
+class TestProtocolErrors:
+    def test_malformed_and_invalid_frames(self, service):
+        svc, host, port = service
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"this is not json\n")
+            frame = protocol.decode_line(reader.readline())
+            assert frame["type"] == "error"
+            assert frame["code"] == protocol.E_BAD_REQUEST
+            sock.sendall(protocol.encode({"id": 7, "op": "explode"}))
+            frame = protocol.decode_line(reader.readline())
+            assert frame["id"] == 7
+            assert frame["code"] == protocol.E_BAD_REQUEST
+            sock.sendall(protocol.encode({"id": 8, "op": "query", "text": "   "}))
+            frame = protocol.decode_line(reader.readline())
+            assert frame["id"] == 8
+            assert frame["code"] == protocol.E_BAD_REQUEST
+
+    def test_unparsable_query_is_bad_request(self, service):
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.query("SELECT make WHERE")
+        assert excinfo.value.code == protocol.E_BAD_REQUEST
+        assert not excinfo.value.retriable
+        assert svc.metrics.value("service.bad_requests") == 1
+
+    def test_server_survives_bad_requests(self, service):
+        """A protocol violation poisons neither the connection nor the
+        server — the next well-formed query still answers."""
+        svc, host, port = service
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ServiceError):
+                client.query("SELECT make WHERE")
+            outcome = client.query(QUERY)
+        assert len(outcome.rows) > 0
+
+
+class TestDrain:
+    def test_graceful_shutdown_finishes_inflight_work(self):
+        webbase = _fresh_webbase()
+        svc = WebBaseService(webbase, ServiceConfig(port=0))
+        host, port = svc.start()
+        with ServiceClient(host=host, port=port) as client:
+            for _ in range(3):
+                client.query(QUERY)
+        snapshot = svc.shutdown()
+        counters = snapshot["counters"]
+        assert counters["service.completed"] == 3
+        assert counters["service.admitted"] == 3
+        assert counters["service.drains"] == 1
+        assert snapshot["gauges"]["service.queue_depth"] == 0
+
+    def test_shared_cache_collapses_repeat_queries(self):
+        """Two clients asking the same query share the webbase's cross-query
+        cache: the second answer costs zero live fetches."""
+        webbase = _fresh_webbase()
+        svc = WebBaseService(webbase, ServiceConfig(port=0))
+        host, port = svc.start()
+        try:
+            with ServiceClient(host=host, port=port) as client:
+                first = client.query(QUERY)
+            fetches_after_first = webbase.metrics.value("engine.fetches")
+            with ServiceClient(host=host, port=port) as client:
+                second = client.query(QUERY)
+            assert sorted(second.rows) == sorted(first.rows)
+            assert webbase.metrics.value("engine.fetches") == fetches_after_first
+        finally:
+            svc.shutdown()
