@@ -11,6 +11,8 @@ byte-identical rows, under identical configs except ``optimizer``.
 
 from __future__ import annotations
 
+import emit
+
 from repro.core.execution import WebBaseConfig
 from repro.core.webbase import WebBase
 
@@ -48,6 +50,18 @@ def test_join_order_ablation(benchmark):
     assert len(planned_answer) > 0
     assert planned_fetches < fixed_fetches  # strictly fewer
     assert fixed_fetches / planned_fetches >= TARGET_RATIO
+
+    emit.emit(
+        "join_order",
+        {
+            "benchmark": "join_order",
+            "query": QUERY,
+            "fixed_fetches": int(fixed_fetches),
+            "planned_fetches": int(planned_fetches),
+            "fetch_ratio": round(fixed_fetches / planned_fetches, 2),
+            "rows": len(planned_answer),
+        },
+    )
 
     # Steady state under the timer: the planned order, warm planner stats.
     answer = benchmark(_run, "cost")[0]

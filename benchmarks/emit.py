@@ -1,0 +1,49 @@
+"""Machine-readable benchmark results (``BENCH_<name>.json``).
+
+Benchmarks print human-readable tables, but the perf trajectory across
+PRs needs numbers a machine can diff: each benchmark calls :func:`emit`
+with a plain JSON payload, which lands in ``BENCH_<name>.json`` at the
+repository root and is committed alongside the code.  CI's perf-smoke
+job reloads the committed file with :func:`load_baseline` *before*
+re-running the benchmark and fails the run if a tracked measure
+regressed beyond its headroom — so a perf win stays won.
+
+The payloads are deterministic (seeded world, simulated clock), so a
+re-run that changes nothing produces a byte-identical file and no diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+#: Repository root — result files sit next to README.md, not inside
+#: benchmarks/, so the perf trajectory is visible at the top level.
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def result_path(name: str) -> str:
+    """Where ``BENCH_<name>.json`` lives."""
+    return os.path.join(ROOT, "BENCH_%s.json" % name)
+
+
+def load_baseline(name: str) -> dict[str, Any] | None:
+    """The committed results of a previous run (``None`` if never emitted).
+
+    Call this *before* :func:`emit` — emitting overwrites the file.
+    """
+    path = result_path(name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def emit(name: str, payload: dict[str, Any]) -> str:
+    """Write one benchmark's results; returns the file path."""
+    path = result_path(name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -28,7 +28,12 @@ for ``metrics`` and ``serve``, whose workloads are meaningless without a
 storing cache; off elsewhere); ``--cache-ttl`` bounds how long its
 entries live and ``--stale-mode`` picks what happens to entries of a
 site flagged by maintenance as needing manual attention (refetch them,
-or serve them with an explicit staleness flag).
+or serve them with an explicit staleness flag).  ``--batch``/``--no-batch``
+toggles batched navigation (default: on) — the query-scoped prefix page
+cache, binding-batched dependent-join probes and speculative prefetch;
+``--no-batch`` is the paper's per-binding navigation baseline, and
+``metrics`` reports the ``nav.prefix_hits``/``nav.prefix_misses``/
+``nav.batch_size`` instruments either way.
 
 ``serve`` runs the long-lived multi-client query service on a TCP
 socket; ``client`` talks to it (no webbase is built client-side).
@@ -81,6 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=8, help="execution-engine worker pool size"
+    )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="batched navigation: query-scoped prefix page reuse, "
+        "binding-batched dependent-join probes, and speculative prefetch "
+        "(--no-batch = the per-binding navigation baseline)",
     )
     parser.add_argument(
         "--optimizer",
@@ -273,6 +286,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             cache=cache_policy,
             max_workers=args.workers,
             optimizer=args.optimizer,
+            batch=args.batch,
             faults=(
                 FaultPlan(seed=args.fault_seed, error_rate=args.fault_rate)
                 if args.fault_rate > 0
@@ -425,6 +439,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             + counters.get("engine.context_cache_hits", 0)
         )
         counted_fetches = counters.get("engine.fetches", 0)
+        prefix_hits = counters.get("nav.prefix_hits", 0)
+        prefix_misses = counters.get("nav.prefix_misses", 0)
+        batch_sizes = webbase.metrics.snapshot()["histograms"].get(
+            "nav.batch_size", {}
+        )
+        print("batched navigation:")
+        print("  nav.prefix_hits        %d" % prefix_hits)
+        print("  nav.prefix_misses      %d" % prefix_misses)
+        print(
+            "  nav.batch_size         count=%d mean=%.1f max=%.0f"
+            % (
+                batch_sizes.get("count", 0),
+                batch_sizes.get("mean", 0.0),
+                batch_sizes.get("max", 0.0),
+            )
+        )
+        print()
         print("reconciliation (registry vs trace spans):")
         checks = [
             ("cache serves", counted_hits, hit_spans),

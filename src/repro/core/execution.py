@@ -44,8 +44,9 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.metrics import MetricsRegistry
 from repro.navigation.executor import NavigationExecutor
+from repro.navigation.prefetch import SpeculativePrefetcher
 from repro.vps.cache import CachePolicy, InFlight
-from repro.web.browser import TransientNetworkError
+from repro.web.browser import PrefixPageCache, TransientNetworkError
 from repro.web.clock import SimClock
 from repro.web.server import FaultPlan, WebServer
 
@@ -92,6 +93,12 @@ class WebBaseConfig:
     # "cost" orders each maximal object's join with the cost-based planner;
     # "off" keeps the legacy first-feasible order (the A/B baseline).
     optimizer: str = "cost"
+    # Batched navigation: a query-scoped revision-stamped page cache (the
+    # shared prefix of a compiled program fetches once per query, not once
+    # per binding), fetch_batch probing through the join operator, and
+    # speculative prefetch of enumerated select domains.  Off = the
+    # per-binding navigation baseline (``--no-batch``).
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("cost", "off"):
@@ -330,6 +337,10 @@ class BundlePool:
         self._created = 0
 
     @property
+    def server(self) -> WebServer:
+        return self._server
+
+    @property
     def size(self) -> int:
         return self._created
 
@@ -369,12 +380,34 @@ class ExecutionContext:
         metrics: MetricsRegistry | None = None,
         deadline_seconds: float | None = None,
         wall_clock: Callable[[], float] = monotonic,
+        batch_enabled: bool = False,
+        page_revisions: Callable[[str], int] | None = None,
     ) -> None:
         self.pool = pool
         self.max_workers = max(1, int(max_workers))
         self.retry = retry or RetryPolicy()
         self.timeout_seconds = timeout_seconds
         self.metrics = metrics or MetricsRegistry()
+        # Batched navigation: one revision-stamped page cache per context
+        # (query-scoped — dropped with the context, so cross-query staleness
+        # is impossible by construction), shared by every worker bundle the
+        # context checks out, plus a speculative prefetcher feeding it.
+        # ``page_revisions`` reads a host's current navigation-map revision
+        # (wired to ResultCache.revision, bumped by site maintenance).
+        self.batch_enabled = bool(batch_enabled)
+        self.page_cache: PrefixPageCache | None = None
+        self.prefetcher: SpeculativePrefetcher | None = None
+        if self.batch_enabled:
+            self.page_cache = PrefixPageCache(
+                revision_of=page_revisions, metrics=self.metrics
+            )
+            self.prefetcher = SpeculativePrefetcher(
+                pool.server,
+                self.page_cache,
+                metrics=self.metrics,
+                max_workers=self.max_workers,
+                charge=self._charge_lane,
+            )
         # Wall-clock deadline: unlike ``timeout_seconds`` (a per-attempt
         # budget in *simulated* network seconds), the deadline bounds the
         # query's *real* elapsed time — the contract a serving client cares
@@ -583,7 +616,38 @@ class ExecutionContext:
 
     # -- fetching ------------------------------------------------------------
 
-    def run_fetch(self, relation: "VirtualRelation", given: dict[str, Any]) -> "Relation":
+    def _charge_lane(self, seconds: float) -> None:
+        """Assign externally spent network seconds (speculative prefetch)
+        to the least-loaded simulated connection lane."""
+        with self._lock:
+            lane = min(range(self.max_workers), key=self._lane_seconds.__getitem__)
+            self._lane_seconds[lane] += seconds
+
+    def _install_nav_hooks(self, bundle: ExecutorBundle) -> None:
+        """Attach this context's query-scoped page cache and prefetcher to
+        a checked-out bundle (no-ops when batching is off)."""
+        bundle.executor.page_cache = self.page_cache
+        bundle.executor.prefetcher = self.prefetcher
+
+    def _uninstall_nav_hooks(self, bundle: ExecutorBundle) -> None:
+        """Detach the hooks before the bundle returns to the shared pool,
+        so another context never sees this query's pages."""
+        bundle.executor.page_cache = None
+        bundle.executor.prefetcher = None
+
+    @staticmethod
+    def _fetch_key(relation: "VirtualRelation", given: dict[str, Any]) -> tuple:
+        return (
+            relation.name,
+            tuple(sorted((a, str(v)) for a, v in given.items() if v is not None)),
+        )
+
+    def run_fetch(
+        self,
+        relation: "VirtualRelation",
+        given: dict[str, Any],
+        bundle: ExecutorBundle | None = None,
+    ) -> "Relation":
         """Fetch one VPS relation through the engine: per-context cache,
         worker checkout, timeout, bounded retry, trace.
 
@@ -592,11 +656,12 @@ class ExecutionContext:
         the rest wait and share its result.  A failed fetch is never
         shared — each waiter retries on its own, so transient faults
         cannot fan out into spurious failures or cached garbage.
+
+        ``bundle`` lets a batch session reuse one pre-held worker across
+        several bindings (see :meth:`run_fetch_batch`); without it the
+        fetch checks a worker out of the pool under the slot semaphore.
         """
-        key = (
-            relation.name,
-            tuple(sorted((a, str(v)) for a, v in given.items() if v is not None)),
-        )
+        key = self._fetch_key(relation, given)
         while True:
             self.check_deadline("fetch:%s" % relation.name)
             leader = False
@@ -619,12 +684,17 @@ class ExecutionContext:
                 flight.event.wait()
                 continue  # result (or nothing, if the leader failed) is cached now
             try:
-                with self._slots:
-                    bundle = self.pool.checkout()
-                    try:
-                        result = self._fetch_with_retries(relation, given, bundle)
-                    finally:
-                        self.pool.checkin(bundle)
+                if bundle is not None:
+                    result = self._fetch_with_retries(relation, given, bundle)
+                else:
+                    with self._slots:
+                        owned = self.pool.checkout()
+                        self._install_nav_hooks(owned)
+                        try:
+                            result = self._fetch_with_retries(relation, given, owned)
+                        finally:
+                            self._uninstall_nav_hooks(owned)
+                            self.pool.checkin(owned)
             except BaseException:
                 with self._lock:
                     self._flights.pop(key, None)
@@ -635,6 +705,75 @@ class ExecutionContext:
                 self._flights.pop(key, None)
             flight.event.set()
             return result
+
+    def run_fetch_batch(
+        self, relation: "VirtualRelation", givens: list[dict[str, Any]]
+    ) -> "list[Relation]":
+        """Fetch one VPS relation for a whole probe batch, results in
+        ``givens`` order (the batched leg of a dependent join).
+
+        The distinct binding keys are split into at most ``max_workers``
+        chunks; each chunk checks out one worker bundle and runs its
+        bindings inside a single executor :meth:`batch_session`, so the
+        compiled program's shared prefix pages memoize across the chunk
+        (and, through the query-scoped page cache, across chunks and
+        hosts' other fetches too).  Every binding still gets the full
+        engine treatment — per-context cache, single-flight, timeout,
+        retries, trace spans.  Failure semantics mirror :meth:`map`: one
+        failing binding re-raises as itself, several raise a
+        :class:`FanoutError`, and a deadline expiry trumps both.
+        """
+        if not givens:
+            return []
+        self.metrics.histogram("nav.batch_size").observe(len(givens))
+        if not self.batch_enabled or len(givens) == 1:
+            return self.map(lambda g: self.run_fetch(relation, g), givens)
+        keyed = [(self._fetch_key(relation, given), given) for given in givens]
+        unique: dict[tuple, dict[str, Any]] = {}
+        for key, given in keyed:
+            unique.setdefault(key, given)
+        items = list(unique.items())
+        workers = max(1, min(self.max_workers, len(items)))
+        size = (len(items) + workers - 1) // workers
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+
+        def run_chunk(chunk: list) -> tuple[dict, list]:
+            out: dict[tuple, "Relation"] = {}
+            errors: list[Exception] = []
+            # No slot is held across the chunk: a binding may wait on a
+            # flight led by a slot-holding worker elsewhere, and parking a
+            # slot while waiting could starve that leader (deadlock).
+            chunk_bundle = self.pool.checkout()
+            self._install_nav_hooks(chunk_bundle)
+            try:
+                with chunk_bundle.executor.batch_session():
+                    for key, chunk_given in chunk:
+                        try:
+                            out[key] = self.run_fetch(
+                                relation, chunk_given, bundle=chunk_bundle
+                            )
+                        except Exception as exc:  # noqa: BLE001 - aggregated below
+                            errors.append(exc)
+                            if isinstance(exc, DeadlineExceeded):
+                                break
+            finally:
+                self._uninstall_nav_hooks(chunk_bundle)
+                self.pool.checkin(chunk_bundle)
+            return out, errors
+
+        pieces = self.map(run_chunk, chunks)
+        failures = [error for _, errors in pieces for error in errors]
+        if failures:
+            for error in failures:
+                if isinstance(error, DeadlineExceeded):
+                    raise error
+            if len(failures) == 1:
+                raise failures[0]
+            raise FanoutError(failures, total=len(items))
+        fetched: dict[tuple, "Relation"] = {}
+        for out, _ in pieces:
+            fetched.update(out)
+        return [fetched[key] for key, _ in keyed]
 
     def _fetch_with_retries(
         self,

@@ -36,6 +36,11 @@ class ExplainNode:
     est_fetches: float
     actual_accesses: int
     actual_fetches: int
+    # Pages navigated: the estimate is the planner's learned
+    # prefix-amortised pages-per-access weight times the predicted
+    # accesses (0.0 until the relation has been observed at least once).
+    est_pages: float = 0.0
+    actual_pages: int = 0
 
     @property
     def error_pct(self) -> float | None:
@@ -50,7 +55,7 @@ class ExplainNode:
             error = "n/a"
         else:
             error = "%+.0f%%" % self.error_pct
-        return (
+        line = (
             "%s [%s]  est %.1f fetches / %.1f accesses, "
             "actual %d fetches / %d accesses, err %s"
             % (
@@ -63,6 +68,11 @@ class ExplainNode:
                 error,
             )
         )
+        if self.est_pages:
+            line += ", pages est %.1f actual %d" % (self.est_pages, self.actual_pages)
+        elif self.actual_pages:
+            line += ", %d page(s)" % self.actual_pages
+        return line
 
 
 @dataclass
@@ -131,15 +141,19 @@ class ExplainReport:
         return "\n".join(lines)
 
 
-def _actuals(object_span: TraceSpan, relation: str) -> tuple[int, int]:
-    """(accesses, live fetches) for ``relation`` under one object span."""
-    accesses = fetches = 0
+def _actuals(object_span: TraceSpan, relation: str) -> tuple[int, int, int]:
+    """(accesses, live fetches, pages) for ``relation`` under one object
+    span."""
+    accesses = fetches = pages = 0
     for view in object_span.spans("view"):
         if view.name != relation:
             continue
-        accesses += 1
+        # A batched probe collapses K per-binding accesses into one view
+        # span carrying ``batch=K`` — still K accesses for cost purposes.
+        accesses += int(view.attrs.get("batch", 1))
         fetches += sum(1 for f in view.spans("fetch") if f.cache == "miss")
-    return accesses, fetches
+        pages += sum(f.pages for f in view.spans("fetch") if f.cache == "miss")
+    return accesses, fetches, pages
 
 
 def explain(webbase: "WebBase", text: str) -> ExplainReport:
@@ -176,8 +190,8 @@ def explain(webbase: "WebBase", text: str) -> ExplainReport:
         steps = list(obj.estimate.steps) if obj.estimate is not None else []
         for position, relation in enumerate(obj.relations):
             step = steps[position] if position < len(steps) else None
-            accesses, fetches = (
-                _actuals(span, relation) if span is not None else (0, 0)
+            accesses, fetches, pages = (
+                _actuals(span, relation) if span is not None else (0, 0, 0)
             )
             explained.nodes.append(
                 ExplainNode(
@@ -187,6 +201,8 @@ def explain(webbase: "WebBase", text: str) -> ExplainReport:
                     est_fetches=step.est_fetches if step is not None else 0.0,
                     actual_accesses=accesses,
                     actual_fetches=fetches,
+                    est_pages=step.est_pages if step is not None else 0.0,
+                    actual_pages=pages,
                 )
             )
         report.objects.append(explained)

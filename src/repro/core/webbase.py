@@ -146,6 +146,8 @@ class WebBase:
             label=label,
             metrics=self.metrics,
             deadline_seconds=deadline_seconds,
+            batch_enabled=config.batch,
+            page_revisions=self.cache.revision,
         )
 
     # -- maintenance -------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.relational.algebra import (
     Expr,
     binding_sets_of,
     evaluate,
+    evaluate_batch,
     schema_of,
 )
 from repro.relational.bindings import BindingSets
@@ -44,6 +45,21 @@ class LogicalRelation:
             return evaluate(self.definition, self._vps, given)
         with context.span("view", self.name):
             return evaluate(self.definition, self._vps, given, context)
+
+    def fetch_batch(
+        self, givens: list[dict[str, Any]], context: Any = None
+    ) -> list[Relation]:
+        """Evaluate the view for a whole batch of probe bindings at once.
+
+        One ``view`` span covers the batch, carrying ``batch=K`` so the
+        planner's feedback loop and EXPLAIN count K accesses for it; the
+        VPS fetches underneath run through the batched engine path (one
+        navigation session per worker chunk, shared prefix pages)."""
+        if context is None:
+            return [evaluate(self.definition, self._vps, given) for given in givens]
+        with context.span("view", self.name) as span:
+            span.attrs["batch"] = len(givens)
+            return evaluate_batch(self.definition, self._vps, givens, context)
 
     def __repr__(self) -> str:
         return "LogicalRelation(%s%s)" % (self.name, tuple(self.schema))
@@ -109,3 +125,8 @@ class LogicalSchema:
 
     def fetch(self, name: str, given: dict[str, Any], context: Any = None) -> Relation:
         return self.relation(name).fetch(given, context=context)
+
+    def fetch_batch(
+        self, name: str, givens: list[dict[str, Any]], context: Any = None
+    ) -> list[Relation]:
+        return self.relation(name).fetch_batch(givens, context=context)

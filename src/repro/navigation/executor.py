@@ -26,13 +26,20 @@ re-fetch pages; distinct ``fetch`` calls hit the live site again.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.flogic.engine import Engine
 from repro.flogic.formulas import Pred, Program
 from repro.flogic.terms import Struct, Var, resolve, unify
 from repro.navigation.compiler import CompiledRelation, CompiledSite
-from repro.web.browser import Browser, NavigationError, TransientNetworkError
+from repro.web.browser import (
+    Browser,
+    NavigationError,
+    PrefixPageCache,
+    TransientNetworkError,
+    request_key,
+)
 from repro.web.clock import SimClock
 from repro.web.http import Request, Url, parse_url
 from repro.web.page import FormSpec, WebPage
@@ -71,6 +78,14 @@ class NavigationExecutor:
         self._wrappers: dict[str, Any] = {}
         self._forms: dict[str, Any] = {}
         self._memo: dict[tuple, WebPage] = {}
+        # Batched-navigation hooks, installed per query by the execution
+        # engine: a query-scoped revision-stamped page cache shared across
+        # fetches (and worker bundles), and a speculative prefetcher for
+        # enumerated select/radio domains.  Both default off, so a bare
+        # executor keeps the paper's per-fetch navigation semantics.
+        self.page_cache: PrefixPageCache | None = None
+        self.prefetcher: Any = None
+        self._session_depth = 0
         self._register_builtins()
 
     # -- configuration ------------------------------------------------------
@@ -99,6 +114,27 @@ class NavigationExecutor:
         :meth:`fetch` call — readable even when the fetch raised."""
         return self._pages_this_fetch
 
+    @contextmanager
+    def batch_session(self) -> Iterator[None]:
+        """A navigation session spanning several :meth:`fetch` calls.
+
+        Inside a session the per-request memo persists across fetches, so
+        a batch of probe bindings walks the shared navigation prefix once
+        and backtracks only over the parts that differ (the K form
+        submissions).  The page budget still resets per fetch — it bounds
+        each binding's *live* navigations, not the session's reuse.
+        Re-entrant; the memo clears when the outermost session closes.
+        """
+        if self._session_depth == 0:
+            self._memo.clear()
+        self._session_depth += 1
+        try:
+            yield
+        finally:
+            self._session_depth -= 1
+            if self._session_depth == 0:
+                self._memo.clear()
+
     # -- fetching -------------------------------------------------------------
 
     def fetch(
@@ -114,7 +150,8 @@ class NavigationExecutor:
         compiled_site, rel = self.relations.get(name, (None, None))
         if rel is None:
             raise ExecutorError("unknown relation %r" % name)
-        self._memo.clear()
+        if self._session_depth == 0:
+            self._memo.clear()
         self._pages_this_fetch = 0
         args: list[Any] = []
         for attr in rel.vector:
@@ -140,27 +177,36 @@ class NavigationExecutor:
 
     # -- request plumbing ---------------------------------------------------------
 
-    def _fetch_page(self, request: Request) -> WebPage | None:
-        key = (
-            request.method,
-            str(request.url),
-            tuple(sorted(request.form_params.items())),
-        )
-        if key in self._memo:
-            return self._memo[key]
+    def _check_page_budget(self) -> None:
+        # The budget bounds *live* navigations only: memo hits and prefix
+        # page-cache hits return before this check runs, so reused pages
+        # never count against it.
         if self._pages_this_fetch >= self.max_pages_per_fetch:
             raise PageBudgetExceeded(
                 "fetch exceeded its budget of %d pages" % self.max_pages_per_fetch
             )
+
+    def _fetch_page(self, request: Request) -> WebPage | None:
+        key = request_key(request)
+        if key in self._memo:
+            return self._memo[key]
         try:
-            page = self.browser.request(request)
+            if self.page_cache is not None:
+                page, live = self.browser.request_cached(
+                    request, self.page_cache, on_live=self._check_page_budget
+                )
+            else:
+                self._check_page_budget()
+                page = self.browser.request(request)
+                live = True
         except TransientNetworkError:
             # Retryable: let the execution engine's retry policy decide,
             # instead of silently degrading to an empty answer.
             raise
         except NavigationError:
             return None
-        self._pages_this_fetch += 1
+        if live:
+            self._pages_this_fetch += 1
         self._memo[key] = page
         return page
 
@@ -228,15 +274,20 @@ class NavigationExecutor:
         live_form = self._find_form(page, str(ident))
         if live_form is None:
             return
-        for values, bound in self._assignments(live_form, pairs, subst):
+        assignments: Any = self._assignments(live_form, pairs, subst)
+        if self.prefetcher is not None and self.page_cache is not None:
+            # An unbound select/radio enumeration is about to issue one
+            # submission per domain value; hand the whole batch to the
+            # prefetcher so the submissions overlap instead of serializing.
+            assignments = list(assignments)
+            if len(assignments) > 1:
+                self._speculate(live_form, [values for values, _ in assignments])
+        for values, bound in assignments:
             try:
                 params = live_form.fill(values)
             except ValueError:
                 continue
-            if live_form.method == "GET":
-                request = Request("GET", live_form.action.with_params(params))
-            else:
-                request = Request("POST", live_form.action, form_params=params)
+            request = self._submit_request(live_form, params)
             target = self._fetch_page(request)
             if target is None:
                 continue
@@ -263,6 +314,30 @@ class NavigationExecutor:
             yield bound, state
 
     # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _submit_request(form: FormSpec, params: dict[str, str]) -> Request:
+        if form.method == "GET":
+            return Request("GET", form.action.with_params(params))
+        return Request("POST", form.action, form_params=params)
+
+    def _speculate(self, form: FormSpec, all_values: list[dict[str, str]]) -> None:
+        """Queue every enumerated submission with the prefetcher.  All of
+        them will be consumed by the enumeration that follows, so nothing
+        speculative is ever wasted; requests already cached, in flight, or
+        memoized locally are skipped."""
+        requests = []
+        for values in all_values:
+            try:
+                params = form.fill(values)
+            except ValueError:
+                continue
+            request = self._submit_request(form, params)
+            if request_key(request) in self._memo:
+                continue
+            requests.append(request)
+        if len(requests) > 1:
+            self.prefetcher.prefetch(requests)
 
     def _find_form(self, page: WebPage, ident: str) -> FormSpec | None:
         for form in page.forms:

@@ -1,0 +1,136 @@
+"""Speculative prefetch for enumerated form submissions.
+
+When a select/radio widget's mandatory attribute arrives unbound, the
+navigation executor enumerates the widget's finite domain — one submission
+per value, as backtracking alternatives.  Those submissions are *certain*
+to be issued (the F-logic solve consumes every alternative), so issuing
+them ahead of demand is pure win: the :class:`SpeculativePrefetcher` runs
+them on short-lived worker threads, each with its own browser over the
+shared server, and parks the results in the query's
+:class:`~repro.web.browser.PrefixPageCache`.
+
+Correctness is delegated entirely to the page cache's single-flight
+protocol: :meth:`~repro.web.browser.PrefixPageCache.try_lead` skips
+requests already cached or claimed, and the demand path waits on a
+prefetch flight like on any other leader — so no page is ever fetched
+twice, and a failed speculative fetch simply leaves the demand path to
+retry under the engine's normal retry policy.
+
+Simulated network seconds spent prefetching are reported through the
+``charge`` callback, so the execution context's lane-based timing model
+accounts for the overlapped work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.web.browser import Browser, NavigationError, PrefixPageCache, request_key
+from repro.web.clock import SimClock
+from repro.web.http import Request
+from repro.web.server import WebServer
+
+
+class SpeculativePrefetcher:
+    """Issues enumerated submissions ahead of demand, into a page cache."""
+
+    def __init__(
+        self,
+        server: WebServer,
+        cache: PrefixPageCache,
+        metrics: Any = None,
+        max_workers: int = 4,
+        charge: Callable[[float], None] | None = None,
+    ) -> None:
+        self.server = server
+        self.cache = cache
+        self.metrics = metrics
+        self.max_workers = max(1, int(max_workers))
+        self._charge = charge
+        self._queue: deque[Request] = deque()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._active = 0
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def prefetch(self, requests: Iterable[Request]) -> int:
+        """Queue ``requests`` and make sure workers are draining the queue.
+        Returns how many were accepted (deduplicated against the queue)."""
+        accepted = 0
+        with self._lock:
+            queued = {request_key(r) for r in self._queue}
+            for request in requests:
+                key = request_key(request)
+                if key in queued:
+                    continue
+                queued.add(key)
+                self._queue.append(request)
+                accepted += 1
+            spawn = min(
+                self.max_workers - self._active, len(self._queue)
+            )
+            new_threads = []
+            for _ in range(max(0, spawn)):
+                self._active += 1
+                thread = threading.Thread(target=self._worker, daemon=True)
+                new_threads.append(thread)
+                self._threads.append(thread)
+        if accepted:
+            self._count("nav.prefetch_issued", accepted)
+        for thread in new_threads:
+            thread.start()
+        return accepted
+
+    def _worker(self) -> None:
+        clock = SimClock()
+        browser = Browser(self.server, clock)
+        pages = 0
+        try:
+            while True:
+                with self._lock:
+                    if not self._queue:
+                        return
+                    request = self._queue.popleft()
+                host = request.url.host
+                key = request_key(request)
+                claim = self.cache.try_lead(host, key)
+                if claim is None:
+                    continue  # cached, or the demand path beat us to it
+                flight, revision = claim
+                try:
+                    page = browser.request(request)
+                except NavigationError as exc:
+                    # Never share a failure: the demand path retries it
+                    # under the engine's retry policy.
+                    self.cache.abandon(host, key, flight, error=exc)
+                    continue
+                except BaseException as exc:  # pragma: no cover - defensive
+                    self.cache.abandon(host, key, flight, error=exc)
+                    raise
+                pages += 1
+                self.cache.fulfill(host, key, flight, page, revision)
+        finally:
+            with self._lock:
+                self._active -= 1
+            if pages:
+                self._count("nav.prefetch_pages", pages)
+            if self._charge is not None and clock.network_seconds:
+                self._charge(clock.network_seconds)
+
+    def drain(self) -> None:
+        """Wait for every outstanding speculative fetch (tests and
+        benchmarks use this for deterministic accounting)."""
+        while True:
+            with self._lock:
+                threads = [t for t in self._threads if t.is_alive()]
+                self._threads = threads
+            if not threads:
+                return
+            for thread in threads:
+                thread.join()

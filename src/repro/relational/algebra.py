@@ -317,6 +317,106 @@ def _filter_given(relation: Relation, given: dict[str, Any]) -> Relation:
     return relation.select(lambda row: all(row[a] == v for a, v in relevant.items()))
 
 
+def evaluate_batch(
+    expr: Expr,
+    catalog: Catalog,
+    givens: list[dict[str, Any]],
+    context: Any = None,
+) -> list[Relation]:
+    """Evaluate ``expr`` under each binding in ``givens`` — the batched
+    form of :func:`evaluate`, with identical per-binding results.
+
+    This is the probe-batch fast path of a dependent join: instead of K
+    independent evaluations (each walking a site's navigation prefix from
+    the entry page), the batch descends the expression *together* and
+    hands whole binding lists to base relations whose catalog supports
+    ``fetch_batch``, so the engine can run them as backtracking
+    alternatives inside one navigation session.  Nodes without a batched
+    form (nested joins, heterogeneous union feasibility) fall back to
+    per-binding evaluation fanned out on the context.
+    """
+    givens = [dict(given or {}) for given in givens]
+    if not givens:
+        return []
+    if context is None or len(givens) == 1:
+        return [evaluate(expr, catalog, given, context) for given in givens]
+    if isinstance(expr, Base):
+        fetch_batch = getattr(catalog, "fetch_batch", None)
+        if fetch_batch is None:
+            relations = context.map(
+                lambda given: catalog.fetch(expr.name, given, context=context),
+                givens,
+            )
+        else:
+            relations = fetch_batch(expr.name, givens, context=context)
+        return [
+            _filter_given(relation, given)
+            for relation, given in zip(relations, givens)
+        ]
+    if isinstance(expr, Fixed):
+        return [_filter_given(expr.relation, given) for given in givens]
+    if isinstance(expr, Select):
+        constants = equality_bindings(expr.condition)
+        child_givens = []
+        for given in givens:
+            child_given = dict(given)
+            child_given.update(constants)
+            child_givens.append(child_given)
+        results = evaluate_batch(expr.child, catalog, child_givens, context)
+        return [
+            _filter_given(result.select(expr.condition.evaluate), given)
+            for result, given in zip(results, givens)
+        ]
+    if isinstance(expr, Project):
+        results = evaluate_batch(expr.child, catalog, givens, context)
+        return [result.project(expr.attrs) for result in results]
+    if isinstance(expr, Rename):
+        reverse = {new: old for old, new in expr.mapping}
+        child_givens = [
+            {reverse.get(a, a): v for a, v in given.items()} for given in givens
+        ]
+        results = evaluate_batch(expr.child, catalog, child_givens, context)
+        return [result.rename(expr.mapping_dict) for result in results]
+    if isinstance(expr, Derive):
+        child_givens = [
+            {a: v for a, v in given.items() if a != expr.attr} for given in givens
+        ]
+        results = evaluate_batch(expr.child, catalog, child_givens, context)
+        return [
+            _filter_given(result.derive(expr.attr, expr.fn), given)
+            for result, given in zip(results, givens)
+        ]
+    if isinstance(expr, Union):
+        # Probe batches share one bound-attribute key set, so union
+        # feasibility is uniform across the batch; when it is not (mixed
+        # callers), fall back to per-binding evaluation.
+        bound_sets = {frozenset(given) for given in givens}
+        if len(bound_sets) == 1:
+            bound = next(iter(bound_sets))
+            left_ok = feasible(binding_sets_of(expr.left, catalog), bound)
+            right_ok = feasible(binding_sets_of(expr.right, catalog), bound)
+            if left_ok and right_ok:
+                left_batch, right_batch = context.map(
+                    lambda side: evaluate_batch(side, catalog, givens, context),
+                    [expr.left, expr.right],
+                )
+                return [
+                    left.union(right)
+                    for left, right in zip(left_batch, right_batch)
+                ]
+            if expr.relaxed and (left_ok or right_ok):
+                side = expr.left if left_ok else expr.right
+                return evaluate_batch(side, catalog, givens, context)
+            raise BindingError(
+                "union not computable with bound attributes %s" % sorted(bound)
+            )
+    # Joins (and anything without a batched form): per-binding evaluation,
+    # fanned out across the context's workers.
+    return context.map(
+        lambda given: evaluate(expr, catalog, given, context), givens
+    )
+
+
 def _evaluate_join(
     expr: Join, catalog: Catalog, given: dict[str, Any], context: Any = None
 ) -> Relation:
@@ -366,10 +466,23 @@ def _evaluate_join(
                 if metrics is not None:
                     metrics.counter("planner.pruned_inner").inc()
             if context is not None:
-                # The probe batch is the join's fan-out opportunity: each
-                # distinct binding combination probes the second side
-                # independently, and the fold below runs in combo order.
-                pieces = context.map(probe, combos)
+                if getattr(context, "batch_enabled", False) and len(combos) > 1:
+                    # Batched probing: the whole combo set descends the
+                    # second side together, so base relations receive one
+                    # ``fetch_batch`` per batch — one shared navigation
+                    # prefix, K submissions — instead of K separate walks.
+                    feds = []
+                    for combo in combos:
+                        fed = dict(given)
+                        fed.update(dict(zip(common, combo)))
+                        feds.append(fed)
+                    pieces = evaluate_batch(second, catalog, feds, context)
+                else:
+                    # The probe batch is the join's fan-out opportunity:
+                    # each distinct binding combination probes the second
+                    # side independently, and the fold below runs in combo
+                    # order.
+                    pieces = context.map(probe, combos)
             else:
                 pieces = [probe(combo) for combo in combos]
             if pieces:

@@ -59,6 +59,7 @@ from repro.relational.bindings import JoinPart, feasible
 #: Metric-name prefixes for the live-observation feedback loop.
 OBSERVED_ACCESSES = "planner.observed.accesses.%s"
 OBSERVED_FETCHES = "planner.observed.fetches.%s"
+OBSERVED_PAGES = "planner.observed.pages.%s"
 
 
 # -- static analyses over logical definitions ----------------------------------------
@@ -223,6 +224,9 @@ class StepEstimate:
     est_accesses: float
     est_fetches: float
     est_rows: float  # rows of the prefix joined through this relation
+    # Predicted pages navigated, from the *learned* prefix-amortised
+    # pages-per-access weight; 0.0 until the relation has been observed.
+    est_pages: float = 0.0
 
     def describe(self) -> str:
         return "%s %s: %.1f access(es), %.1f fetch(es), %.1f row(s)" % (
@@ -264,6 +268,18 @@ class CostModel:
             return static
         fetches = self.metrics.value(OBSERVED_FETCHES % name)
         return max(self.MIN_WEIGHT, fetches / accesses)
+
+    def page_weight(self, name: str) -> float:
+        """Pages navigated per access, from live observation — already
+        prefix-amortised under batched navigation (a batch's shared prefix
+        pages divide over its K counted accesses).  0.0 = not yet
+        observed (the model has no static page statistics)."""
+        if self.metrics is None:
+            return 0.0
+        accesses = self.metrics.value(OBSERVED_ACCESSES % name)
+        if not accesses:
+            return 0.0
+        return self.metrics.value(OBSERVED_PAGES % name) / accesses
 
     def _dv(self, stats: RelationStats, attr: str, const_attrs: frozenset[str]) -> float:
         """Distinct values of ``attr`` within one relation, after the
@@ -385,6 +401,7 @@ class CostModel:
             est_accesses=accesses,
             est_fetches=keys * self.weight(part.name),
             est_rows=self.est_rows(list(prefix) + [part], const_attrs),
+            est_pages=accesses * self.page_weight(part.name),
         )
 
     def estimate_order(
@@ -416,14 +433,24 @@ def observe_trace(metrics: Any, root: Any) -> dict[str, tuple[int, int]]:
     the per-relation ``(accesses, fetches)`` observed in this trace.
     """
     observed: dict[str, tuple[int, int]] = {}
+    pages_by_name: dict[str, int] = {}
     for view in root.spans("view"):
         live = sum(1 for f in view.spans("fetch") if f.cache == "miss")
+        pages = sum(f.pages for f in view.spans("fetch") if f.cache == "miss")
         accesses, fetches = observed.get(view.name, (0, 0))
-        observed[view.name] = (accesses + 1, fetches + live)
+        # A batched probe records one view span for K bindings, stamped
+        # ``batch=K`` — count all K accesses, so the learned per-access
+        # weights are *prefix-amortised*: the shared navigation prefix's
+        # pages divide over the whole batch.
+        batch = int(view.attrs.get("batch", 1))
+        observed[view.name] = (accesses + batch, fetches + live)
+        pages_by_name[view.name] = pages_by_name.get(view.name, 0) + pages
     for name, (accesses, fetches) in sorted(observed.items()):
         metrics.counter(OBSERVED_ACCESSES % name).inc(accesses)
         if fetches:
             metrics.counter(OBSERVED_FETCHES % name).inc(fetches)
+        if pages_by_name.get(name):
+            metrics.counter(OBSERVED_PAGES % name).inc(pages_by_name[name])
     return observed
 
 

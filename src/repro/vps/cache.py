@@ -382,6 +382,94 @@ class ResultCache:
                 return flight.result
             # The leader failed; loop and try the fetch ourselves.
 
+    def _fetch_inner_batch(
+        self, name: str, givens: list[dict[str, Any]], context: Any
+    ) -> list[Relation]:
+        fetch_batch = getattr(self.inner, "fetch_batch", None)
+        if fetch_batch is None:
+            return [self._fetch_inner(name, given, context) for given in givens]
+        if context is None:
+            return fetch_batch(name, givens)
+        return fetch_batch(name, givens, context=context)
+
+    def fetch_batch(
+        self, name: str, givens: list[dict[str, Any]], context: Any = None
+    ) -> list[Relation]:
+        """Fetch one relation for a batch of probe bindings, results in
+        ``givens`` order.
+
+        Cached keys are served as hits; the distinct misses lead one inner
+        batch fetch (stored and announced to coalesced waiters exactly like
+        single-flight leaders); keys already in flight elsewhere fall back
+        to the per-key path, which waits and shares.  Failures abandon the
+        whole lead batch un-stored — waiters retry themselves, preserving
+        the never-share-a-failure invariant.
+        """
+        host = self.host_of(name)
+        if not self.policy.enabled:
+            return self._fetch_inner_batch(name, givens, context)
+        if len(givens) <= 1 or (host and host in self.quarantined_hosts()):
+            return [self.fetch(name, given, context=context) for given in givens]
+        keys = [self._key(name, given) for given in givens]
+        results: dict[tuple, Relation] = {}
+        hit_keys: list[tuple] = []
+        lead_keys: list[tuple] = []
+        lead_givens: list[dict[str, Any]] = []
+        flights: dict[tuple, InFlight] = {}
+        with self._lock:
+            revision = self._revisions.get(host, 0)
+            seen: set[tuple] = set()
+            for key, given in zip(keys, givens):
+                if key in seen:
+                    continue  # duplicate within the batch: one lookup
+                seen.add(key)
+                entry = self._live_entry(key, host)
+                if entry is not None:
+                    self.metrics.counter("cache.requests").inc()
+                    self.hits += 1
+                    self._cache.move_to_end(key)
+                    results[key] = entry.value
+                    hit_keys.append(key)
+                elif key not in self._inflight:
+                    self.metrics.counter("cache.requests").inc()
+                    flight = self._inflight[key] = InFlight()
+                    flights[key] = flight
+                    lead_keys.append(key)
+                    lead_givens.append(given)
+                    self.misses += 1
+                    self.metrics.counter("cache.misses").inc()
+                # else: a foreign flight owns it — resolved below by the
+                # per-key path, which waits, shares, and does its own
+                # request/hit accounting (counting here too would double
+                # count the lookup).
+        for key in hit_keys:
+            self._record_hit(name, host, context, stale=False)
+        if lead_keys:
+            try:
+                fetched = self._fetch_inner_batch(name, lead_givens, context)
+            except BaseException as exc:
+                with self._lock:
+                    for key in lead_keys:
+                        self._inflight.pop(key, None)
+                for key in lead_keys:
+                    flights[key].error = exc
+                    flights[key].event.set()
+                raise
+            with self._lock:
+                for key, value in zip(lead_keys, fetched):
+                    self._store(key, name, host, revision, value)
+                    self._inflight.pop(key, None)
+            for key, value in zip(lead_keys, fetched):
+                flights[key].result = value
+                flights[key].event.set()
+                results[key] = value
+        return [
+            results[key]
+            if key in results
+            else self.fetch(name, given, context=context)
+            for key, given in zip(keys, givens)
+        ]
+
     @property
     def stats(self) -> dict[str, int]:
         counters = self.metrics.snapshot()["counters"]

@@ -54,6 +54,18 @@ class VirtualRelation:
             )
         return max(usable, key=lambda h: (len(h.selection & given), sorted(h.mandatory)))
 
+    def _prepare(self, given: dict[str, Any]) -> tuple[dict[str, Any], str]:
+        """Resolve one binding to its handle: the relevant bound values and
+        the navigation goal to run them through."""
+        keys = frozenset(a for a, v in given.items() if v is not None)
+        handle = self.handle_for(keys)
+        relevant = {
+            a: v
+            for a, v in given.items()
+            if v is not None and (a in handle.selection or a in self.schema)
+        }
+        return relevant, handle.goal
+
     def fetch(
         self, given: dict[str, Any], executor: "NavigationExecutor | None" = None
     ) -> Relation:
@@ -64,17 +76,23 @@ class VirtualRelation:
         larger expression).  ``executor`` substitutes a worker's private
         navigation stack for the default one (parallel fetch lanes).
         """
-        keys = frozenset(a for a, v in given.items() if v is not None)
-        handle = self.handle_for(keys)
-        relevant = {
-            a: v
-            for a, v in given.items()
-            if v is not None and (a in handle.selection or a in self.schema)
-        }
-        rows = (executor or self._executor).fetch(self.name, relevant, goal=handle.goal)
+        relevant, goal = self._prepare(given)
+        rows = (executor or self._executor).fetch(self.name, relevant, goal=goal)
         return Relation.from_dicts(
             self.schema, [{a: r.get(a) for a in self.schema} for r in rows]
         )
+
+    def fetch_batch(
+        self,
+        givens: list[dict[str, Any]],
+        executor: "NavigationExecutor | None" = None,
+    ) -> list[Relation]:
+        """Populate the relation for several bindings in one navigation
+        session: the shared prefix pages memoize across the whole batch,
+        so K probe bindings cost one prefix walk plus K submissions."""
+        active = executor or self._executor
+        with active.batch_session():
+            return [self.fetch(given, executor=active) for given in givens]
 
 
 class VpsSchema:
@@ -126,3 +144,18 @@ class VpsSchema:
         if context is None:
             return self.relation(name).fetch(given)
         return context.run_fetch(self.relation(name), given)
+
+    def fetch_batch(
+        self, name: str, givens: list[dict[str, Any]], context: Any = None
+    ) -> list[Relation]:
+        """Fetch one relation for a whole batch of probe bindings.
+
+        With a context the batch runs on the engine
+        (:meth:`~repro.core.execution.ExecutionContext.run_fetch_batch`):
+        the bindings are chunked across worker bundles, and each chunk
+        shares one navigation session so the compiled program's prefix
+        pages are walked once per chunk instead of once per binding."""
+        relation = self.relation(name)
+        if context is None:
+            return relation.fetch_batch(givens)
+        return context.run_fetch_batch(relation, givens)

@@ -16,7 +16,10 @@ earlier pages.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.web.clock import SimClock
 from repro.web.http import Request, Response, Url
@@ -63,6 +66,144 @@ class BrowserObserver:
 
     def on_action(self, event: ActionEvent) -> None:  # pragma: no cover - interface
         """The user performed a navigation action."""
+
+
+def request_key(request: Request) -> tuple:
+    """The canonical identity of a request: ``(method, url, form params)``.
+
+    Two requests with the same key fetch the same page on the simulated
+    Web (pages are immutable between site *changes*, which bump the
+    navigation-map revision).  This is the key of both the executor's
+    per-fetch memo and the query-scoped :class:`PrefixPageCache`.
+    """
+    return (
+        request.method,
+        str(request.url),
+        tuple(sorted(request.form_params.items())),
+    )
+
+
+class PrefixPageCache:
+    """A query-scoped, revision-stamped page cache shared across fetches.
+
+    The navigation expressions of one compiled site share a *prefix* —
+    the entry page and the intermediate link/form pages leading to the
+    final submission.  Within one query, that prefix is identical across
+    every probe binding, so this cache lets the shared pages be fetched
+    once per query instead of once per binding.
+
+    Entries are keyed ``(host, request_key)`` and stamped with the host's
+    navigation-map revision as reported by ``revision_of`` (wired to
+    :meth:`~repro.vps.cache.ResultCache.revision`, which site maintenance
+    bumps when it absorbs a change).  A lookup re-reads the *current*
+    revision and drops mismatched entries, so no page captured under an
+    old map is ever served across a revision bump.
+
+    Concurrent misses on one key coalesce (single-flight): the first
+    caller fetches, the rest wait and share the page.  Failures are never
+    stored — a waiter whose leader failed becomes the next leader.
+
+    Thread-safe; counts ``nav.prefix_hits`` / ``nav.prefix_misses`` /
+    ``nav.prefix_coalesced`` into ``metrics`` when given.
+    """
+
+    def __init__(
+        self,
+        revision_of: Callable[[str], int] | None = None,
+        metrics: Any = None,
+    ) -> None:
+        self._revision_of = revision_of or (lambda host: 0)
+        self.metrics = metrics
+        self._pages: dict[tuple, tuple[int, WebPage]] = {}
+        self._flights: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def lookup(self, host: str, key: tuple) -> WebPage | None:
+        """The cached page under ``key``, or ``None`` — dropping (and not
+        serving) entries stored under a superseded map revision."""
+        revision = self._revision_of(host)
+        with self._lock:
+            entry = self._pages.get((host, key))
+            if entry is None:
+                return None
+            stored_revision, page = entry
+            if stored_revision != revision:
+                del self._pages[(host, key)]
+                return None
+            return page
+
+    def get(self, host: str, request: Request) -> WebPage | None:
+        return self.lookup(host, request_key(request))
+
+    def acquire(self, host: str, key: tuple):
+        """Claim ``key``: ``("hit", page, None)`` when cached, ``("lead",
+        flight, revision)`` when this caller must fetch, or ``("wait",
+        flight, None)`` when another caller is already fetching it.  A
+        leader must call :meth:`fulfill` or :meth:`abandon`."""
+        from repro.vps.cache import InFlight
+
+        revision = self._revision_of(host)
+        with self._lock:
+            entry = self._pages.get((host, key))
+            if entry is not None:
+                if entry[0] == revision:
+                    self.hits += 1
+                    self._count("nav.prefix_hits")
+                    return ("hit", entry[1], None)
+                del self._pages[(host, key)]
+            flight = self._flights.get((host, key))
+            if flight is not None:
+                self._count("nav.prefix_coalesced")
+                return ("wait", flight, None)
+            flight = self._flights[(host, key)] = InFlight()
+            self.misses += 1
+            self._count("nav.prefix_misses")
+            return ("lead", flight, revision)
+
+    def try_lead(self, host: str, key: tuple):
+        """Non-blocking claim for speculative work: ``(flight, revision)``
+        when the caller should fetch, ``None`` when the page is already
+        cached or someone else is on it (nothing to do)."""
+        from repro.vps.cache import InFlight
+
+        revision = self._revision_of(host)
+        with self._lock:
+            entry = self._pages.get((host, key))
+            if entry is not None and entry[0] == revision:
+                return None
+            if (host, key) in self._flights:
+                return None
+            flight = self._flights[(host, key)] = InFlight()
+            self.misses += 1
+            self._count("nav.prefix_misses")
+            return (flight, revision)
+
+    def fulfill(self, host: str, key: tuple, flight: Any, page: WebPage, revision: int) -> None:
+        """Store a leader's fetched page (unless the revision moved while
+        it was in flight) and release the waiters."""
+        with self._lock:
+            if revision == self._revision_of(host):
+                self._pages[(host, key)] = (revision, page)
+            self._flights.pop((host, key), None)
+        flight.result = page
+        flight.event.set()
+
+    def abandon(self, host: str, key: tuple, flight: Any, error: BaseException | None = None) -> None:
+        """A leader's fetch failed: nothing is stored, waiters retry."""
+        with self._lock:
+            self._flights.pop((host, key), None)
+        flight.error = error
+        flight.event.set()
 
 
 class Browser:
@@ -139,6 +280,43 @@ class Browser:
         computes requests from navigation expressions rather than from the
         browser's own current page)."""
         return self._load(request)
+
+    def request_cached(
+        self,
+        request: Request,
+        cache: PrefixPageCache,
+        on_live: Callable[[], None] | None = None,
+    ) -> tuple[WebPage, bool]:
+        """Issue ``request`` through a shared :class:`PrefixPageCache`.
+
+        Returns ``(page, live)`` where ``live`` says whether *this* call
+        navigated the site (a cache hit or a coalesced wait costs no live
+        traffic).  ``on_live`` runs just before an actual navigation — the
+        executor's page-budget check hooks in there, so cached pages never
+        count against a fetch's budget.  Failed fetches are never cached;
+        a waiter whose leader failed retries as the new leader.
+        """
+        key = request_key(request)
+        host = request.url.host
+        while True:
+            outcome, payload, revision = cache.acquire(host, key)
+            if outcome == "hit":
+                return payload, False
+            if outcome == "wait":
+                payload.event.wait()
+                if payload.error is None and payload.result is not None:
+                    return payload.result, False
+                continue  # the leader failed; try to lead ourselves
+            flight = payload
+            try:
+                if on_live is not None:
+                    on_live()
+                page = self.request(request)
+            except BaseException as exc:
+                cache.abandon(host, key, flight, error=exc)
+                raise
+            cache.fulfill(host, key, flight, page, revision)
+            return page, True
 
     # -- internals ----------------------------------------------------------
 
