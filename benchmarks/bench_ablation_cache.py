@@ -23,7 +23,7 @@ QUERY = "SELECT make, model, year, price, contact WHERE make = 'jaguar'"
 
 
 def test_ablation_caching(benchmark):
-    webbase = WebBase.build(caching=True)
+    webbase = WebBase.create(WebBaseConfig(cache=CachePolicy.lru()))
     server = webbase.world.server
 
     # Cold run: populate the cache.

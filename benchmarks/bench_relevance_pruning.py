@@ -1,0 +1,239 @@
+"""Runtime relevance pruning + slow-host isolation (the resilience layer).
+
+Two claims, one per test:
+
+1. **Pruning.** Speculative dependent-join probes launch against the
+   candidate bindings of the outer's leftmost base before the full outer
+   finishes.  When outer partitions empty mid-flight (here: the
+   ``year >= 1997`` filter disproves most ``(make, model, year)``
+   candidates), the join revokes the affected probes.  Acceptance: with
+   the probe stagger calibrated so revocation can land, at least 30% of
+   the issued probes are cancelled before completing — with byte-identical
+   answer rows versus the pruning-off baseline.  (The cancelled count is
+   the one race-dependent number in this file: it depends on how far each
+   probe got before the outer finished, so the committed JSON records a
+   representative run, and the assertions gate the fresh run.)
+
+2. **Isolation.** One host is degraded with latency spikes
+   (``FaultPlan(spike_rate=1.0, hosts=(slow,))``).  The slow-call breaker
+   trips on it, quarantines it in the result cache (``serve_stale``
+   degrades its answers to flagged-stale instead of stalling the pool),
+   and the bulkhead caps its worker-slot share.  Acceptance: the other
+   hosts' fetch p95 stays within 1.5× the healthy baseline, and the
+   steady-state workload elapsed (passes after the breaker opened) drops
+   back to within 1.5× of healthy — while the same faults with resilience
+   off keep paying the spike on every pass.
+
+Results land in ``BENCH_relevance_pruning.json`` (see ``emit.py``).
+"""
+
+from __future__ import annotations
+
+import emit
+
+from repro.core.execution import WebBaseConfig
+from repro.core.parallel import cached_site_query
+from repro.core.resilience import ResiliencePolicy
+from repro.core.webbase import WebBase
+from repro.vps.cache import CachePolicy
+from repro.web.server import FaultPlan
+
+SEED = 1999
+ADS_PER_HOST = 60
+
+#: The 3-way bargain query: classifieds ⋈ bluebook, with the year filter
+#: living *above* the leftmost base — so probe candidates (every listed
+#: ``(make, model, year)``) are a strict superset of the surviving outer
+#: partitions, and the join has something real to revoke.
+PRUNING_QUERY = (
+    "SELECT make, model, year, price, bb_price "
+    "WHERE make = 'toyota' AND year >= 1997 AND condition = 'good' "
+    "AND price < bb_price"
+)
+
+PRUNE_TARGET = 0.30
+#: Stagger ladder for self-calibration: a longer stagger keeps more
+#: probes pending when the outer finishes, so revocation can land.
+STAGGERS = (0.3, 0.6, 1.2, 2.4)
+
+SLOW_HOST = "www.newsday.com"
+SPIKE_SECONDS = 6.0
+PASSES = 5
+ISOLATION_HEADROOM = 1.5
+
+
+def _pruning_run(policy: ResiliencePolicy) -> dict:
+    webbase = WebBase.create(
+        WebBaseConfig(seed=SEED, ads_per_host=ADS_PER_HOST, resilience=policy)
+    )
+    rows = sorted(webbase.query(PRUNING_QUERY).rows)
+    counters = webbase.metrics.snapshot()["counters"]
+    return {
+        "rows": rows,
+        "issued": int(counters.get("resilience.speculated", 0)),
+        "cancelled": int(counters.get("resilience.cancelled", 0)),
+        "pruned": int(counters.get("planner.pruned_probes", 0)),
+        "reclaimed_pages": int(counters.get("resilience.reclaimed_pages", 0)),
+    }
+
+
+def test_relevance_pruning():
+    baseline = _pruning_run(ResiliencePolicy.off())
+    run = None
+    stagger_used = None
+    for stagger in STAGGERS:
+        run = _pruning_run(
+            ResiliencePolicy(
+                speculate_probes=True,
+                prune=True,
+                speculate_stagger_seconds=stagger,
+            )
+        )
+        stagger_used = stagger
+        assert run["rows"] == baseline["rows"]  # every calibration step
+        if run["issued"] and run["cancelled"] / run["issued"] >= PRUNE_TARGET:
+            break
+    assert run is not None and run["issued"] > 0
+    ratio = run["cancelled"] / run["issued"]
+
+    print("\nRuntime relevance pruning — %s" % PRUNING_QUERY)
+    print(
+        "  stagger %.1fs: %d probe(s) issued, %d cancelled (%.0f%%), "
+        "%d pruned by the join, ~%d page(s) reclaimed"
+        % (
+            stagger_used,
+            run["issued"],
+            run["cancelled"],
+            100 * ratio,
+            run["pruned"],
+            run["reclaimed_pages"],
+        )
+    )
+    print("  %d answer row(s), byte-identical to the pruning-off baseline"
+          % len(run["rows"]))
+
+    assert ratio >= PRUNE_TARGET, (
+        "pruning cancelled only %.0f%% of issued probes (target %.0f%%)"
+        % (100 * ratio, 100 * PRUNE_TARGET)
+    )
+
+    emit.emit(
+        "relevance_pruning",
+        {
+            "benchmark": "relevance_pruning",
+            "query": PRUNING_QUERY,
+            "ads_per_host": ADS_PER_HOST,
+            "rows": len(run["rows"]),
+            "rows_match_baseline": run["rows"] == baseline["rows"],
+            "stagger_seconds": stagger_used,
+            "probes_issued": run["issued"],
+            "probes_cancelled": run["cancelled"],
+            "cancel_ratio": round(ratio, 2),
+            "pages_reclaimed": run["reclaimed_pages"],
+        },
+    )
+
+
+def _isolation_run(faults: FaultPlan | None, policy: ResiliencePolicy) -> dict:
+    webbase = WebBase.create(
+        WebBaseConfig(
+            seed=SEED,
+            ads_per_host=24,
+            faults=faults,
+            # TTL 0 forces live fetches every pass (so the breaker keeps
+            # seeing the slow host); serve_stale lets the quarantine
+            # degrade the slow host to flagged-stale answers.
+            cache=CachePolicy.lru(ttl_seconds=0.0, stale_mode="serve_stale"),
+            resilience=policy,
+        )
+    )
+    elapsed: list[float] = []
+    other_seconds: list[float] = []
+    slow_seconds: list[float] = []
+    for run in range(PASSES):
+        outcome = cached_site_query(webbase, label="isolation-pass-%d" % (run + 1))
+        ctx = outcome.context
+        elapsed.append(ctx.elapsed_seconds)
+        for span in ctx.root.spans("fetch"):
+            if span.cache == "hit" or span.cache == "stale":
+                continue
+            bucket = (
+                slow_seconds
+                if span.attrs.get("host", "") == SLOW_HOST
+                else other_seconds
+            )
+            bucket.append(span.network_seconds)
+    counters = webbase.metrics.snapshot()["counters"]
+    return {
+        "elapsed": elapsed,
+        "steady_elapsed": sum(elapsed[2:]) / len(elapsed[2:]),
+        "other_p95": _p95(other_seconds),
+        "slow_p95": _p95(slow_seconds) if slow_seconds else 0.0,
+        "breaker_opened": int(counters.get("resilience.breaker_opened", 0)),
+        "stale_serves": int(counters.get("cache.stale_serves", 0)),
+        "quarantined": sorted(webbase.cache.quarantined_hosts()),
+    }
+
+
+def _p95(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def test_slow_host_isolation():
+    spikes = FaultPlan(
+        seed=7, spike_rate=1.0, spike_seconds=SPIKE_SECONDS, hosts=(SLOW_HOST,)
+    )
+    guarded_policy = ResiliencePolicy(
+        failure_threshold=2, slow_seconds=10.0, bulkhead_per_host=2
+    )
+    healthy = _isolation_run(None, guarded_policy)
+    guarded = _isolation_run(spikes, guarded_policy)
+    unguarded = _isolation_run(spikes, ResiliencePolicy.off())
+
+    print("\nSlow-host isolation — %s spiked +%.0fs/page for %d passes"
+          % (SLOW_HOST, SPIKE_SECONDS, PASSES))
+    for name, run in (("healthy", healthy), ("guarded", guarded),
+                      ("unguarded", unguarded)):
+        print(
+            "  %-9s other-host p95 %.2fs, slow-host p95 %.2fs, "
+            "steady elapsed %.2fs, breaker opened %d, stale serves %d"
+            % (
+                name,
+                run["other_p95"],
+                run["slow_p95"],
+                run["steady_elapsed"],
+                run["breaker_opened"],
+                run["stale_serves"],
+            )
+        )
+
+    # The breaker saw the slow host and quarantined it.
+    assert guarded["breaker_opened"] >= 1
+    assert SLOW_HOST in guarded["quarantined"]
+    assert guarded["stale_serves"] > 0  # quarantine degraded to flagged-stale
+    # Other hosts' fetch latency is unaffected by the degraded host.
+    assert guarded["other_p95"] <= ISOLATION_HEADROOM * healthy["other_p95"]
+    # Steady state (after the trip) recovers to the healthy envelope —
+    # while the unguarded run keeps paying the spike on every pass.
+    assert guarded["steady_elapsed"] <= ISOLATION_HEADROOM * healthy["steady_elapsed"]
+    assert unguarded["steady_elapsed"] > ISOLATION_HEADROOM * healthy["steady_elapsed"]
+
+    emit.emit(
+        "slow_host_isolation",
+        {
+            "benchmark": "slow_host_isolation",
+            "slow_host": SLOW_HOST,
+            "spike_seconds": SPIKE_SECONDS,
+            "passes": PASSES,
+            "healthy_other_p95": round(healthy["other_p95"], 3),
+            "guarded_other_p95": round(guarded["other_p95"], 3),
+            # Elapsed includes measured cpu seconds, so round to one
+            # decimal to keep the committed artifact byte-stable.
+            "healthy_steady_elapsed": round(healthy["steady_elapsed"], 1),
+            "guarded_steady_elapsed": round(guarded["steady_elapsed"], 1),
+            "unguarded_steady_elapsed": round(unguarded["steady_elapsed"], 1),
+            "breaker_opened": guarded["breaker_opened"],
+            "stale_serves": guarded["stale_serves"],
+        },
+    )

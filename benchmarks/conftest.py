@@ -20,4 +20,4 @@ def world() -> World:
 
 @pytest.fixture(scope="session")
 def webbase() -> WebBase:
-    return WebBase.build()
+    return WebBase.create()

@@ -23,7 +23,7 @@ JAGUAR_QUERY = (
 
 
 def main() -> None:
-    webbase = WebBase.build()
+    webbase = WebBase.create()
 
     print("The shopper's query (no joins, no site names):\n")
     print("  " + JAGUAR_QUERY)

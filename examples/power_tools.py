@@ -17,7 +17,7 @@ from repro.relational.optimize import optimize
 
 
 def main() -> None:
-    webbase = WebBase.build()
+    webbase = WebBase.create()
 
     print("=== 1. Datalog views over the VPS ===")
     logical = LogicalSchema(webbase.vps)

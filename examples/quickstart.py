@@ -12,7 +12,7 @@ from repro import WebBase
 
 def main() -> None:
     print("Assembling the webbase (mapping 12 sites by example)...")
-    webbase = WebBase.build()
+    webbase = WebBase.create()
 
     print("\n=== The three layers ===")
     print(webbase.vps_summary())

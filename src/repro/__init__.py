@@ -15,39 +15,58 @@ HTML forms, built as three layers over a (here: simulated) raw Web —
 Quickstart::
 
     from repro import WebBase
-    webbase = WebBase.build()
+    webbase = WebBase.create()
     print(webbase.query(
         "SELECT make, model, year, price, contact "
         "WHERE make = 'jaguar' AND year >= 1993"
     ).pretty())
 """
 
+from repro import errors
 from repro.core.execution import (
+    AccessBatch,
+    AccessCancelled,
+    AccessHandle,
     DeadlineExceeded,
     ExecutionContext,
+    FanoutError,
+    FetchFailedError,
     RetryPolicy,
     WebBaseConfig,
 )
+from repro.core.resilience import ResilienceManager, ResiliencePolicy
 from repro.core.webbase import WebBase
+from repro.errors import WebBaseError
 from repro.service import ServiceClient, ServiceConfig, WebBaseService
 from repro.sites.world import World, build_world
 from repro.ur.builder import QueryBuilder
 from repro.vps.cache import CachePolicy
+from repro.web.server import FaultPlan
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "AccessBatch",
+    "AccessCancelled",
+    "AccessHandle",
     "CachePolicy",
     "DeadlineExceeded",
     "ExecutionContext",
+    "FanoutError",
+    "FaultPlan",
+    "FetchFailedError",
     "QueryBuilder",
+    "ResilienceManager",
+    "ResiliencePolicy",
     "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "WebBase",
     "WebBaseConfig",
+    "WebBaseError",
     "WebBaseService",
     "World",
     "build_world",
+    "errors",
     "__version__",
 ]

@@ -13,6 +13,7 @@
     python -m repro metrics [--repeat N]
     python -m repro maintenance [host]
     python -m repro baselines
+    python -m repro resilience [--slow-host HOST] [--passes N]
     python -m repro serve [--port N] [--queue-limit N] [--service-workers N]
     python -m repro client "SELECT ..." [--port N] [--deadline-ms MS]
 
@@ -39,6 +40,18 @@ cache, binding-batched dependent-join probes and speculative prefetch;
 socket; ``client`` talks to it (no webbase is built client-side).
 ``query --deadline-ms`` bounds a one-shot query's wall-clock time the
 same way a served request's deadline does.
+
+Per-host resilience (on by default; ``--no-resilience`` disables):
+``--breaker-threshold`` consecutive failures trip a host's circuit
+breaker, ``--breaker-slow`` makes successes slower than that many
+simulated seconds count as failure signals, ``--breaker-recovery`` sets
+the open → half-open delay, and ``--bulkhead`` caps one host's share of
+the worker pool.  ``--speculate`` turns on speculative dependent-join
+probing and ``--no-prune`` stops the join revoking probes whose outer
+partition emptied.  The ``resilience`` subcommand is the demo: it spikes
+``--slow-host`` with latency faults, runs ``--passes`` rounds of the
+ten-site workload, and prints the per-host breaker table, quarantine
+state, the healthy/degraded p95 split and the ``resilience.*`` counters.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ import json
 from typing import Sequence
 
 from repro.core.execution import WebBaseConfig
+from repro.core.resilience import ResiliencePolicy
 from repro.core.stats import format_timing_table, site_query_timings
 from repro.core.webbase import WebBase
 from repro.vps.cache import CachePolicy
@@ -110,6 +124,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fault-seed", type=int, default=7, help="seed of the injected fault schedule"
+    )
+    parser.add_argument(
+        "--resilience",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="per-host circuit breakers and bulkheads (--no-resilience = "
+        "the bare engine: every access goes straight to the site)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive per-host failures that open the host's breaker",
+    )
+    parser.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long an open breaker waits before letting a probe through",
+    )
+    parser.add_argument(
+        "--breaker-slow",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="treat fetches slower than this (simulated network seconds) "
+        "as failure signals for the breaker",
+    )
+    parser.add_argument(
+        "--bulkhead",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap concurrent fetches per host at N worker slots (default: "
+        "no per-host cap)",
+    )
+    parser.add_argument(
+        "--speculate",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="speculative dependent-join probes: start inner-side fetches "
+        "from candidate bindings before the outer side finishes",
+    )
+    parser.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="runtime relevance pruning: revoke in-flight and queued "
+        "accesses whose justifying bindings the outer side disproved",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -179,6 +244,21 @@ def _build_parser() -> argparse.ArgumentParser:
     maintenance.add_argument("host", nargs="?", default=None)
 
     sub.add_parser("baselines", help="link-only and canned-interface baselines")
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="demonstrate the per-host breakers: one site slows down, its "
+        "breaker opens, the others keep their latency",
+    )
+    resilience.add_argument(
+        "--slow-host",
+        default="www.newsday.com",
+        help="the site the demo degrades with injected latency spikes "
+        "(must be one of the ten timing-table sites)",
+    )
+    resilience.add_argument(
+        "--passes", type=int, default=6, help="workload passes to run"
+    )
 
     serve = sub.add_parser(
         "serve", help="run the long-lived multi-client query service"
@@ -266,10 +346,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     # Both serving and one-shot paths configure the cache the same way: an
     # explicit --cache/--no-cache wins; the default is on only for the two
     # commands whose workloads are meaningless without a storing cache.
+    # The resilience demo degrades one host with latency spikes and trips
+    # its breaker on the slow calls; other commands inject --fault-rate.
+    # Demo defaults: zero-TTL entries keep every pass fetching (so slow
+    # calls keep signalling the breaker) until the breaker opens and
+    # quarantines the host — after which serve-stale answers from the
+    # cache instead of waiting on the degraded site.
+    if args.command == "resilience":
+        faults = FaultPlan(
+            seed=args.fault_seed,
+            error_rate=args.fault_rate,
+            spike_rate=1.0,
+            spike_seconds=6.0,
+            hosts=(args.slow_host,),
+        )
+        if args.breaker_slow is None:
+            args.breaker_slow = 10.0
+        if args.cache_ttl is None:
+            args.cache_ttl = 0.0
+        args.stale_mode = "serve-stale"
+    elif args.fault_rate > 0:
+        faults = FaultPlan(seed=args.fault_seed, error_rate=args.fault_rate)
+    else:
+        faults = None
     use_cache = (
         args.cache
         if args.cache is not None
-        else args.command in ("metrics", "serve")
+        else args.command in ("metrics", "serve", "resilience")
     )
     cache_policy = (
         CachePolicy.lru(
@@ -279,6 +382,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         if use_cache
         else CachePolicy.noop()
     )
+    resilience_policy = (
+        ResiliencePolicy(
+            failure_threshold=args.breaker_threshold,
+            recovery_seconds=args.breaker_recovery,
+            slow_seconds=args.breaker_slow,
+            bulkhead_per_host=args.bulkhead,
+            speculate_probes=args.speculate,
+            prune=args.prune,
+        )
+        if args.resilience
+        else ResiliencePolicy.off()
+    )
     webbase = WebBase.create(
         WebBaseConfig(
             seed=args.seed,
@@ -287,11 +402,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             max_workers=args.workers,
             optimizer=args.optimizer,
             batch=args.batch,
-            faults=(
-                FaultPlan(seed=args.fault_seed, error_rate=args.fault_rate)
-                if args.fault_rate > 0
-                else None
-            ),
+            faults=faults,
+            resilience=resilience_policy,
         )
     )
 
@@ -484,6 +596,53 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("quarantined hosts (manual intervention pending): %s"
                   % ", ".join(quarantined))
         print("cache after maintenance: %s" % webbase.cache.stats)
+        return 0
+
+    if args.command == "resilience":
+        from repro.core.parallel import cached_site_query
+
+        passes = max(1, args.passes)
+        contexts = []
+        for run in range(passes):
+            outcome = cached_site_query(
+                webbase, label="resilience-pass-%d" % (run + 1)
+            )
+            contexts.append(outcome.context)
+        print(
+            "breakers after %d pass(es) of the 10-site workload "
+            "(degraded host: %s):" % (passes, args.slow_host)
+        )
+        print(webbase.resilience.describe())
+        quarantined = sorted(webbase.cache.quarantined_hosts())
+        if quarantined:
+            print(
+                "quarantined hosts (cache serves per --stale-mode): %s"
+                % ", ".join(quarantined)
+            )
+        print()
+        healthy: list[float] = []
+        degraded: list[float] = []
+        for ctx in contexts:
+            for span in ctx.root.spans("fetch"):
+                host = span.attrs.get("host", "")
+                bucket = degraded if host == args.slow_host else healthy
+                bucket.append(span.network_seconds)
+        if healthy and degraded:
+            healthy.sort()
+            degraded.sort()
+
+            def p95(values: list[float]) -> float:
+                return values[min(len(values) - 1, int(0.95 * len(values)))]
+
+            print(
+                "fetch network seconds: healthy hosts p95=%.2fs, "
+                "%s p95=%.2fs" % (p95(healthy), args.slow_host, p95(degraded))
+            )
+        print("resilience metrics:")
+        counters = webbase.metrics.snapshot()["counters"]
+        for name, value in sorted(counters.items()):
+            if name.startswith("resilience."):
+                print("  %-28s %d" % (name, value))
         return 0
 
     if args.command == "baselines":

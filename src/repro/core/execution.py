@@ -43,6 +43,13 @@ from time import monotonic, process_time
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.metrics import MetricsRegistry
+from repro.core.resilience import (
+    BulkheadSaturated,
+    CircuitOpenError,
+    ResilienceManager,
+    ResiliencePolicy,
+)
+from repro.errors import WebBaseError
 from repro.navigation.executor import NavigationExecutor
 from repro.navigation.prefetch import SpeculativePrefetcher
 from repro.vps.cache import CachePolicy, InFlight
@@ -99,6 +106,9 @@ class WebBaseConfig:
     # speculative prefetch of enumerated select domains.  Off = the
     # per-binding navigation baseline (``--no-batch``).
     batch: bool = True
+    # Per-host circuit breakers, bulkheads, and (when switched on there)
+    # speculative join probing with runtime relevance pruning.
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("cost", "off"):
@@ -132,7 +142,7 @@ class FetchTimeout(TransientNetworkError):
     """A fetch exceeded its per-attempt simulated-network-seconds budget."""
 
 
-class DeadlineExceeded(Exception):
+class DeadlineExceeded(WebBaseError):
     """The query's wall-clock deadline expired (or the context was
     cancelled) — a *structured* error: ``stage`` names where the check
     fired (``fetch:<relation>``, ``retry:<relation>``, ``cancelled``),
@@ -161,7 +171,7 @@ class DeadlineExceeded(Exception):
         super().__init__(message)
 
 
-class FetchFailedError(Exception):
+class FetchFailedError(WebBaseError):
     """A VPS fetch failed after every allowed attempt."""
 
     def __init__(self, failure: FetchFailure) -> None:
@@ -169,7 +179,22 @@ class FetchFailedError(Exception):
         self.failure = failure
 
 
-class FanoutError(Exception):
+class AccessCancelled(WebBaseError):
+    """The access was revoked before it produced a result.
+
+    Raised out of an access whose :class:`AccessHandle` was cancelled —
+    by the dependent join pruning a probe whose outer partition emptied,
+    or by :meth:`ExecutionContext.cancel`.  Deliberately *not* a
+    :class:`~repro.web.browser.NavigationError`: the navigation executor
+    must not absorb it into an empty answer, and the retry loop must not
+    re-issue a fetch nobody wants anymore."""
+
+    def __init__(self, reason: str = "access cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class FanoutError(WebBaseError):
     """Several parallel tasks failed; every error is reported, not just
     the first (the ExceptionGroup-style report)."""
 
@@ -181,6 +206,200 @@ class FanoutError(Exception):
             for i, e in enumerate(self.errors)
         ]
         super().__init__("\n".join(lines))
+
+
+# -- access handles ----------------------------------------------------------------
+
+
+#: Terminal states of an :class:`AccessHandle`.
+ACCESS_PENDING = "PENDING"
+ACCESS_RUNNING = "RUNNING"
+ACCESS_DONE = "DONE"
+ACCESS_CANCELLED = "CANCELLED"
+ACCESS_SHED = "SHED"
+ACCESS_BROKEN = "BROKEN"
+
+ACCESS_TERMINAL = frozenset({ACCESS_DONE, ACCESS_CANCELLED, ACCESS_SHED, ACCESS_BROKEN})
+
+
+class AccessHandle:
+    """One scheduled access to the Web, as a first-class revocable object.
+
+    Every engine fetch — demanded or speculative — is represented by a
+    handle carrying the probe bindings that justified it (``given``), so
+    the layer that scheduled the access can later decide it is no longer
+    relevant and :meth:`cancel` it.  Terminal states:
+
+    * ``DONE`` — the access produced a result (:meth:`result` returns it);
+    * ``CANCELLED`` — revoked (pruned probe, cancelled context, expired
+      deadline) before completing;
+    * ``SHED`` — refused by the resilience layer (open breaker or
+      saturated bulkhead) — only ever speculative accesses;
+    * ``BROKEN`` — the access itself failed (retry budget exhausted,
+      broken site).
+
+    Cancellation is cooperative: a ``PENDING`` handle finishes
+    immediately, a ``RUNNING`` one keeps running until its next
+    checkpoint (before each page navigation, each retry, and while
+    waiting on a coalesced in-flight fetch).  ``DONE`` wins over a late
+    cancel — a completed result is never retracted.
+
+    Thread-safe; handles are created by
+    :meth:`ExecutionContext.run_fetch` / :meth:`ExecutionContext.speculate`,
+    never directly.
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        host: str,
+        given: dict[str, Any],
+        speculative: bool = False,
+        owner: "ExecutionContext | None" = None,
+    ) -> None:
+        self.relation = relation
+        self.host = host
+        self.given = dict(given)
+        self.speculative = speculative
+        self.pages = 0  # pages navigated before the handle went terminal
+        self.cancel_reason = ""
+        self._owner = owner
+        self._state = ACCESS_PENDING
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return "<AccessHandle %s%s %r %s>" % (
+            self.relation,
+            " (speculative)" if self.speculative else "",
+            self.given,
+            self._state,
+        )
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def done(self) -> bool:
+        return self._state in ACCESS_TERMINAL
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def cancel(self, reason: str = "access cancelled") -> bool:
+        """Revoke the access.  Returns whether the cancel *could* still
+        matter: ``False`` when the handle is already terminal (a completed
+        result stands), ``True`` when the access was pending (it finishes
+        ``CANCELLED`` right here) or running (it stops at its next
+        cooperative checkpoint)."""
+        finished = False
+        with self._lock:
+            if self._state in ACCESS_TERMINAL:
+                return False
+            self.cancel_reason = self.cancel_reason or reason
+            self._cancel.set()
+            if self._state == ACCESS_PENDING:
+                finished = self._finish_locked(
+                    ACCESS_CANCELLED, error=AccessCancelled(reason)
+                )
+        if finished and self._owner is not None:
+            self._owner._note_cancelled(self)
+        return True
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the handle is terminal (or ``timeout`` elapses)."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The access's result; re-raises its error for any non-``DONE``
+        terminal state."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                "access %s still %s after %.3fs" % (self.relation, self._state, timeout)
+            )
+        if self._state == ACCESS_DONE:
+            return self._value
+        raise self._error
+
+    # -- engine-side transitions (owner only) --------------------------------
+
+    def _mark_running(self) -> bool:
+        with self._lock:
+            if self._state in ACCESS_TERMINAL:
+                return False
+            self._state = ACCESS_RUNNING
+            return True
+
+    def _finish_locked(
+        self, state: str, value: Any = None, error: BaseException | None = None
+    ) -> bool:
+        if self._state in ACCESS_TERMINAL:
+            return False
+        self._state = state
+        self._value = value
+        self._error = error
+        self._done.set()
+        return True
+
+    def _finish(
+        self, state: str, value: Any = None, error: BaseException | None = None
+    ) -> bool:
+        with self._lock:
+            finished = self._finish_locked(state, value=value, error=error)
+        if finished and state == ACCESS_CANCELLED and self._owner is not None:
+            self._owner._note_cancelled(self)
+        return finished
+
+
+class AccessBatch:
+    """The handles of one :meth:`ExecutionContext.run_fetch_batch` call,
+    in ``givens`` order (duplicate bindings share a handle).
+
+    :meth:`results` mirrors the engine's fan-out error semantics: a
+    deadline expiry trumps everything, a single failure re-raises as
+    itself, several raise one :class:`FanoutError`.
+    """
+
+    def __init__(self, handles: "list[AccessHandle]") -> None:
+        self.handles = list(handles)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __iter__(self) -> Iterator[AccessHandle]:
+        return iter(self.handles)
+
+    def cancel_pending(self, reason: str = "batch cancelled") -> int:
+        """Cancel every non-terminal handle; returns how many accepted."""
+        return sum(1 for handle in self.handles if handle.cancel(reason))
+
+    def results(self) -> list[Any]:
+        distinct: list[AccessHandle] = []
+        seen: set[int] = set()
+        for handle in self.handles:
+            if id(handle) not in seen:
+                seen.add(id(handle))
+                distinct.append(handle)
+        errors = [h.error for h in distinct if h.error is not None]
+        if errors:
+            for error in errors:
+                if isinstance(error, DeadlineExceeded):
+                    raise error
+            if len(errors) == 1:
+                raise errors[0]
+            raise FanoutError(
+                [e for e in errors if isinstance(e, Exception)], total=len(distinct)
+            )
+        return [handle.result() for handle in self.handles]
 
 
 # -- the trace --------------------------------------------------------------------
@@ -382,12 +601,16 @@ class ExecutionContext:
         wall_clock: Callable[[], float] = monotonic,
         batch_enabled: bool = False,
         page_revisions: Callable[[str], int] | None = None,
+        resilience: ResilienceManager | None = None,
     ) -> None:
         self.pool = pool
         self.max_workers = max(1, int(max_workers))
         self.retry = retry or RetryPolicy()
         self.timeout_seconds = timeout_seconds
         self.metrics = metrics or MetricsRegistry()
+        # Per-host breakers and bulkheads, shared across the webbase's
+        # queries (``None`` = no resilience layer, the bare engine).
+        self.resilience = resilience
         # Batched navigation: one revision-stamped page cache per context
         # (query-scoped — dropped with the context, so cross-query staleness
         # is impossible by construction), shared by every worker bundle the
@@ -407,6 +630,7 @@ class ExecutionContext:
                 metrics=self.metrics,
                 max_workers=self.max_workers,
                 charge=self._charge_lane,
+                admit=self._admit_speculation,
             )
         # Wall-clock deadline: unlike ``timeout_seconds`` (a per-attempt
         # budget in *simulated* network seconds), the deadline bounds the
@@ -438,6 +662,11 @@ class ExecutionContext:
         self._flights: dict[tuple, InFlight] = {}
         self._lock = threading.RLock()
         self._slots = threading.Semaphore(self.max_workers)
+        # Speculative probes run on their own slot budget so speculation
+        # can never starve demanded fetches of workers.
+        self._spec_slots = threading.Semaphore(self.max_workers)
+        self._spec_threads: list[threading.Thread] = []
+        self._live_handles: dict[int, AccessHandle] = {}
         self._local = threading.local()
         self._cpu_depth = 0
         self._cpu_mark = 0.0
@@ -482,12 +711,17 @@ class ExecutionContext:
     def cancelled(self) -> bool:
         return self._cancelled.is_set()
 
-    def cancel(self) -> None:
-        """Abandon the context: every subsequent deadline check — one runs
-        before each fetch and between retries — raises
-        :class:`DeadlineExceeded`, so outstanding workers stop picking up
-        new fetches and fan-outs unwind promptly."""
+    def cancel(self, reason: str = "context cancelled") -> None:
+        """Abandon the context: every live :class:`AccessHandle` is
+        cancelled (pending ones finish immediately; running ones stop at
+        their next cooperative checkpoint), and every subsequent deadline
+        check raises :class:`DeadlineExceeded`, so outstanding workers
+        stop picking up new fetches and fan-outs unwind promptly."""
         self._cancelled.set()
+        with self._lock:
+            handles = list(self._live_handles.values())
+        for handle in handles:
+            handle.cancel(reason)
 
     def check_deadline(self, stage: str) -> None:
         """Raise :class:`DeadlineExceeded` if the deadline expired or the
@@ -510,6 +744,70 @@ class ExecutionContext:
         with self._lock:
             parent.children.append(span)
         raise exc
+
+    def check_cancelled(self, stage: str) -> None:
+        """The engine's cooperative cancellation checkpoint.
+
+        Raises :class:`AccessCancelled` when any access handle on the
+        calling thread's handle stack was cancelled (a revoked probe, or a
+        fetch running *under* one), and defers to :meth:`check_deadline`
+        when the whole context was cancelled.  Costs nothing — in
+        particular, no wall-clock read — on the happy path, so it is safe
+        to call from tight polling loops."""
+        stack = getattr(self._local, "handles", None)
+        if stack:
+            for handle in stack:
+                if handle.cancel_requested:
+                    raise AccessCancelled(
+                        handle.cancel_reason or "access cancelled at %s" % stage
+                    )
+        if self._cancelled.is_set():
+            self.check_deadline(stage)
+
+    def _active_handle(self) -> AccessHandle | None:
+        stack = getattr(self._local, "handles", None)
+        return stack[-1] if stack else None
+
+    def _push_handle(self, handle: AccessHandle) -> None:
+        stack = getattr(self._local, "handles", None)
+        if stack is None:
+            stack = self._local.handles = []
+        stack.append(handle)
+
+    def _pop_handle(self, handle: AccessHandle) -> None:
+        stack = getattr(self._local, "handles", None)
+        if stack and stack[-1] is handle:
+            stack.pop()
+
+    def _register_handle(self, handle: AccessHandle) -> None:
+        with self._lock:
+            self._live_handles[id(handle)] = handle
+
+    def _unregister_handle(self, handle: AccessHandle) -> None:
+        with self._lock:
+            self._live_handles.pop(id(handle), None)
+
+    def _note_cancelled(self, handle: AccessHandle) -> None:
+        """Account one cancelled access: how many pages did revoking it
+        save?  Estimated as the typical full-fetch page count (the
+        ``engine.fetch_pages`` running mean; 3 when nothing completed yet)
+        minus the pages the access had already navigated."""
+        self.metrics.counter("resilience.cancelled").inc()
+        histogram = self.metrics.histogram("engine.fetch_pages")
+        typical = histogram.mean if histogram.count else 3.0
+        reclaimed = int(round(max(0.0, typical - handle.pages)))
+        if reclaimed:
+            self.metrics.counter("resilience.reclaimed_pages").inc(reclaimed)
+
+    def _admit_speculation(self, host: str) -> bool:
+        """Whether speculative page prefetch may target ``host`` — not
+        once the context is cancelled, and not while the host's circuit
+        breaker is open."""
+        if self._cancelled.is_set():
+            return False
+        if self.resilience is not None:
+            return self.resilience.allows_speculation(host)
+        return True
 
     def adopt(self, span: TraceSpan) -> None:
         """Make ``span`` the calling thread's current trace span (worker
@@ -647,9 +945,18 @@ class ExecutionContext:
         relation: "VirtualRelation",
         given: dict[str, Any],
         bundle: ExecutorBundle | None = None,
-    ) -> "Relation":
+        speculative: bool | None = None,
+    ) -> AccessHandle:
         """Fetch one VPS relation through the engine: per-context cache,
         worker checkout, timeout, bounded retry, trace.
+
+        Returns an :class:`AccessHandle` that is already terminal (the
+        fetch runs inline on the calling thread): ``handle.result()``
+        yields the relation or re-raises the failure.  The handle exists
+        so *other* threads can revoke the access while it runs — the
+        dependent join cancels probes whose outer partition emptied, the
+        service cancels a query whose deadline expired — and so the
+        access's justifying bindings travel with it.
 
         Concurrent misses on the same ``(relation, bindings)`` key coalesce
         into one upstream fetch (single-flight): the first worker fetches,
@@ -660,10 +967,52 @@ class ExecutionContext:
         ``bundle`` lets a batch session reuse one pre-held worker across
         several bindings (see :meth:`run_fetch_batch`); without it the
         fetch checks a worker out of the pool under the slot semaphore.
+        ``speculative`` marks the access sheddable by the resilience
+        layer; by default it inherits from the enclosing speculative
+        probe, if any.
         """
+        if speculative is None:
+            active = self._active_handle()
+            speculative = active.speculative if active is not None else False
+        handle = AccessHandle(
+            relation.name, relation.host, given, speculative=speculative, owner=self
+        )
+        self._register_handle(handle)
+        self._push_handle(handle)
+        try:
+            if not handle._mark_running():
+                return handle  # cancelled before it started
+            try:
+                result = self._run_fetch_inner(relation, given, bundle, handle)
+            except (AccessCancelled, DeadlineExceeded) as exc:
+                handle._finish(ACCESS_CANCELLED, error=exc)
+            except (CircuitOpenError, BulkheadSaturated) as exc:
+                handle._finish(ACCESS_SHED, error=exc)
+            except Exception as exc:  # noqa: BLE001 - stored on the handle
+                handle._finish(ACCESS_BROKEN, error=exc)
+            else:
+                handle._finish(ACCESS_DONE, value=result)
+            return handle
+        finally:
+            self._pop_handle(handle)
+            self._unregister_handle(handle)
+
+    def _wait_flight(self, flight: InFlight, stage: str) -> None:
+        """Wait on another worker's in-flight fetch, staying cancellable."""
+        while not flight.event.wait(0.05):
+            self.check_cancelled(stage)
+
+    def _run_fetch_inner(
+        self,
+        relation: "VirtualRelation",
+        given: dict[str, Any],
+        bundle: ExecutorBundle | None,
+        handle: AccessHandle,
+    ) -> "Relation":
         key = self._fetch_key(relation, given)
         while True:
             self.check_deadline("fetch:%s" % relation.name)
+            self.check_cancelled("fetch:%s" % relation.name)
             leader = False
             with self._lock:
                 cached = self._cache.get(key)
@@ -681,20 +1030,10 @@ class ExecutionContext:
                 return cached
             if not leader:
                 self.metrics.counter("engine.coalesced").inc()
-                flight.event.wait()
+                self._wait_flight(flight, "fetch:%s" % relation.name)
                 continue  # result (or nothing, if the leader failed) is cached now
             try:
-                if bundle is not None:
-                    result = self._fetch_with_retries(relation, given, bundle)
-                else:
-                    with self._slots:
-                        owned = self.pool.checkout()
-                        self._install_nav_hooks(owned)
-                        try:
-                            result = self._fetch_with_retries(relation, given, owned)
-                        finally:
-                            self._uninstall_nav_hooks(owned)
-                            self.pool.checkin(owned)
+                result = self._guarded_fetch(relation, given, bundle, handle)
             except BaseException:
                 with self._lock:
                     self._flights.pop(key, None)
@@ -706,11 +1045,50 @@ class ExecutionContext:
             flight.event.set()
             return result
 
+    def _guarded_fetch(
+        self,
+        relation: "VirtualRelation",
+        given: dict[str, Any],
+        bundle: ExecutorBundle | None,
+        handle: AccessHandle,
+    ) -> "Relation":
+        """Dispatch one upstream fetch through the resilience gate (when
+        the context has one): the host's breaker may shed a speculative
+        access, and its bulkhead bounds the host's worker-slot share."""
+        if self.resilience is None:
+            return self._dispatch_fetch(relation, given, bundle, handle)
+        with self.resilience.access(
+            relation.host,
+            speculative=handle.speculative,
+            poll=lambda: self.check_cancelled("bulkhead:%s" % relation.name),
+        ):
+            return self._dispatch_fetch(relation, given, bundle, handle)
+
+    def _dispatch_fetch(
+        self,
+        relation: "VirtualRelation",
+        given: dict[str, Any],
+        bundle: ExecutorBundle | None,
+        handle: AccessHandle,
+    ) -> "Relation":
+        if bundle is not None:
+            return self._fetch_with_retries(relation, given, bundle, handle)
+        with self._slots:
+            owned = self.pool.checkout()
+            self._install_nav_hooks(owned)
+            try:
+                return self._fetch_with_retries(relation, given, owned, handle)
+            finally:
+                self._uninstall_nav_hooks(owned)
+                self.pool.checkin(owned)
+
     def run_fetch_batch(
         self, relation: "VirtualRelation", givens: list[dict[str, Any]]
-    ) -> "list[Relation]":
-        """Fetch one VPS relation for a whole probe batch, results in
-        ``givens`` order (the batched leg of a dependent join).
+    ) -> AccessBatch:
+        """Fetch one VPS relation for a whole probe batch; the returned
+        :class:`AccessBatch` holds one (already terminal) handle per
+        binding, in ``givens`` order (the batched leg of a dependent
+        join) — ``batch.results()`` yields the relations.
 
         The distinct binding keys are split into at most ``max_workers``
         chunks; each chunk checks out one worker bundle and runs its
@@ -719,15 +1097,16 @@ class ExecutionContext:
         (and, through the query-scoped page cache, across chunks and
         hosts' other fetches too).  Every binding still gets the full
         engine treatment — per-context cache, single-flight, timeout,
-        retries, trace spans.  Failure semantics mirror :meth:`map`: one
-        failing binding re-raises as itself, several raise a
-        :class:`FanoutError`, and a deadline expiry trumps both.
+        retries, trace spans.  :meth:`AccessBatch.results` mirrors
+        :meth:`map`'s failure semantics: one failing binding re-raises as
+        itself, several raise a :class:`FanoutError`, and a deadline
+        expiry trumps both.
         """
         if not givens:
-            return []
+            return AccessBatch([])
         self.metrics.histogram("nav.batch_size").observe(len(givens))
         if not self.batch_enabled or len(givens) == 1:
-            return self.map(lambda g: self.run_fetch(relation, g), givens)
+            return AccessBatch(self.map(lambda g: self.run_fetch(relation, g), givens))
         keyed = [(self._fetch_key(relation, given), given) for given in givens]
         unique: dict[tuple, dict[str, Any]] = {}
         for key, given in keyed:
@@ -737,9 +1116,8 @@ class ExecutionContext:
         size = (len(items) + workers - 1) // workers
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
 
-        def run_chunk(chunk: list) -> tuple[dict, list]:
-            out: dict[tuple, "Relation"] = {}
-            errors: list[Exception] = []
+        def run_chunk(chunk: list) -> dict:
+            out: dict[tuple, AccessHandle] = {}
             # No slot is held across the chunk: a binding may wait on a
             # flight led by a slot-holding worker elsewhere, and parking a
             # slot while waiting could starve that leader (deadlock).
@@ -748,38 +1126,119 @@ class ExecutionContext:
             try:
                 with chunk_bundle.executor.batch_session():
                     for key, chunk_given in chunk:
-                        try:
-                            out[key] = self.run_fetch(
-                                relation, chunk_given, bundle=chunk_bundle
-                            )
-                        except Exception as exc:  # noqa: BLE001 - aggregated below
-                            errors.append(exc)
-                            if isinstance(exc, DeadlineExceeded):
-                                break
+                        handle = self.run_fetch(
+                            relation, chunk_given, bundle=chunk_bundle
+                        )
+                        out[key] = handle
+                        if isinstance(handle.error, DeadlineExceeded):
+                            break  # the chunk's remaining bindings are dead
             finally:
                 self._uninstall_nav_hooks(chunk_bundle)
                 self.pool.checkin(chunk_bundle)
-            return out, errors
+            for key, chunk_given in chunk:
+                if key not in out:  # abandoned after the deadline break
+                    dead = AccessHandle(
+                        relation.name, relation.host, chunk_given, owner=self
+                    )
+                    dead.cancel("deadline exceeded before the binding ran")
+                    out[key] = dead
+            return out
 
-        pieces = self.map(run_chunk, chunks)
-        failures = [error for _, errors in pieces for error in errors]
-        if failures:
-            for error in failures:
-                if isinstance(error, DeadlineExceeded):
-                    raise error
-            if len(failures) == 1:
-                raise failures[0]
-            raise FanoutError(failures, total=len(items))
-        fetched: dict[tuple, "Relation"] = {}
-        for out, _ in pieces:
+        fetched: dict[tuple, AccessHandle] = {}
+        for out in self.map(run_chunk, chunks):
             fetched.update(out)
-        return [fetched[key] for key, _ in keyed]
+        return AccessBatch([fetched[key] for key, _ in keyed])
+
+    def speculate(
+        self,
+        fn: Callable[[], Any],
+        name: str,
+        given: dict[str, Any],
+        index: int = 0,
+        host: str = "",
+    ) -> AccessHandle:
+        """Run ``fn`` as a *speculative probe* on a background thread and
+        return its (live) :class:`AccessHandle` immediately.
+
+        The dependent join uses this to start inner-side probes before
+        the outer finishes: ``given`` records the probe bindings that
+        justified the access, so the join can :meth:`~AccessHandle.cancel`
+        the handle the moment those bindings prove irrelevant.  Every
+        fetch ``fn`` issues inherits the speculative flag (sheddable by
+        breakers/bulkheads) and the handle's cancellation.
+
+        Probes run on a separate slot budget (they never starve demanded
+        fetches) and probe ``index`` is delayed by ``index ×``
+        :attr:`~repro.core.resilience.ResiliencePolicy.speculate_stagger_seconds`
+        — cancellation interrupts the delay, so staggered probes that are
+        pruned early cost nothing at all.
+        """
+        handle = AccessHandle(name, host, given, speculative=True, owner=self)
+        self._register_handle(handle)
+        self.metrics.counter("resilience.speculated").inc()
+        parent = self.current_span()
+        policy = self.resilience.policy if self.resilience is not None else None
+        delay = index * policy.speculate_stagger_seconds if policy is not None else 0.0
+
+        def worker() -> None:
+            try:
+                if delay > 0.0:
+                    handle._cancel.wait(delay)
+                acquired = False
+                while not handle.cancel_requested and not self._cancelled.is_set():
+                    if self._spec_slots.acquire(timeout=0.02):
+                        acquired = True
+                        break
+                if not acquired:
+                    handle._finish(
+                        ACCESS_CANCELLED,
+                        error=AccessCancelled(
+                            handle.cancel_reason or "speculative probe cancelled"
+                        ),
+                    )
+                    return
+                try:
+                    self.adopt(parent)
+                    self._push_handle(handle)
+                    if not handle._mark_running():
+                        return  # cancelled between the slot grant and the start
+                    try:
+                        value = fn()
+                    except (AccessCancelled, DeadlineExceeded) as exc:
+                        handle._finish(ACCESS_CANCELLED, error=exc)
+                    except (CircuitOpenError, BulkheadSaturated) as exc:
+                        handle._finish(ACCESS_SHED, error=exc)
+                    except Exception as exc:  # noqa: BLE001 - stored on the handle
+                        handle._finish(ACCESS_BROKEN, error=exc)
+                    else:
+                        handle._finish(ACCESS_DONE, value=value)
+                finally:
+                    self._pop_handle(handle)
+                    self._spec_slots.release()
+            finally:
+                self._unregister_handle(handle)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        with self._lock:
+            self._spec_threads.append(thread)
+        thread.start()
+        return handle
+
+    def drain_speculation(self, timeout: float | None = None) -> None:
+        """Join every speculative probe thread started so far (cancelled
+        probes unwind at their next checkpoint, so this is prompt)."""
+        with self._lock:
+            threads = self._spec_threads
+            self._spec_threads = []
+        for thread in threads:
+            thread.join(timeout)
 
     def _fetch_with_retries(
         self,
         relation: "VirtualRelation",
         given: dict[str, Any],
         bundle: ExecutorBundle,
+        handle: AccessHandle | None = None,
     ) -> "Relation":
         policy = self.retry
         attempts_allowed = max(1, policy.max_attempts)
@@ -790,45 +1249,76 @@ class ExecutionContext:
             last_error: Exception | None = None
             result: "Relation | None" = None
             attempts_used = 0
-            for attempt in range(1, attempts_allowed + 1):
-                attempts_used = attempt
-                self.metrics.counter("engine.fetch_attempts").inc()
-                if attempt > 1:
-                    # The deadline is re-checked between retries, so a dying
-                    # query stops burning its retry budget on a lost cause.
-                    self.check_deadline("retry:%s" % relation.name)
-                    bundle.clock.charge(policy.delay_before(attempt))
-                    with self._lock:
-                        self.retries += 1
-                    self.metrics.counter("engine.retries").inc()
-                attempt_start = bundle.clock.network_seconds
-                with self.span("attempt", "#%d" % attempt) as aspan:
-                    try:
-                        fetched = relation.fetch(given, executor=bundle.executor)
-                    except TransientNetworkError as exc:
-                        aspan.network_seconds = bundle.clock.network_seconds - attempt_start
-                        aspan.pages = bundle.executor.pages_last_fetch
-                        aspan.status = "error"
-                        aspan.error = str(exc)
-                        pages_total += aspan.pages
-                        last_error = exc
-                        continue
-                    aspan.network_seconds = bundle.clock.network_seconds - attempt_start
-                    aspan.pages = bundle.executor.pages_last_fetch
-                    pages_total += aspan.pages
-                    if (
-                        self.timeout_seconds is not None
-                        and aspan.network_seconds > self.timeout_seconds
-                    ):
-                        aspan.status = "error"
-                        aspan.error = "timed out: %.2fs > %.2fs budget" % (
-                            aspan.network_seconds,
-                            self.timeout_seconds,
+            # A cancelled handle interrupts the navigation between pages:
+            # the executor polls this hook before every page fetch.
+            bundle.executor.cancel_check = lambda: self.check_cancelled(
+                "page:%s" % relation.name
+            )
+            try:
+                for attempt in range(1, attempts_allowed + 1):
+                    attempts_used = attempt
+                    self.metrics.counter("engine.fetch_attempts").inc()
+                    if attempt > 1:
+                        # The deadline is re-checked between retries, so a dying
+                        # query stops burning its retry budget on a lost cause —
+                        # and so is cancellation, so a revoked access never
+                        # spends backoff on a fetch nobody wants.
+                        self.check_deadline("retry:%s" % relation.name)
+                        self.check_cancelled("retry:%s" % relation.name)
+                        bundle.clock.charge(policy.delay_before(attempt))
+                        with self._lock:
+                            self.retries += 1
+                        self.metrics.counter("engine.retries").inc()
+                    attempt_start = bundle.clock.network_seconds
+                    with self.span("attempt", "#%d" % attempt) as aspan:
+                        try:
+                            fetched = relation.fetch(given, executor=bundle.executor)
+                        except TransientNetworkError as exc:
+                            aspan.network_seconds = (
+                                bundle.clock.network_seconds - attempt_start
+                            )
+                            aspan.pages = bundle.executor.pages_last_fetch
+                            aspan.status = "error"
+                            aspan.error = str(exc)
+                            pages_total += aspan.pages
+                            last_error = exc
+                            if self.resilience is not None:
+                                self.resilience.record_failure(relation.host)
+                            continue
+                        aspan.network_seconds = (
+                            bundle.clock.network_seconds - attempt_start
                         )
-                        last_error = FetchTimeout(aspan.error)
-                        continue
-                result = fetched
-                break
+                        aspan.pages = bundle.executor.pages_last_fetch
+                        pages_total += aspan.pages
+                        if (
+                            self.timeout_seconds is not None
+                            and aspan.network_seconds > self.timeout_seconds
+                        ):
+                            aspan.status = "error"
+                            aspan.error = "timed out: %.2fs > %.2fs budget" % (
+                                aspan.network_seconds,
+                                self.timeout_seconds,
+                            )
+                            last_error = FetchTimeout(aspan.error)
+                            if self.resilience is not None:
+                                self.resilience.record_failure(relation.host)
+                            continue
+                        if self.resilience is not None:
+                            self.resilience.record_success(
+                                relation.host, aspan.network_seconds
+                            )
+                    result = fetched
+                    break
+            except AccessCancelled as exc:
+                fspan.status = "cancelled"
+                fspan.error = str(exc)
+                if handle is not None:
+                    handle.pages = pages_total + bundle.executor.pages_last_fetch
+                raise
+            finally:
+                bundle.executor.cancel_check = None
+            if handle is not None:
+                handle.pages = pages_total
             total = bundle.clock.network_seconds - started
             fspan.network_seconds = total
             fspan.pages = pages_total

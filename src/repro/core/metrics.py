@@ -21,8 +21,17 @@ from __future__ import annotations
 
 import math
 import random
+import re
 import threading
 from typing import Any
+
+#: The naming scheme every webbase metric follows (documented in README):
+#: ``<subsystem>.<name>`` in lowercase snake_case, where the subsystem is
+#: one of the fixed prefixes below and further dotted segments are allowed
+#: for per-entity families (``planner.observed.pages.<relation>``).
+NAME_PATTERN = re.compile(
+    r"^(nav|cache|engine|service|planner|resilience)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
+)
 
 
 class Counter:
@@ -164,13 +173,27 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named metrics, shared across threads."""
+    """Get-or-create registry of named metrics, shared across threads.
 
-    def __init__(self) -> None:
+    ``strict=True`` enforces :data:`NAME_PATTERN` on every registered
+    name — the webbase's own registry runs strict, so an off-scheme
+    metric name fails the first time it is touched instead of drifting
+    into dashboards; bare registries (tests, scratch tools) stay lenient.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+
+    def _check_name(self, name: str) -> None:
+        if self.strict and NAME_PATTERN.match(name) is None:
+            raise ValueError(
+                "metric name %r does not match the <subsystem>.<name> "
+                "naming scheme (%s)" % (name, NAME_PATTERN.pattern)
+            )
 
     def _other_kinds(self, name: str, mine: dict) -> None:
         # A name may exist in exactly one kind, or value() turns ambiguous.
@@ -182,6 +205,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
+                self._check_name(name)
                 self._other_kinds(name, self._counters)
                 metric = self._counters[name] = Counter(name)
             return metric
@@ -190,6 +214,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
+                self._check_name(name)
                 self._other_kinds(name, self._gauges)
                 metric = self._gauges[name] = Gauge(name)
             return metric
@@ -198,6 +223,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
+                self._check_name(name)
                 self._other_kinds(name, self._histograms)
                 metric = self._histograms[name] = Histogram(name)
             return metric

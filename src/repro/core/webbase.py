@@ -32,6 +32,7 @@ from repro.core.execution import (
     WebBaseConfig,
 )
 from repro.core.metrics import MetricsRegistry
+from repro.core.resilience import ResilienceManager
 from repro.core.sessions import build_all_builders
 from repro.logical import car_logical_schema
 from repro.logical.mapping import car_catalog_stats
@@ -44,25 +45,15 @@ from repro.relational.relation import Relation
 from repro.sites.world import World, build_world
 from repro.ur.planner import StructuredUR, URPlan
 from repro.ur.usedcars import build_used_car_ur
-from repro.vps.cache import CachePolicy, ResultCache
+from repro.vps.cache import ResultCache
 from repro.vps.schema import VpsSchema
 
 
 class WebBase:
     """A fully assembled webbase over the simulated car-domain Web."""
 
-    def __init__(
-        self,
-        world: World,
-        config: WebBaseConfig | None = None,
-        caching: bool = False,
-    ) -> None:
-        if config is None:
-            # Compatibility with the pre-config construction path.
-            config = WebBaseConfig(
-                cache=CachePolicy.lru() if caching else CachePolicy.noop()
-            )
-        self.config = config
+    def __init__(self, world: World, config: WebBaseConfig | None = None) -> None:
+        self.config = config = config or WebBaseConfig()
         self.world = world
         self.builders: dict[str, MapBuilder] = build_all_builders(world)
         self.compiled: dict[str, CompiledSite] = {
@@ -75,10 +66,16 @@ class WebBase:
         self.pool = BundlePool(world.server, self.compiled.values())
         # One registry spans the whole webbase: the cache and every
         # execution context count into it, so cache/fetch totals reconcile
-        # with trace spans (``python -m repro metrics``).
-        self.metrics = MetricsRegistry()
+        # with trace spans (``python -m repro metrics``).  Strict: an
+        # off-scheme metric name is a bug, caught on first touch.
+        self.metrics = MetricsRegistry(strict=True)
         self.cache: ResultCache = ResultCache(
             self.vps, config.cache, metrics=self.metrics
+        )
+        # Per-host circuit breakers and bulkheads, shared by every
+        # execution context; breaker trips feed the cache's quarantine.
+        self.resilience = ResilienceManager(
+            config.resilience, metrics=self.metrics, cache=self.cache
         )
         self.logical: LogicalSchema = car_logical_schema(self.cache)
         self.ur: StructuredUR = build_used_car_ur(
@@ -100,25 +97,6 @@ class WebBase:
         config = config or WebBaseConfig()
         world = build_world(seed=config.seed, ads_per_host=config.ads_per_host)
         return cls(world, config=config)
-
-    @classmethod
-    def build(
-        cls, seed: int = 1999, ads_per_host: int = 120, caching: bool = False
-    ) -> "WebBase":
-        """Deprecated shim over :meth:`create`.
-
-        .. deprecated:: the boolean-flag signature predates
-           :class:`~repro.core.execution.WebBaseConfig`; it maps onto a
-           config with the default engine settings and an LRU or no-op
-           cache policy.
-        """
-        return cls.create(
-            WebBaseConfig(
-                seed=seed,
-                ads_per_host=ads_per_host,
-                cache=CachePolicy.lru() if caching else CachePolicy.noop(),
-            )
-        )
 
     # -- the execution engine ---------------------------------------------------
 
@@ -148,6 +126,7 @@ class WebBase:
             deadline_seconds=deadline_seconds,
             batch_enabled=config.batch,
             page_revisions=self.cache.revision,
+            resilience=self.resilience,
         )
 
     # -- maintenance -------------------------------------------------------------

@@ -47,8 +47,10 @@ from repro.web.server import WebServer
 
 from repro.navigation.model import FormKey
 
+from repro.errors import WebBaseError
 
-class ExecutorError(Exception):
+
+class ExecutorError(WebBaseError):
     """Misconfiguration of the executor (unknown relation/wrapper/form)."""
 
 
@@ -85,6 +87,11 @@ class NavigationExecutor:
         # executor keeps the paper's per-fetch navigation semantics.
         self.page_cache: PrefixPageCache | None = None
         self.prefetcher: Any = None
+        # Cooperative cancellation hook, installed per fetch by the
+        # execution engine: polled before every page navigation (and while
+        # waiting on a coalesced page fetch), it raises when the access
+        # driving this fetch was revoked.  ``None`` = not cancellable.
+        self.cancel_check: Any = None
         self._session_depth = 0
         self._register_builtins()
 
@@ -190,10 +197,15 @@ class NavigationExecutor:
         key = request_key(request)
         if key in self._memo:
             return self._memo[key]
+        if self.cancel_check is not None:
+            self.cancel_check()
         try:
             if self.page_cache is not None:
                 page, live = self.browser.request_cached(
-                    request, self.page_cache, on_live=self._check_page_budget
+                    request,
+                    self.page_cache,
+                    on_live=self._check_page_budget,
+                    poll=self.cancel_check,
                 )
             else:
                 self._check_page_budget()

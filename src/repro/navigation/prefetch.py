@@ -44,12 +44,19 @@ class SpeculativePrefetcher:
         metrics: Any = None,
         max_workers: int = 4,
         charge: Callable[[float], None] | None = None,
+        admit: Callable[[str], bool] | None = None,
     ) -> None:
         self.server = server
         self.cache = cache
         self.metrics = metrics
         self.max_workers = max(1, int(max_workers))
         self._charge = charge
+        # Per-host admission gate, consulted as each queued request is
+        # about to issue (not at enqueue time — the breaker may trip while
+        # a request sits in the queue).  The execution context wires this
+        # to the resilience layer: speculation against a host whose
+        # circuit breaker is open is skipped, never queued behind it.
+        self._admit = admit
         self._queue: deque[Request] = deque()
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
@@ -98,6 +105,9 @@ class SpeculativePrefetcher:
                         return
                     request = self._queue.popleft()
                 host = request.url.host
+                if self._admit is not None and not self._admit(host):
+                    self._count("nav.prefetch_skipped")
+                    continue
                 key = request_key(request)
                 claim = self.cache.try_lead(host, key)
                 if claim is None:

@@ -24,11 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.errors import WebBaseError
+
 BindingSet = frozenset[str]
 BindingSets = frozenset[BindingSet]
 
 
-class BindingError(Exception):
+class BindingError(WebBaseError):
     """No binding set of the expression is satisfied by the bound attributes."""
 
 

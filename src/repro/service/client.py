@@ -16,11 +16,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.errors import WebBaseError
 from repro.service import protocol
 from repro.service.protocol import ProtocolError
 
 
-class ServiceError(Exception):
+class ServiceError(WebBaseError):
     """A structured error frame from the server."""
 
     code = protocol.E_INTERNAL

@@ -371,7 +371,13 @@ class WebBaseService:
 
     def _execute(self, job: _Job) -> dict[str, Any]:
         """Run one query on the shared webbase, streaming pages as maximal
-        objects complete; returns the terminal ``result`` stats."""
+        objects complete; returns the terminal ``result`` stats.
+
+        Deadline expiry is enforced by *cancelling the context's access
+        handles*: a timer fires at the deadline and revokes every pending
+        and in-flight access at once (pending fetches die instantly,
+        running ones abort at their next page boundary), instead of each
+        worker discovering the expiry at its own next deadline poll."""
         request = job.request
         remaining = (
             None if job.deadline_at is None else max(0.0, job.deadline_at - monotonic())
@@ -379,24 +385,35 @@ class WebBaseService:
         ctx: ExecutionContext = self.webbase.execution_context(
             label="svc:%s" % request.text, deadline_seconds=remaining
         )
+        timer: threading.Timer | None = None
+        if remaining is not None:
+            timer = threading.Timer(
+                remaining, ctx.cancel, kwargs={"reason": "deadline expired"}
+            )
+            timer.daemon = True
+            timer.start()
         page_size = request.page_size or self.config.page_size
         seen: set[tuple] = set()
         seq = 0
-        for obj, piece in self.webbase.query_stream(request.text, context=ctx):
-            fresh = [row for row in piece.rows if row not in seen]
-            seen.update(fresh)
-            source = " ⋈ ".join(obj.relations)
-            for start in range(0, len(fresh), page_size):
-                job.handler.send(
-                    protocol.page_frame(
-                        request.id,
-                        seq,
-                        list(piece.schema),
-                        fresh[start : start + page_size],
-                        source=source,
+        try:
+            for obj, piece in self.webbase.query_stream(request.text, context=ctx):
+                fresh = [row for row in piece.rows if row not in seen]
+                seen.update(fresh)
+                source = " ⋈ ".join(obj.relations)
+                for start in range(0, len(fresh), page_size):
+                    job.handler.send(
+                        protocol.page_frame(
+                            request.id,
+                            seq,
+                            list(piece.schema),
+                            fresh[start : start + page_size],
+                            source=source,
+                        )
                     )
-                )
-                seq += 1
+                    seq += 1
+        finally:
+            if timer is not None:
+                timer.cancel()
         cache_hits = sum(
             1 for span in ctx.root.spans("fetch") if span.cache in ("hit", "stale")
         )

@@ -278,6 +278,22 @@ class ResultCache:
             return None
         return entry
 
+    def _stale_entry(self, key: tuple, host: str) -> CacheEntry | None:
+        """The entry under ``key`` for a *flagged-stale* serve: the map
+        revision must still match (a superseded map is never served), but
+        TTL expiry is forgiven — a quarantined host cannot be refetched to
+        revalidate, and serving a known-stale entry past its TTL is
+        exactly what ``serve_stale`` promises (caller holds the lock)."""
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        if entry.revision != self._revisions.get(host, 0):
+            del self._cache[key]
+            self.metrics.counter("cache.invalidations").inc()
+            self.metrics.gauge("cache.entries").set(len(self._cache))
+            return None
+        return entry
+
     def _record_hit(self, name: str, host: str, context: Any, stale: bool) -> None:
         if stale:
             self.metrics.counter("cache.stale_serves").inc()
@@ -321,7 +337,7 @@ class ResultCache:
         if host and host in self.quarantined_hosts():
             if self.policy.stale_mode == "serve_stale":
                 with self._lock:
-                    entry = self._live_entry(key, host)
+                    entry = self._stale_entry(key, host)
                 if entry is not None:
                     with self._lock:
                         self.hits += 1
@@ -372,9 +388,16 @@ class ResultCache:
                 flight.result = result
                 flight.event.set()
                 return result
-            # Another worker is already fetching this key: wait and share.
+            # Another worker is already fetching this key: wait and share —
+            # but keep observing cancellation, so a revoked access stops
+            # waiting on a leader it no longer wants.
             self.metrics.counter("cache.coalesced").inc()
-            flight.event.wait()
+            poll = getattr(context, "check_cancelled", None)
+            if poll is None:
+                flight.event.wait()
+            else:
+                while not flight.event.wait(0.05):
+                    poll("coalesced:%s" % name)
             if flight.error is None:
                 with self._lock:
                     self.hits += 1

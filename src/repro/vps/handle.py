@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import WebBaseError
 
-class HandleError(Exception):
+
+class HandleError(WebBaseError):
     """A fetch could not be satisfied by any handle."""
 
 

@@ -21,13 +21,14 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.errors import WebBaseError
 from repro.web.clock import SimClock
 from repro.web.http import Request, Response, Url
 from repro.web.page import FormSpec, Link, WebPage, parse_page
 from repro.web.server import HttpError, TransientHttpError, WebServer
 
 
-class NavigationError(Exception):
+class NavigationError(WebBaseError):
     """A navigation step could not be completed (bad page, failed fetch)."""
 
 
@@ -286,6 +287,7 @@ class Browser:
         request: Request,
         cache: PrefixPageCache,
         on_live: Callable[[], None] | None = None,
+        poll: Callable[[], None] | None = None,
     ) -> tuple[WebPage, bool]:
         """Issue ``request`` through a shared :class:`PrefixPageCache`.
 
@@ -294,7 +296,10 @@ class Browser:
         traffic).  ``on_live`` runs just before an actual navigation — the
         executor's page-budget check hooks in there, so cached pages never
         count against a fetch's budget.  Failed fetches are never cached;
-        a waiter whose leader failed retries as the new leader.
+        a waiter whose leader failed retries as the new leader.  ``poll``
+        runs periodically while waiting on another caller's in-flight
+        fetch, so a cancelled access stops waiting instead of riding out a
+        leader it no longer wants.
         """
         key = request_key(request)
         host = request.url.host
@@ -303,7 +308,11 @@ class Browser:
             if outcome == "hit":
                 return payload, False
             if outcome == "wait":
-                payload.event.wait()
+                if poll is None:
+                    payload.event.wait()
+                else:
+                    while not payload.event.wait(0.05):
+                        poll()
                 if payload.error is None and payload.result is not None:
                     return payload.result, False
                 continue  # the leader failed; try to lead ourselves

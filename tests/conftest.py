@@ -20,7 +20,7 @@ def world() -> World:
 
 @pytest.fixture(scope="session")
 def webbase() -> WebBase:
-    return WebBase.build()
+    return WebBase.create()
 
 
 @pytest.fixture()

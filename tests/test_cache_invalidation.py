@@ -237,7 +237,7 @@ class TestSingleFlight:
 
     def test_per_context_dedup_without_cross_query_cache(self):
         """The engine context coalesces too, even with the no-op policy."""
-        webbase = WebBase.build()  # cache disabled
+        webbase = WebBase.create()  # cache disabled
         ctx = webbase.execution_context(max_workers=4)
         results = ctx.map(
             lambda _: webbase.fetch_vps("newsday", {"make": "honda"}, context=ctx),

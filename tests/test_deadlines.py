@@ -79,7 +79,7 @@ class TestDeadlineExpiry:
         )
         relation = webbase.vps.relations["newsday"]
         with pytest.raises(DeadlineExceeded) as excinfo:
-            ctx.run_fetch(relation, {"make": "saab"})
+            ctx.run_fetch(relation, {"make": "saab"}).result()
         assert excinfo.value.stage == "retry:newsday"
         assert ctx.cancelled
 

@@ -124,13 +124,15 @@ class TestConfig:
         ctx = webbase.execution_context()
         assert ctx.max_workers == 3 and ctx.retry.max_attempts == 2
 
-    def test_build_shim_maps_to_config(self):
-        cached = WebBase.build(ads_per_host=40, caching=True)
-        plain = WebBase.build(ads_per_host=40, caching=False)
+    def test_config_is_the_only_construction_path(self):
+        cached = WebBase.create(WebBaseConfig(ads_per_host=40, cache=CachePolicy.lru()))
+        plain = WebBase.create(WebBaseConfig(ads_per_host=40))
         assert cached.config.cache.enabled
         assert not plain.config.cache.enabled
         # The no-op policy still exposes the one fetch path and its stats.
         assert plain.cache.stats["entries"] == 0
+        # The pre-config boolean-flag shim is gone.
+        assert not hasattr(WebBase, "build")
 
     def test_retry_policy_backoff_grows(self):
         policy = RetryPolicy(max_attempts=4, backoff_seconds=0.5, backoff_factor=3.0)

@@ -56,7 +56,7 @@ class TestRetryRecovery:
         """The acceptance scenario: a seeded fault run with retries gives
         byte-identical answers to the fault-free run, and the trace shows
         the retries that absorbed the faults."""
-        clean = WebBase.build().query(QUERY)
+        clean = WebBase.create().query(QUERY)
         faulty = _faulty_webbase(error_rate=0.1)
         # One worker makes the per-host request ordinals — hence the fault
         # schedule — exactly reproducible.
@@ -73,14 +73,14 @@ class TestRetryRecovery:
         assert all("injected transient fault" in a.error for a in failed_attempts)
 
     def test_parallel_retry_recovery(self):
-        clean = WebBase.build().query(QUERY)
+        clean = WebBase.create().query(QUERY)
         faulty = _faulty_webbase(error_rate=0.05, retry=RetryPolicy(max_attempts=5))
         ctx = faulty.execution_context(max_workers=4)
         assert faulty.query(QUERY, context=ctx) == clean
         assert not ctx.failures
 
     def test_backoff_charged_to_network_time(self):
-        plain = WebBase.build()
+        plain = WebBase.create()
         base_ctx = plain.execution_context()
         plain.fetch_vps("newsday", {"make": "saab"}, context=base_ctx)
         faulty = _faulty_webbase(
@@ -103,7 +103,7 @@ class TestPartialFailure:
     def test_dead_sites_degrade_to_partial_answer(self):
         """Exhausted retries on some sites produce a per-site failure
         report and a partial answer — not a whole-query abort."""
-        clean = WebBase.build().query(QUERY)
+        clean = WebBase.create().query(QUERY)
         faulty = _faulty_webbase(
             error_rate=1.0, max_consecutive=10**6, hosts=CLASSIFIED_HOSTS
         )
@@ -173,7 +173,7 @@ class TestFaultsMeetCache:
     def test_recovery_after_faults_clear(self):
         """A dead host poisons nothing: once the faults are lifted, the
         same cached webbase answers byte-identically to a clean one."""
-        clean = WebBase.build().query(QUERY)
+        clean = WebBase.create().query(QUERY)
         webbase = self._caching_faulty_webbase(
             error_rate=1.0, max_consecutive=10**6, hosts=("www.newsday.com",)
         )
@@ -262,7 +262,7 @@ class TestFaultsMeetCache:
 
 class TestSpikesAndTimeouts:
     def test_latency_spikes_slow_but_succeed(self):
-        plain = WebBase.build()
+        plain = WebBase.create()
         base_ctx = plain.execution_context()
         expected = plain.fetch_vps("newsday", {"make": "saab"}, context=base_ctx)
         spiky = WebBase.create(

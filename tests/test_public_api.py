@@ -1,7 +1,24 @@
-"""Tests of the top-level public API surface."""
+"""Tests of the top-level public API surface.
+
+Includes two mechanical consistency audits, so drift fails loudly:
+
+* every ``from repro import X`` in the test suite and the benchmarks must
+  go through ``repro.__all__`` — the package's declared public API;
+* every metric a real workload produces must follow the documented
+  ``<subsystem>.<metric>`` naming scheme (``NAME_PATTERN``), the same
+  pattern the webbase's strict registry enforces at creation time.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
 
 import repro
 from repro import QueryBuilder, WebBase, build_world
+from repro.core.metrics import NAME_PATTERN
+
+REPO = Path(__file__).resolve().parent.parent
 
 
 class TestTopLevel:
@@ -11,6 +28,93 @@ class TestTopLevel:
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert getattr(repro, name) is not None
+
+    def test_all_is_sorted_and_unique(self):
+        names = [n for n in repro.__all__ if n != "__version__"]
+        assert names == sorted(set(names))
+
+    def test_build_shim_is_gone(self):
+        assert not hasattr(WebBase, "build")
+
+    def test_the_error_hierarchy_hangs_off_one_base(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.WebBaseError), name
+
+
+def _public_imports(path: Path) -> list:
+    """Every name imported via ``from repro import ...`` under ``path``."""
+    found = []
+    for source in sorted(path.rglob("*.py")):
+        tree = ast.parse(source.read_text(), filename=str(source))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro":
+                for alias in node.names:
+                    found.append((source, alias.name))
+    return found
+
+
+class TestPublicImportLint:
+    def test_tests_and_benchmarks_import_only_the_public_api(self):
+        imports = _public_imports(REPO / "tests") + _public_imports(
+            REPO / "benchmarks"
+        )
+        assert imports, "the audit must actually see imports"
+        offenders = [
+            "%s imports repro.%s" % (source.relative_to(REPO), name)
+            for source, name in imports
+            if name not in repro.__all__
+        ]
+        assert offenders == []
+
+
+class TestMetricNamingAudit:
+    @pytest.fixture(scope="class")
+    def exercised_webbase(self):
+        """One webbase pushed through the subsystems that emit metrics:
+        cached queries, faults + breakers, speculation + pruning."""
+        from repro import (
+            CachePolicy,
+            FaultPlan,
+            ResiliencePolicy,
+            WebBaseConfig,
+        )
+
+        instance = WebBase.create(
+            WebBaseConfig(
+                ads_per_host=40,
+                cache=CachePolicy.lru(),
+                faults=FaultPlan(seed=5, error_rate=0.3),
+                resilience=ResiliencePolicy(
+                    failure_threshold=2,
+                    speculate_probes=True,
+                    prune=True,
+                ),
+            )
+        )
+        instance.query(
+            "SELECT make, model, price, zip, rate, safety "
+            "WHERE make = 'toyota' AND safety = 'excellent' AND duration = 36"
+        )
+        instance.query("SELECT make, model, price WHERE make = 'saab'")
+        return instance
+
+    def test_every_emitted_metric_matches_the_scheme(self, exercised_webbase):
+        snapshot = exercised_webbase.metrics.snapshot()
+        names = (
+            list(snapshot["counters"])
+            + list(snapshot["gauges"])
+            + list(snapshot["histograms"])
+        )
+        assert len(names) >= 10, "the workload must emit a real spread"
+        offenders = [n for n in names if NAME_PATTERN.match(n) is None]
+        assert offenders == []
+
+    def test_the_webbase_registry_is_strict(self, exercised_webbase):
+        with pytest.raises(ValueError):
+            exercised_webbase.metrics.counter("not-a-valid-name")
 
     def test_package_reexports(self):
         assert WebBase is repro.core.webbase.WebBase

@@ -1,0 +1,128 @@
+"""Speculative join probing with runtime relevance pruning.
+
+The safety property: speculation + pruning is a pure *scheduling*
+optimization.  Whatever the fault plan and cache policy, switching it on
+must never change a single answer row — probes that survive are the same
+fetches the demand path would have made, and cancelled probes fall back
+to demand evaluation when the outer partition turns out non-empty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import WebBaseConfig
+from repro.core.webbase import WebBase
+from repro.core.resilience import ResiliencePolicy
+from repro.vps.cache import CachePolicy
+from repro.web.server import FaultPlan
+
+# The running 3-way query: classifieds (outer) feed finance rates by zip
+# and the safety view; the safety filter empties whole outer partitions,
+# which is exactly what makes speculative probes prunable.
+PRUNING_QUERY = (
+    "SELECT make, model, price, zip, rate, safety "
+    "WHERE make = 'toyota' AND safety = 'excellent' AND duration = 36"
+)
+
+ADS = 40  # small world keeps the matrix fast; the benchmark scales it up
+
+FAULT_PLANS = {
+    "healthy": None,
+    "flaky": FaultPlan(seed=5, error_rate=0.4),
+    "spiky": FaultPlan(seed=5, spike_rate=0.5, spike_seconds=6.0),
+}
+
+CACHES = {
+    "nocache": CachePolicy.noop,
+    "lru": CachePolicy.lru,
+}
+
+
+def _rows(faults, cache_factory, policy):
+    webbase = WebBase.create(
+        WebBaseConfig(
+            ads_per_host=ADS,
+            faults=faults,
+            cache=cache_factory(),
+            resilience=policy,
+        )
+    )
+    result = webbase.query(PRUNING_QUERY)
+    return sorted(result.rows), webbase
+
+
+class TestAnswerInvariance:
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
+    @pytest.mark.parametrize("cache_name", sorted(CACHES))
+    def test_pruning_never_changes_answers(self, fault_name, cache_name):
+        """Speculation+pruning on vs resilience fully off: identical rows
+        across fault plans and cache policies."""
+        faults = FAULT_PLANS[fault_name]
+        cache_factory = CACHES[cache_name]
+        baseline, _ = _rows(faults, cache_factory, ResiliencePolicy.off())
+        pruned, webbase = _rows(
+            faults,
+            cache_factory,
+            ResiliencePolicy(
+                speculate_probes=True, prune=True, speculate_stagger_seconds=0.05
+            ),
+        )
+        assert pruned == baseline
+        assert len(baseline) > 0
+        # The optimization actually engaged — this is not a vacuous pass.
+        assert webbase.metrics.value("resilience.speculated") > 0
+
+    def test_speculation_without_pruning_is_also_invariant(self):
+        baseline, _ = _rows(None, CachePolicy.noop, ResiliencePolicy.off())
+        unpruned, webbase = _rows(
+            None,
+            CachePolicy.noop,
+            ResiliencePolicy(speculate_probes=True, prune=False),
+        )
+        assert unpruned == baseline
+        assert webbase.metrics.value("resilience.speculated") > 0
+        # prune=False means nothing was revoked, only awaited.
+        assert webbase.metrics.value("planner.pruned_probes") == 0
+
+
+class TestPruningMechanics:
+    def test_prune_spans_record_the_feed_accounting(self):
+        _, webbase = _rows(
+            None,
+            CachePolicy.noop,
+            ResiliencePolicy(
+                speculate_probes=True, prune=True, speculate_stagger_seconds=0.05
+            ),
+        )
+        spans = [
+            span
+            for span in webbase.last_context.root.walk()
+            if span.kind == "prune"
+        ]
+        assert spans, "speculative joins must record a prune span"
+        settled = [span for span in spans if span.name == "speculative"]
+        assert settled, "settled speculation must record its accounting"
+        for span in settled:
+            assert span.attrs["feeds"], "the join attributes fed to probes"
+            assert span.attrs["cancelled"] <= span.attrs["issued"]
+        cancelled_total = sum(span.attrs["cancelled"] for span in settled)
+        assert webbase.metrics.value("planner.pruned_probes") == cancelled_total
+
+    def test_probes_dedupe_with_the_demand_path(self):
+        """The outer's leftmost base is fetched once for seeding and once
+        for the real outer evaluation — the per-context cache must fold
+        those into one upstream fetch per binding (no double spend)."""
+        off_rows, off_base = _rows(None, CachePolicy.noop, ResiliencePolicy.off())
+        on_rows, on_base = _rows(
+            None,
+            CachePolicy.noop,
+            ResiliencePolicy(speculate_probes=True, prune=True),
+        )
+        assert on_rows == off_rows
+        hits = on_base.metrics.value("engine.context_cache_hits")
+        assert hits >= 1
+
+    def test_disabled_policy_never_speculates(self):
+        _, webbase = _rows(None, CachePolicy.noop, ResiliencePolicy.off())
+        assert webbase.metrics.value("resilience.speculated") == 0

@@ -107,7 +107,7 @@ def _shared_webbase():
     if _WEBBASE is None:
         from repro.core.webbase import WebBase
 
-        _WEBBASE = WebBase.build()
+        _WEBBASE = WebBase.create()
     return _WEBBASE
 
 

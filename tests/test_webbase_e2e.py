@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.core.execution import WebBaseConfig
 from repro.core.parallel import parallel_site_query, sequential_site_query
 from repro.core.stats import format_timing_table, site_query_timings
 from repro.core.webbase import WebBase
+from repro.vps.cache import CachePolicy
 from repro.flogic.syntax import parse_rules
 from repro.sites.dataset import NY_ZIPCODES, Car
 from repro.sites.world import TIMING_TABLE_HOSTS
@@ -121,8 +123,8 @@ class TestParallelAblation:
 
 class TestCachingAblation:
     def test_cached_webbase_equivalent_and_faster(self):
-        cached = WebBase.build(caching=True)
-        plain = WebBase.build(caching=False)
+        cached = WebBase.create(WebBaseConfig(cache=CachePolicy.lru()))
+        plain = WebBase.create(WebBaseConfig(cache=CachePolicy.noop()))
         query = "SELECT make, model, price WHERE make = 'saab'"
         first = cached.query(query)
         assert first == plain.query(query)
@@ -135,8 +137,8 @@ class TestCachingAblation:
 
 class TestDeterminism:
     def test_two_builds_agree(self):
-        a = WebBase.build()
-        b = WebBase.build()
+        a = WebBase.create()
+        b = WebBase.create()
         query = "SELECT make, model, price WHERE make = 'honda'"
         assert a.query(query) == b.query(query)
 
