@@ -1,0 +1,136 @@
+"""Durability — warm restart from the tiered store vs a cold start.
+
+The store's headline claim: a webbase restarted over its bronze/silver/
+gold tiers answers the running Jaguar query with **zero** live fetches —
+every relation the plan needs comes off disk (``store.warm_hits``), so
+the restart costs no simulated network seconds at all.  The cold run
+against the same world is the baseline: same rows, dozens of live
+fetches, real (simulated) network time.
+
+Acceptance: byte-identical rows, ``warm.live_fetches == 0``, and every
+silver entry the warm run serves accounted in ``store.warm_hits``.
+Results land in ``BENCH_warm_restart.json`` (see ``emit.py``); CI's
+``store`` job re-runs this and fails if the warm run starts fetching
+live again or serves fewer relations from the store than the committed
+baseline allows.
+"""
+
+from __future__ import annotations
+
+import emit
+
+from repro.core.execution import WebBaseConfig
+from repro.core.webbase import WebBase
+from repro.sites.world import build_world
+from repro.vps.cache import CachePolicy
+
+ADS_PER_HOST = 24
+SEED = 1999
+
+JAGUAR_QUERY = (
+    "SELECT make, model, year, price, bb_price, safety, contact "
+    "WHERE make = 'jaguar' AND year >= 1993 AND condition = 'good' "
+    "AND safety IN ('good', 'excellent') AND price < bb_price"
+)
+
+#: CI fails when the warm run serves fewer relations from the store than
+#: this fraction of the committed baseline (a shrinking warm set means
+#: part of the plan quietly went back to the wire).
+WARM_HITS_FLOOR = 0.90
+
+
+def _measure(webbase: WebBase, label: str) -> dict:
+    before = webbase.metrics.snapshot()["counters"]
+    ctx = webbase.execution_context(label=label)
+    answer = webbase.query(JAGUAR_QUERY, context=ctx)
+    after = webbase.metrics.snapshot()["counters"]
+    return {
+        "rows": sorted(map(tuple, answer.rows)),
+        "live_fetches": ctx.fetches,
+        "network_seconds": round(sum(ctx.network_by_host.values()), 3),
+        "warm_hits": int(after.get("store.warm_hits", 0))
+        - int(before.get("store.warm_hits", 0)),
+        "warm_loads": int(after.get("store.warm_loads", 0)),
+        "store_bytes": sum(
+            webbase.store.describe()[tier]["bytes"]
+            for tier in ("bronze", "silver", "gold")
+        ),
+    }
+
+
+def test_warm_restart(benchmark, tmp_path):
+    config = WebBaseConfig(
+        seed=SEED,
+        ads_per_host=ADS_PER_HOST,
+        cache=CachePolicy.lru(),
+        store_dir=str(tmp_path / "store"),
+    )
+    world = build_world(seed=SEED, ads_per_host=ADS_PER_HOST)
+
+    cold_base = WebBase(world, config=config)
+    cold = _measure(cold_base, "bench-cold")
+    cold_base.store.close()
+
+    warm_base = WebBase(world, config=config)
+    warm = _measure(warm_base, "bench-warm")
+    warm_base.store.close()
+
+    print("\nDurability — warm restart vs cold start (Jaguar query)")
+    print(
+        "  cold:  %3d live fetches, %7.3f network s, %d row(s), "
+        "store grew to %d bytes"
+        % (
+            cold["live_fetches"],
+            cold["network_seconds"],
+            len(cold["rows"]),
+            cold["store_bytes"],
+        )
+    )
+    print(
+        "  warm:  %3d live fetches, %7.3f network s, %d warm hit(s) "
+        "over %d loaded silver entr(ies)"
+        % (
+            warm["live_fetches"],
+            warm["network_seconds"],
+            warm["warm_hits"],
+            warm["warm_loads"],
+        )
+    )
+
+    # Correctness first: the restart answers byte-identically.
+    assert warm["rows"] == cold["rows"]
+    assert len(cold["rows"]) > 0
+
+    # The durability claim: the restart never touches the live sites.
+    assert warm["live_fetches"] == 0, (
+        "%d live fetches on a warm restart" % warm["live_fetches"]
+    )
+    assert warm["network_seconds"] == 0.0
+    assert warm["warm_hits"] > 0
+    assert cold["live_fetches"] > 0
+
+    # Perf-smoke gate: the warm set must not quietly shrink.
+    baseline = emit.load_baseline("warm_restart")
+    if baseline is not None:
+        floor = baseline["warm"]["warm_hits"] * WARM_HITS_FLOOR
+        assert warm["warm_hits"] >= floor, (
+            "warm hits regressed: %d < %.1f (baseline %d - %d%% headroom)"
+            % (
+                warm["warm_hits"],
+                floor,
+                baseline["warm"]["warm_hits"],
+                round((1 - WARM_HITS_FLOOR) * 100),
+            )
+        )
+
+    emit.emit(
+        "warm_restart",
+        {
+            "benchmark": "warm_restart",
+            "query": "example 2.1 (used Jaguars)",
+            "world": {"seed": SEED, "ads_per_host": ADS_PER_HOST},
+            "cold": {k: v for k, v in cold.items() if k != "rows"},
+            "warm": {k: v for k, v in warm.items() if k != "rows"},
+            "rows": len(cold["rows"]),
+        },
+    )

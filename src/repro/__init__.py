@@ -39,6 +39,8 @@ from repro.core.webbase import WebBase
 from repro.errors import WebBaseError
 from repro.service import ServiceClient, ServiceConfig, WebBaseService
 from repro.sites.world import World, build_world
+from repro.store.faults import StorageCrash, StorageFault
+from repro.store.tiered import TieredStore
 from repro.ur.builder import QueryBuilder
 from repro.vps.cache import CachePolicy
 from repro.web.server import FaultPlan
@@ -61,6 +63,9 @@ __all__ = [
     "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
+    "StorageCrash",
+    "StorageFault",
+    "TieredStore",
     "WebBase",
     "WebBaseConfig",
     "WebBaseError",

@@ -16,12 +16,22 @@
     python -m repro resilience [--slow-host HOST] [--passes N]
     python -m repro serve [--port N] [--queue-limit N] [--service-workers N]
     python -m repro client "SELECT ..." [--port N] [--deadline-ms MS]
+    python -m repro --store DIR store inspect|compact|rebuild
 
 Every invocation builds the simulated Web and maps it by example (fast
 and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
 ``--workers`` sizes the execution engine's pool, and ``--fault-rate``
 injects deterministic transient faults for the retry machinery to absorb
-(watch them in ``trace``).  ``--optimizer off`` reverts to the fixed
+(watch them in ``trace``).  ``--store DIR`` layers the tiered persistent
+store under the webbase: every served page lands in the bronze log,
+cache fills mirror to silver, answers materialize to gold, and a later
+invocation over the same directory warms its cache from silver (watch
+``store.warm_hits`` in ``metrics``; ``--no-store-warm`` starts cold,
+``--store-fsync`` makes every append durable before it returns).  The
+offline ``store`` subcommand inspects, compacts, or rebuilds such a
+directory without touching the simulated Web — ``rebuild`` re-derives
+silver and gold from the bronze log alone and exits non-zero on any
+byte-level mismatch.  ``--optimizer off`` reverts to the fixed
 (pre-cost-model) join order for A/B comparison — ``explain`` under both
 settings shows what the planner saves.  ``--cache``/``--no-cache``
 explicitly enable or disable the cross-query result cache (default: on
@@ -97,6 +107,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default="refetch",
         help="quarantined cache entries: refetch from the site, or serve "
         "them flagged as stale",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="tiered persistent store directory (bronze page log, silver "
+        "extractions, gold answers); created on first use",
+    )
+    parser.add_argument(
+        "--store-fsync",
+        action="store_true",
+        help="fsync every store append before it returns",
+    )
+    parser.add_argument(
+        "--store-warm",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="warm the result cache from the store's silver tier at startup",
     )
     parser.add_argument(
         "--workers", type=int, default=8, help="execution-engine worker pool size"
@@ -300,6 +328,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep retrying the connection this long (a freshly started "
         "server maps its world by example before it listens)",
     )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect, compact, or rebuild a tiered store directory "
+        "offline (requires --store DIR)",
+    )
+    store.add_argument(
+        "action",
+        choices=["inspect", "compact", "rebuild"],
+        help="inspect: tier sizes and state; compact: drop superseded "
+        "records; rebuild: re-derive silver/gold from the bronze log and "
+        "verify byte equality",
+    )
+    store.add_argument(
+        "--write",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="rebuild: write the re-derived tiers next to the originals "
+        "(silver.rebuilt / gold.rebuilt)",
+    )
     return parser
 
 
@@ -343,6 +391,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "store":
+        # Offline: operates on the persisted tiers alone — no simulated
+        # Web is built (rebuild replays bronze through the persisted
+        # navigation maps instead of fetching live).
+        if args.store is None:
+            print("the store subcommand needs --store DIR")
+            return 1
+        from repro.store import TieredStore
+
+        store = TieredStore(args.store, fsync=args.store_fsync)
+        try:
+            if args.action == "inspect":
+                print(json.dumps(store.describe(), indent=2, sort_keys=True))
+                return 0
+            if args.action == "compact":
+                outcome = store.compact()
+                print(
+                    "compacted %s: %d -> %d bytes (%d freed)"
+                    % (
+                        args.store,
+                        outcome["bytes_before"],
+                        outcome["bytes_after"],
+                        outcome["freed"],
+                    )
+                )
+                return 0
+            from repro.store.rebuild import rebuild
+
+            try:
+                report = rebuild(store, write=args.write)
+            except ValueError as exc:
+                print("cannot rebuild: %s" % exc)
+                return 1
+            print(report.summary())
+            return 0 if report.clean else 2
+        finally:
+            store.close()
+
     # Both serving and one-shot paths configure the cache the same way: an
     # explicit --cache/--no-cache wins; the default is on only for the two
     # commands whose workloads are meaningless without a storing cache.
@@ -372,7 +458,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     use_cache = (
         args.cache
         if args.cache is not None
+        # A store implies a storing cache: silver warming has nowhere to
+        # land (and fills nothing to mirror) with the noop policy.
         else args.command in ("metrics", "serve", "resilience")
+        or args.store is not None
     )
     cache_policy = (
         CachePolicy.lru(
@@ -404,6 +493,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             batch=args.batch,
             faults=faults,
             resilience=resilience_policy,
+            store_dir=args.store,
+            store_fsync=args.store_fsync,
+            store_warm=args.store_warm,
         )
     )
 

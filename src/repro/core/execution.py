@@ -109,6 +109,14 @@ class WebBaseConfig:
     # Per-host circuit breakers, bulkheads, and (when switched on there)
     # speculative join probing with runtime relevance pruning.
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    # Tiered persistence (repro.store): a directory turns on the bronze/
+    # silver/gold store — raw pages and fetch intents to bronze, cache
+    # fills to silver, materialized answers to gold — and ``store_warm``
+    # loads current-revision silver into the result cache at assembly so
+    # a restart answers repeat queries without live fetches.
+    store_dir: str | None = None
+    store_fsync: bool = False
+    store_warm: bool = True
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("cost", "off"):

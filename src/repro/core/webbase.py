@@ -89,6 +89,50 @@ class WebBase:
         # The engine context behind the most recent facade call that made
         # its own — the place to look for the trace and the cost accounting.
         self.last_context: ExecutionContext | None = None
+        # Maintenance sweeps publish their findings here (change-data
+        # capture); the service's standing-query registry subscribes.
+        from repro.store.cdc import DeltaFeed
+
+        self.cdc = DeltaFeed()
+        # Optional tiered persistence underneath the whole stack.
+        self.store: Any = None
+        if config.store_dir:
+            from repro.store.tiered import TieredStore
+
+            self.attach_store(
+                TieredStore(
+                    config.store_dir,
+                    fsync=config.store_fsync,
+                    metrics=self.metrics,
+                ),
+                warm=config.store_warm,
+            )
+
+    def attach_store(self, store: Any, warm: bool = True) -> None:
+        """Layer a tiered store under the webbase: bronze records every
+        served page, silver mirrors cache fills, gold materializes
+        answers; ``warm`` loads current-revision silver into the cache so
+        a restart answers repeat queries without live fetches.
+
+        Silver segments are stamped with the *navigation-map revision*
+        they were extracted under, so before warming, any host whose
+        freshly built map differs from the persisted one (the site moved
+        while the store was closed) gets its revision bumped — its stale
+        segments are then skipped by the revision check, never by
+        eviction order."""
+        from repro.navigation.serialize import map_to_dict
+
+        self.store = store
+        self.cache.attach_store(store)
+        persisted = store.load_navmaps()
+        for host, builder in sorted(self.builders.items()):
+            old = persisted.get(host)
+            if old is not None and map_to_dict(old) != map_to_dict(builder.map):
+                self.cache.bump_revision(host)
+        store.save_navmaps({h: b.map for h, b in self.builders.items()})
+        self.world.server.page_sink = store.record_page
+        if warm:
+            self.cache.warm_from_store()
 
     @classmethod
     def create(cls, config: WebBaseConfig | None = None) -> "WebBase":
@@ -145,10 +189,18 @@ class WebBase:
             if host is not None and site_host != host:
                 continue
             report = reconcile_site(
-                builder.map, Browser(self.world.server), invalidation=self.cache
+                builder.map,
+                Browser(self.world.server),
+                invalidation=self.cache,
+                cdc=self.cdc,
             )
             if not report.clean:
                 reports[site_host] = report
+        if reports and self.store is not None:
+            # Absorbed auto changes edited the maps in place; keep the
+            # persisted maps (the rebuild path's compilation source and
+            # the next restart's drift baseline) in step.
+            self.store.save_navmaps({h: b.map for h, b in self.builders.items()})
         return reports
 
     # -- querying, layer by layer ------------------------------------------------
@@ -170,6 +222,21 @@ class WebBase:
             # planner's live statistics (a shared context is observed by
             # whoever owns it, to avoid double counting).
             observe_trace(self.metrics, ctx.root)
+            if self.store is not None:
+                # Gold: materialize the answer with the revision vector of
+                # every host it touched — the same bumps that evict the
+                # cache invalidate it.  Only for contexts this call owns;
+                # a shared context's spans straddle several queries.
+                hosts = sorted(
+                    {
+                        span.attrs.get("host", "")
+                        for span in ctx.root.spans("fetch")
+                    }
+                    - {""}
+                )
+                self.store.persist_answer(
+                    text, answer, {h: self.cache.revision(h) for h in hosts}
+                )
         return answer
 
     def query_stream(self, text: str, context: ExecutionContext | None = None):

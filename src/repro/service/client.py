@@ -96,6 +96,32 @@ class QueryOutcome:
         return len(self.rows)
 
 
+@dataclass
+class Delta:
+    """One pushed row-level change of a standing query's answer."""
+
+    seq: int
+    schema: list[str]
+    added: list[tuple]
+    removed: list[tuple]
+    host: str
+    revision: int
+    reason: str
+
+
+@dataclass
+class Subscription:
+    """One live standing query: the request id frames arrive under, the
+    row set maintained by applying received deltas, and the last seq."""
+
+    request_id: int
+    text: str
+    schema: list[str]
+    rows: set
+    seq: int
+    resumed: bool
+
+
 class ServiceClient:
     """One connection to a :class:`~repro.service.server.WebBaseService`.
 
@@ -115,6 +141,11 @@ class ServiceClient:
         self.host = host
         self.port = port
         self._next_id = 0
+        # Push frames for live subscriptions that arrive while another
+        # request is being awaited on this connection are parked here
+        # (frames for abandoned ids are still dropped).
+        self._subscribed_ids: set[int] = set()
+        self._parked: dict[int, list[dict[str, Any]]] = {}
         deadline = time.monotonic() + max(0.0, connect_timeout)
         while True:
             try:
@@ -125,13 +156,29 @@ class ServiceClient:
                     raise
                 time.sleep(0.1)
         self._sock.settimeout(timeout)
-        self._reader = self._sock.makefile("rb")
+        self._timeout = timeout
+        # Hand-rolled line buffering instead of sock.makefile: a timed-out
+        # BufferedReader is permanently poisoned, while a plain buffer
+        # keeps any partial line for the next (deadline-bounded) read —
+        # which is exactly what next_delta's bounded wait needs.
+        self._buf = b""
 
     # -- plumbing ------------------------------------------------------------
 
     def close(self) -> None:
+        """Orderly disconnect: half-close the write side, then wait for
+        the server to close its end.  The server detaches this
+        connection's subscriptions *before* closing, so once this
+        returns the service no longer counts us as a live subscriber —
+        a maintenance sweep after ``close()`` will not advance a
+        standing query's persisted snapshot on our behalf."""
         try:
-            self._reader.close()
+            self._sock.shutdown(socket.SHUT_WR)
+            self._sock.settimeout(5.0)
+            while self._sock.recv(65536):
+                pass
+        except OSError:
+            pass
         finally:
             self._sock.close()
 
@@ -144,16 +191,58 @@ class ServiceClient:
     def _send(self, payload: dict[str, Any]) -> None:
         self._sock.sendall(protocol.encode(payload))
 
-    def _recv(self, request_id: int) -> dict[str, Any]:
-        """The next frame for ``request_id`` (frames for other ids — e.g.
-        abandoned requests on a shared connection — are skipped)."""
-        while True:
-            line = self._reader.readline(protocol.MAX_LINE_BYTES + 2)
-            if not line:
+    def _readline(self, deadline: float | None) -> bytes | None:
+        """One newline-terminated frame line, or ``None`` when ``deadline``
+        passes first.  A timeout never tears a frame: partial bytes stay
+        buffered for the next call."""
+        while b"\n" not in self._buf:
+            if len(self._buf) > protocol.MAX_LINE_BYTES:
+                raise ProtocolError(
+                    "frame exceeds %d bytes" % protocol.MAX_LINE_BYTES
+                )
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                if deadline is None:
+                    raise
+                return None
+            finally:
+                if deadline is not None:
+                    self._sock.settimeout(self._timeout)
+            if not chunk:
                 raise ConnectionError("server closed the connection")
+            self._buf += chunk
+        line, _, self._buf = self._buf.partition(b"\n")
+        return line
+
+    def _recv(
+        self, request_id: int, timeout: float | None = None
+    ) -> dict[str, Any] | None:
+        """The next frame for ``request_id`` (``None`` if ``timeout``
+        elapses first).
+
+        Frames for a live subscription's id are parked (delivered on its
+        next :meth:`next_delta`); frames for any other id — abandoned
+        requests on a shared connection — are skipped."""
+        parked = self._parked.get(request_id)
+        if parked:
+            return parked.pop(0)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            line = self._readline(deadline)
+            if line is None:
+                return None
             frame = protocol.decode_line(line)
-            if frame.get("id") == request_id:
+            frame_id = frame.get("id")
+            if frame_id == request_id:
                 return frame
+            if frame_id in self._subscribed_ids:
+                self._parked.setdefault(frame_id, []).append(frame)
 
     def _request_id(self) -> int:
         self._next_id += 1
@@ -223,6 +312,122 @@ class ServiceClient:
                 )
             else:
                 raise ProtocolError("unexpected frame type %r" % kind)
+
+    # -- standing queries ----------------------------------------------------
+
+    def subscribe(
+        self,
+        text: str,
+        page_size: int | None = None,
+        resume: bool = False,
+    ) -> Subscription:
+        """Register a standing query and collect its initial snapshot.
+
+        A plain subscribe streams the snapshot as ``page`` frames before
+        the ``subscribed`` ack.  Pass ``resume=True`` when this client
+        already holds the last state it was delivered (reconnecting after
+        a service restart): if the registration survived in the store, no
+        pages are resent and the rows missed while away arrive as the
+        first delta — fetch it with :meth:`next_delta`.
+        """
+        request_id = self._request_id()
+        payload: dict[str, Any] = {"id": request_id, "op": "subscribe", "text": text}
+        if page_size is not None:
+            payload["page_size"] = page_size
+        if resume:
+            payload["resume"] = True
+        self._send(payload)
+        schema: list[str] = []
+        rows: set = set()
+        while True:
+            frame = self._recv(request_id)
+            kind = frame.get("type")
+            if kind == "page":
+                schema = list(frame["schema"])
+                rows.update(tuple(row) for row in frame["rows"])
+            elif kind == "subscribed":
+                self._subscribed_ids.add(request_id)
+                return Subscription(
+                    request_id=request_id,
+                    text=text,
+                    schema=schema,
+                    rows=rows,
+                    seq=int(frame["seq"]),
+                    resumed=bool(frame["resumed"]),
+                )
+            elif kind == "error":
+                raise error_for(
+                    str(frame.get("code", protocol.E_INTERNAL)),
+                    str(frame.get("message", "")),
+                    bool(frame.get("retriable", False)),
+                )
+            else:
+                raise ProtocolError("unexpected frame type %r" % kind)
+
+    def next_delta(
+        self, subscription: Subscription, timeout: float | None = None
+    ) -> Delta | None:
+        """Block for the next pushed delta (or ``None`` on timeout) and
+        apply it to ``subscription.rows`` — the set therefore always
+        equals the server's last persisted snapshot for this query."""
+        frame = self._recv(subscription.request_id, timeout=timeout)
+        if frame is None:
+            return None
+        kind = frame.get("type")
+        if kind == "error":
+            raise error_for(
+                str(frame.get("code", protocol.E_INTERNAL)),
+                str(frame.get("message", "")),
+                bool(frame.get("retriable", False)),
+            )
+        if kind != "delta":
+            raise ProtocolError("expected delta, got %r" % kind)
+        delta = Delta(
+            seq=int(frame["seq"]),
+            schema=list(frame["schema"]),
+            added=[tuple(row) for row in frame["added"]],
+            removed=[tuple(row) for row in frame["removed"]],
+            host=str(frame.get("host", "")),
+            revision=int(frame.get("revision", 0)),
+            reason=str(frame.get("reason", "")),
+        )
+        subscription.schema = delta.schema
+        subscription.rows.difference_update(delta.removed)
+        subscription.rows.update(delta.added)
+        subscription.seq = delta.seq
+        return delta
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Deregister a standing query (drops its persisted registration
+        once no other subscriber holds it)."""
+        request_id = self._request_id()
+        self._send(
+            {"id": request_id, "op": "unsubscribe", "text": subscription.text}
+        )
+        frame = self._recv(request_id)
+        if frame.get("type") != "unsubscribed":
+            raise ProtocolError(
+                "expected unsubscribed, got %r" % frame.get("type")
+            )
+        self._subscribed_ids.discard(subscription.request_id)
+        self._parked.pop(subscription.request_id, None)
+
+    def sweep(self, host: str | None = None) -> dict[str, Any]:
+        """Run one server-side maintenance sweep; deltas it triggers are
+        pushed to subscribers before the returned stats frame is sent."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "sweep", "text": host or ""})
+        frame = self._recv(request_id)
+        kind = frame.get("type")
+        if kind == "error":
+            raise error_for(
+                str(frame.get("code", protocol.E_INTERNAL)),
+                str(frame.get("message", "")),
+                bool(frame.get("retriable", False)),
+            )
+        if kind != "result":
+            raise ProtocolError("expected result, got %r" % kind)
+        return {k: v for k, v in frame.items() if k not in ("id", "type")}
 
     def query(
         self,

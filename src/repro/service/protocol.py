@@ -18,6 +18,24 @@ one terminal frame — ``result`` (with the request's stats) or ``error``.
 Errors are *structured*: a stable ``code``, a human message, and a
 ``retriable`` flag (an ``OVERLOADED`` shed should be retried after
 backoff; a ``DEADLINE_EXCEEDED`` or ``BAD_REQUEST`` should not).
+
+Standing queries extend the stream shape with *push* frames::
+
+    {"id": 4, "op": "subscribe", "text": "SELECT ... WHERE ..."}
+    {"id": 5, "op": "unsubscribe", "text": "SELECT ... WHERE ..."}
+    {"id": 6, "op": "sweep", "text": "www.newsday.com"}
+
+A ``subscribe`` answers with zero or more ``page`` frames (the initial
+snapshot) and a ``subscribed`` ack, after which ``delta`` frames
+carrying row ``added``/``removed`` lists arrive whenever a maintenance
+sweep's change-data-capture event makes the query's rows move.  A
+subscribe with ``"resume": true`` claims the client still holds the last
+state delivered to it (a reconnect after a service restart): when a
+persisted registration exists the snapshot pages are skipped and
+whatever moved while the client was away arrives as an immediate
+``delta``.  ``sweep`` runs a maintenance cycle server-side (empty
+``text`` = all hosts) and answers with a ``result`` frame once the
+resulting deltas have been pushed.
 """
 
 from __future__ import annotations
@@ -54,9 +72,13 @@ class Request:
     text: str = ""
     deadline_ms: float | None = None
     page_size: int | None = None
+    # subscribe only: the client declares it still holds the last state it
+    # was delivered (a reconnect), so the snapshot need not be resent —
+    # only the diff against the persisted snapshot.
+    resume: bool = False
 
 
-OPS = ("query", "ping", "metrics")
+OPS = ("query", "ping", "metrics", "subscribe", "unsubscribe", "sweep")
 
 
 def parse_request(payload: dict[str, Any]) -> Request:
@@ -72,8 +94,8 @@ def parse_request(payload: dict[str, Any]) -> Request:
     text = payload.get("text", "")
     if not isinstance(text, str):
         raise ProtocolError("'text' must be a string")
-    if op == "query" and not text.strip():
-        raise ProtocolError("a query request needs a non-empty 'text'")
+    if op in ("query", "subscribe", "unsubscribe") and not text.strip():
+        raise ProtocolError("a %s request needs a non-empty 'text'" % op)
     deadline_ms = payload.get("deadline_ms")
     if deadline_ms is not None:
         if not isinstance(deadline_ms, (int, float)) or deadline_ms < 0:
@@ -82,12 +104,16 @@ def parse_request(payload: dict[str, Any]) -> Request:
     if page_size is not None:
         if not isinstance(page_size, int) or page_size < 1:
             raise ProtocolError("'page_size' must be a positive integer")
+    resume = payload.get("resume", False)
+    if not isinstance(resume, bool):
+        raise ProtocolError("'resume' must be a boolean")
     return Request(
         id=request_id,
         op=op,
         text=text,
         deadline_ms=deadline_ms,
         page_size=page_size,
+        resume=resume,
     )
 
 
@@ -154,6 +180,52 @@ def error_frame(request_id: int, code: str, message: str) -> dict[str, Any]:
 
 def pong_frame(request_id: int) -> dict[str, Any]:
     return {"id": request_id, "type": "pong"}
+
+
+def subscribed_frame(
+    request_id: int, rows: int, resumed: bool, seq: int
+) -> dict[str, Any]:
+    """The ack ending a subscribe's snapshot: the standing query is live.
+
+    ``resumed`` means a persisted registration was picked back up — no
+    snapshot pages were sent, and any rows the client missed while away
+    arrive as an immediate ``delta`` (diffed against the persisted
+    snapshot, which is exactly the last state delivered to it)."""
+    return {
+        "id": request_id,
+        "type": "subscribed",
+        "rows": rows,
+        "resumed": resumed,
+        "seq": seq,
+    }
+
+
+def delta_frame(
+    request_id: int,
+    seq: int,
+    schema: list[str],
+    added: list[tuple],
+    removed: list[tuple],
+    host: str,
+    revision: int,
+    reason: str,
+) -> dict[str, Any]:
+    """One pushed row-level change of a standing query's answer."""
+    return {
+        "id": request_id,
+        "type": "delta",
+        "seq": seq,
+        "schema": schema,
+        "added": [list(row) for row in added],
+        "removed": [list(row) for row in removed],
+        "host": host,
+        "revision": revision,
+        "reason": reason,
+    }
+
+
+def unsubscribed_frame(request_id: int) -> dict[str, Any]:
+    return {"id": request_id, "type": "unsubscribed"}
 
 
 def metrics_frame(request_id: int, snapshot: dict[str, Any]) -> dict[str, Any]:

@@ -26,6 +26,15 @@ share it gracefully rather than degrade everyone:
 * **graceful drain** — :meth:`WebBaseService.shutdown` stops accepting,
   rejects new queries with ``SHUTTING_DOWN``, finishes in-flight work,
   and flushes a final metrics snapshot;
+* **standing queries** — a client ``subscribe``s a query once and then
+  receives ``delta`` frames (row added/removed) whenever a maintenance
+  sweep's change-data-capture event moves the answer.  The
+  :class:`StandingQueryRegistry` listens on the webbase's
+  :class:`~repro.store.cdc.DeltaFeed`, re-evaluates only the queries
+  whose dependency hosts changed, and — when a tiered store is attached
+  — persists each registration and its last-delivered snapshot to gold,
+  so a restarted service resumes a resubscribing client with exactly the
+  deltas it missed;
 * **service metrics** — queue depth, admitted/shed/limited counts and
   per-stage latency histograms (queue wait, execution, total — with
   p50/p95/p99) feed the webbase's own
@@ -95,6 +104,226 @@ class _Job:
     deadline_at: float | None  # wall (monotonic) expiry; queue wait counts
 
 
+class StandingQuery:
+    """One registered standing query and its last delivered state."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.schema: list[str] = []
+        self.rows: set[tuple] = set()
+        self.deps: set[str] = set()  # hosts the answer was derived from
+        self.seq = 0
+        self.has_state = False  # a snapshot (live or persisted) exists
+        self.subscribers: list[tuple[Any, int]] = []  # (handler, request id)
+
+
+class StandingQueryRegistry:
+    """Re-evaluates standing queries against CDC deltas and pushes rows.
+
+    The contract per standing query: the subscriber's row set after
+    applying every received frame equals a fresh evaluation — no
+    duplicates, no misses.  Each refresh persists the new snapshot to
+    the gold tier *before* delivering the delta, so after an orderly
+    shutdown the persisted snapshot equals the client's state and a
+    resubscribe resumes with exactly the diff against it.  Queries with
+    no live subscribers are left un-refreshed on sweeps for the same
+    reason: their snapshot must keep describing what their (absent)
+    client last saw.
+    """
+
+    def __init__(self, webbase: WebBase, metrics: Any) -> None:
+        self._webbase = webbase
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._queries: dict[str, StandingQuery] = {}
+        self.deltas_sent = 0
+        store = webbase.store
+        if store is not None:
+            for text, snapshot in store.standing_queries().items():
+                standing = StandingQuery(text)
+                if snapshot is not None:
+                    standing.schema = list(snapshot["schema"])
+                    standing.rows = {tuple(row) for row in snapshot["rows"]}
+                    standing.seq = int(snapshot["seq"])
+                    standing.has_state = True
+                self._queries[text] = standing
+
+    def _evaluate(self, text: str) -> tuple[Any, set[str]]:
+        """One fresh evaluation, returning the answer and its host deps."""
+        ctx = self._webbase.execution_context(label="standing:%s" % text)
+        answer = self._webbase.query(text, context=ctx)
+        hosts = {
+            span.attrs.get("host", "") for span in ctx.root.spans("fetch")
+        } - {""}
+        return answer, hosts
+
+    def _persist(self, standing: StandingQuery) -> None:
+        store = self._webbase.store
+        if store is None:
+            return
+        revisions = {
+            host: self._webbase.cache.revision(host) for host in sorted(standing.deps)
+        }
+        store.persist_snapshot(
+            standing.text, standing.schema, sorted(standing.rows), revisions, standing.seq
+        )
+
+    def subscribe(self, handler: Any, request: Request, page_size: int) -> None:
+        """Evaluate, snapshot (or resume), register, ack — and stream.
+
+        Sends every frame itself because the ack must precede any
+        catch-up ``delta``.  A plain subscribe receives the standing
+        query's *delivered* state as snapshot pages — that is the state
+        deltas are diffed against, so a second subscriber starts exactly
+        where the first one currently stands.  A ``resume`` subscribe
+        (the client claims it holds the last delivered state, i.e. the
+        persisted snapshot) skips the pages.  Either way, if the fresh
+        evaluation has moved past the delivered state, the diff goes out
+        as one delta to every subscriber, immediately after the ack.
+        """
+        text = request.text
+        answer, hosts = self._evaluate(text)
+        fresh_rows = set(answer.rows)
+        store = self._webbase.store
+        with self._lock:
+            standing = self._queries.get(text)
+            had_state = standing is not None and standing.has_state
+            resumed = request.resume and had_state
+            if standing is None:
+                standing = self._queries[text] = StandingQuery(text)
+            standing.deps |= hosts
+            standing.subscribers.append((handler, request.id))
+            if store is not None:
+                store.record_standing(text, active=True)
+            if not had_state:
+                standing.schema = list(answer.schema)
+                standing.rows = fresh_rows
+                standing.has_state = True
+                self._persist(standing)
+            delivered = sorted(standing.rows)
+            schema = list(standing.schema)
+            seq = standing.seq
+        self._metrics.counter("service.standing_subscribed").inc()
+        self._metrics.gauge("service.standing_active").set(len(self._queries))
+        if not resumed:
+            for start in range(0, len(delivered), page_size):
+                handler.send(
+                    protocol.page_frame(
+                        request.id,
+                        start // page_size,
+                        schema,
+                        delivered[start : start + page_size],
+                        source="snapshot",
+                    )
+                )
+        handler.send(
+            protocol.subscribed_frame(
+                request.id, rows=len(delivered), resumed=resumed, seq=seq
+            )
+        )
+        if had_state:
+            # Catch the delivered state up with the fresh evaluation: for
+            # a resume, that is exactly what moved while the client was
+            # away (its state is the persisted snapshot — orderly
+            # shutdown persists before sending).
+            self._apply_refresh(
+                standing, answer.schema, fresh_rows, hosts,
+                host="", revision=0,
+                reason="resume" if resumed else "subscribe",
+            )
+
+    def unsubscribe(self, handler: Any, request: Request) -> bool:
+        """Explicitly deregister: the standing query (and its persisted
+        registration) is dropped once no subscriber holds it."""
+        text = request.text
+        with self._lock:
+            standing = self._queries.get(text)
+            if standing is None:
+                return False
+            standing.subscribers = [
+                (h, rid) for h, rid in standing.subscribers if h is not handler
+            ]
+            if not standing.subscribers:
+                del self._queries[text]
+                store = self._webbase.store
+                if store is not None:
+                    store.record_standing(text, active=False)
+        self._metrics.gauge("service.standing_active").set(len(self._queries))
+        return True
+
+    def detach(self, handler: Any) -> None:
+        """A connection closed: drop its subscriptions but keep the
+        registrations and snapshots — that is what resume is for."""
+        with self._lock:
+            for standing in self._queries.values():
+                standing.subscribers = [
+                    (h, rid) for h, rid in standing.subscribers if h is not handler
+                ]
+
+    def on_change(self, event: Any) -> None:
+        """One CDC event from a maintenance sweep: re-evaluate the
+        affected, subscribed standing queries and push their deltas."""
+        with self._lock:
+            affected = [
+                standing
+                for standing in self._queries.values()
+                if standing.subscribers
+                and (not standing.deps or event.host in standing.deps)
+            ]
+        for standing in affected:
+            answer, hosts = self._evaluate(standing.text)
+            self._apply_refresh(
+                standing,
+                answer.schema,
+                set(answer.rows),
+                hosts,
+                host=event.host,
+                revision=event.revision,
+                reason="cdc",
+            )
+
+    def _apply_refresh(
+        self,
+        standing: StandingQuery,
+        schema: Any,
+        fresh_rows: set[tuple],
+        hosts: set[str],
+        host: str,
+        revision: int,
+        reason: str,
+    ) -> None:
+        """Diff a fresh evaluation against the delivered state; persist
+        then push (persist-first keeps snapshot == client state across an
+        orderly shutdown)."""
+        with self._lock:
+            standing.deps |= hosts
+            added = sorted(fresh_rows - standing.rows)
+            removed = sorted(standing.rows - fresh_rows)
+            if not added and not removed:
+                return
+            standing.rows = fresh_rows
+            standing.schema = list(schema)
+            standing.seq += 1
+            seq = standing.seq
+            subscribers = list(standing.subscribers)
+            self._persist(standing)
+        for handler, request_id in subscribers:
+            handler.send(
+                protocol.delta_frame(
+                    request_id,
+                    seq,
+                    list(schema),
+                    added,
+                    removed,
+                    host=host,
+                    revision=revision,
+                    reason=reason,
+                )
+            )
+            self.deltas_sent += 1
+            self._metrics.counter("service.standing_deltas").inc()
+
+
 class _ClientHandler(socketserver.StreamRequestHandler):
     """One connected client: reads request lines, enforces its concurrency
     slots, and serializes response frames onto the socket."""
@@ -162,8 +391,17 @@ class _ClientHandler(socketserver.StreamRequestHandler):
                 self.send(
                     protocol.metrics_frame(request.id, service.metrics.snapshot())
                 )
+            elif request.op == "unsubscribe":
+                service.standing.unsubscribe(self, request)
+                self.send(protocol.unsubscribed_frame(request.id))
             else:
                 service.submit_query(self, request)
+
+    def finish(self) -> None:
+        try:
+            self.server.service.standing.detach(self)
+        finally:
+            super().finish()
 
 
 class _TcpServer(socketserver.ThreadingTCPServer):
@@ -192,6 +430,10 @@ class WebBaseService:
         self._server: _TcpServer | None = None
         self._acceptor: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
+        self.standing = StandingQueryRegistry(webbase, self.metrics)
+        # Maintenance sweeps (ours or anyone's on this webbase) publish
+        # CDC events; the registry turns them into row deltas.
+        webbase.cdc.subscribe(self.standing.on_change)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -229,6 +471,7 @@ class WebBaseService:
         ``config.drain_timeout_seconds``), stop the executors, and return
         the flushed final metrics snapshot."""
         self._draining.set()
+        self.webbase.cdc.unsubscribe(self.standing.on_change)
         if self._server is not None:
             self._server.shutdown()  # stop accepting new connections
         if drain:
@@ -248,6 +491,22 @@ class WebBaseService:
         self.metrics.gauge("service.queue_depth").set(self._queue.qsize())
         self.metrics.counter("service.drains").inc()
         return self.metrics.snapshot()
+
+    def sweep(self, host: str | None = None) -> dict[str, Any]:
+        """One server-side maintenance cycle (all hosts, or just ``host``).
+
+        Non-clean reports land on the webbase's CDC feed, which the
+        standing-query registry is subscribed to — so by the time the
+        caller's ``result`` frame arrives, every affected subscriber has
+        already been pushed its ``delta`` frames."""
+        self.metrics.counter("service.sweeps").inc()
+        reports = self.webbase.run_maintenance(host)
+        return {
+            "swept": host or "*",
+            "changed_hosts": sorted(reports),
+            "changes": sum(len(r.changes) for r in reports.values()),
+            "standing_deltas": self.standing.deltas_sent,
+        }
 
     # -- admission -----------------------------------------------------------
 
@@ -342,8 +601,18 @@ class WebBaseService:
             )
             return
         started = monotonic()
+        terminal = True
         try:
-            stats = self._execute(job)
+            if request.op == "subscribe":
+                page_size = request.page_size or self.config.page_size
+                self.standing.subscribe(job.handler, request, page_size)
+                # The registry sends its own `subscribed` ack; no result frame.
+                terminal = False
+                stats = {}
+            elif request.op == "sweep":
+                stats = self.sweep(request.text or None)
+            else:
+                stats = self._execute(job)
         except DeadlineExceeded as exc:
             self.metrics.counter("service.deadline_exceeded").inc()
             job.handler.send(
@@ -361,7 +630,8 @@ class WebBaseService:
             )
         else:
             self.metrics.counter("service.completed").inc()
-            job.handler.send(protocol.result_frame(request.id, stats))
+            if terminal:
+                job.handler.send(protocol.result_frame(request.id, stats))
         finally:
             finished = monotonic()
             self.metrics.histogram("service.exec_seconds").observe(finished - started)

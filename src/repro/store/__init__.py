@@ -1,0 +1,23 @@
+"""Tiered persistence for the webbase (bronze / silver / gold).
+
+See :mod:`repro.store.tiered` for the layering, :mod:`repro.store.log`
+for the on-disk framing and recovery contract, :mod:`repro.store.faults`
+for deterministic crash injection, :mod:`repro.store.cdc` for the
+maintenance-driven change feed, and :mod:`repro.store.rebuild` for the
+bronze-replay rebuild path.
+"""
+
+from repro.store.cdc import ChangeEvent, DeltaFeed
+from repro.store.faults import StorageCrash, StorageFault
+from repro.store.log import RecordLog
+from repro.store.tiered import SilverEntry, TieredStore
+
+__all__ = [
+    "ChangeEvent",
+    "DeltaFeed",
+    "RecordLog",
+    "SilverEntry",
+    "StorageCrash",
+    "StorageFault",
+    "TieredStore",
+]

@@ -1,0 +1,98 @@
+"""Change-data-capture feed driven by maintenance sweeps.
+
+``reconcile_site`` historically only *evicted*: bump the revision, drop
+cache entries, done.  With persistence underneath, the same sweep now
+also *publishes*: each non-clean reconciliation becomes a
+:class:`ChangeEvent` on a :class:`DeltaFeed`, and downstream consumers
+(the service's standing-query registry) re-derive row-level deltas from
+it.  The feed is deliberately dumb — synchronous fan-out to subscribers,
+no replay — because durability of the underlying facts lives in the
+store's bronze log, not in the feed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One maintenance observation: a host's content or structure moved."""
+
+    host: str
+    revision: int
+    quarantined: bool
+    auto: tuple[str, ...] = ()
+    manual: tuple[str, ...] = ()
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        kinds = []
+        if self.auto:
+            kinds.append("auto")
+        if self.manual:
+            kinds.append("manual")
+        return tuple(kinds)
+
+
+@dataclass
+class DeltaFeed:
+    """Synchronous pub/sub channel for :class:`ChangeEvent`.
+
+    Subscribers run on the sweeping thread, in subscription order; an
+    events list keeps the tail for tests and ``python -m repro store``
+    inspection.
+    """
+
+    history_limit: int = 256
+    events: list[ChangeEvent] = field(default_factory=list)
+    _subscribers: list[Callable[[ChangeEvent], None]] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def subscribe(self, callback: Callable[[ChangeEvent], None]) -> None:
+        with self._lock:
+            if callback not in self._subscribers:
+                self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[ChangeEvent], None]) -> None:
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+    def emit(self, event: ChangeEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+            if len(self.events) > self.history_limit:
+                del self.events[: -self.history_limit]
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(event)
+
+    def emit_report(
+        self,
+        host: str,
+        report: Any,
+        revision: int,
+        quarantined: bool,
+    ) -> ChangeEvent:
+        """Build and emit an event from a maintenance report.
+
+        Takes the report duck-typed (``auto_changes``/``manual_changes``
+        sequences of objects with ``kind``/``node_id``/``detail``) so the
+        navigation layer can publish without importing the store package.
+        """
+
+        def label(change: Any) -> str:
+            return "%s@%s: %s" % (change.kind, change.node_id, change.detail)
+
+        event = ChangeEvent(
+            host=host,
+            revision=revision,
+            quarantined=quarantined,
+            auto=tuple(label(change) for change in report.auto_changes),
+            manual=tuple(label(change) for change in report.manual_changes),
+        )
+        self.emit(event)
+        return event

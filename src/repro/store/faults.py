@@ -1,0 +1,80 @@
+"""Deterministic crash injection for the tiered store.
+
+Modeled on the web layer's ``FaultPlan``: faults are *scheduled*, not
+random at run time, so every test failure replays exactly.  A
+:class:`StorageFault` kills the writing process at a chosen byte offset,
+counted across every byte the store attempts to write, in write order.
+The bytes before the offset reach the file (and are flushed, simulating
+what the OS had already accepted); everything after is lost, which is
+precisely the torn-tail shape recovery must tolerate.
+
+Once a fault fires, the "process" is dead: all further writes raise
+:class:`StorageCrash` immediately and touch nothing.  The
+:class:`~repro.store.tiered.TieredStore` translates that into a sticky
+``crashed`` flag so upper layers degrade to in-memory-only operation,
+the same way a real process would simply be gone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import BinaryIO
+
+from repro.errors import WebBaseError
+
+
+class StorageCrash(WebBaseError):
+    """Raised when a scheduled storage fault kills a write mid-flight."""
+
+
+class StorageFault:
+    """Kill the writer after exactly ``kill_at_byte`` bytes have been written.
+
+    The counter is global across all files sharing this fault instance
+    (the tiered store threads one fault through every tier's log), so a
+    single offset addresses any point in the store's total write stream:
+    record boundaries, mid-header, mid-payload.
+    """
+
+    def __init__(self, kill_at_byte: int) -> None:
+        if kill_at_byte < 0:
+            raise ValueError("kill_at_byte must be >= 0: %r" % kill_at_byte)
+        self.kill_at_byte = kill_at_byte
+        self.written = 0
+        self.fired = False
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        """Write ``data`` to ``handle``, crashing at the scheduled offset.
+
+        Writes the surviving prefix (if any), flushes it, then raises
+        :class:`StorageCrash`.  After firing, every call raises without
+        writing a single byte — a dead process writes nothing.
+        """
+        if self.fired:
+            raise StorageCrash(
+                "storage fault already fired at byte %d" % self.kill_at_byte
+            )
+        remaining = self.kill_at_byte - self.written
+        if len(data) <= remaining:
+            handle.write(data)
+            self.written += len(data)
+            return
+        if remaining > 0:
+            handle.write(data[:remaining])
+        handle.flush()
+        self.written = self.kill_at_byte
+        self.fired = True
+        raise StorageCrash(
+            "simulated crash: write torn at global byte %d" % self.kill_at_byte
+        )
+
+    @staticmethod
+    def sample_offsets(seed: int, total_bytes: int, count: int) -> list[int]:
+        """``count`` deterministic kill offsets in ``[0, total_bytes)``.
+
+        Seeded so a failing offset reported by a test reproduces exactly.
+        """
+        if total_bytes <= 0:
+            return []
+        rng = random.Random(("storage-fault", seed, total_bytes, count).__repr__())
+        return sorted(rng.randrange(total_bytes) for _ in range(count))

@@ -125,6 +125,7 @@ class CacheEntry:
     revision: int  # the host's navigation-map revision at store time
     stored_at: float  # cache-clock seconds
     expires_at: float | None  # None = never expires
+    warmed: bool = False  # loaded from the tiered store, not fetched live
 
 
 class InFlight:
@@ -169,6 +170,10 @@ class ResultCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        # Optional persistence underneath (repro.store.TieredStore): filled
+        # results are mirrored to silver, revision bumps and quarantines to
+        # bronze, and a restart warms from the store instead of refetching.
+        self.store: Any = None
 
     @property
     def max_entries(self) -> int:
@@ -199,29 +204,101 @@ class ResultCache:
         """An auto-absorbed site change: advance the host's map revision and
         evict its entries.  Returns the number of entries evicted."""
         with self._lock:
-            self._revisions[host] = self._revisions.get(host, 0) + 1
-            return self._evict_host(host, "cache.invalidations")
+            self._revisions[host] = revision = self._revisions.get(host, 0) + 1
+            evicted = self._evict_host(host, "cache.invalidations")
+        if self.store is not None:
+            self.store.record_revision(host, revision)
+        return evicted
 
     def quarantine(self, host: str) -> int:
         """A manual-intervention site change: flag the host's entries as
         suspect.  Returns how many entries are affected."""
         with self._lock:
             self._quarantined.add(host)
-            return sum(1 for e in self._cache.values() if e.host == host)
+            affected = sum(1 for e in self._cache.values() if e.host == host)
+        if self.store is not None:
+            self.store.record_quarantine(host, True)
+        return affected
 
     def clear_quarantine(self, host: str, evict: bool = True) -> int:
         """The designer re-demonstrated the flow: lift the quarantine and
         (by default) drop the pre-change entries."""
+        revision = None
         with self._lock:
             self._quarantined.discard(host)
-            if not evict:
-                return 0
-            self._revisions[host] = self._revisions.get(host, 0) + 1
-            return self._evict_host(host, "cache.invalidations")
+            if evict:
+                self._revisions[host] = revision = self._revisions.get(host, 0) + 1
+                evicted = self._evict_host(host, "cache.invalidations")
+            else:
+                evicted = 0
+        if self.store is not None:
+            self.store.record_quarantine(host, False)
+            if revision is not None:
+                self.store.record_revision(host, revision)
+        return evicted
 
     def quarantined_hosts(self) -> frozenset[str]:
         with self._lock:
             return frozenset(self._quarantined)
+
+    # -- persistence ---------------------------------------------------------
+
+    def attach_store(self, store: Any) -> None:
+        """Layer a tiered store underneath: fills mirror to silver, bumps
+        and quarantines to bronze.
+
+        Revision and quarantine state are adopted from the store *here*,
+        before any warm load or drift check — so a restart's drift bump
+        lands *on top of* the persisted revision instead of colliding
+        with it (a fresh cache starts at revision 0; bumping 0 → 1 would
+        alias the stamp of segments persisted after an earlier sweep)."""
+        self.store = store
+        with self._lock:
+            for host, revision in store.revisions().items():
+                if revision > self._revisions.get(host, 0):
+                    self._revisions[host] = revision
+            self._quarantined.update(store.quarantined())
+
+    def warm_from_store(self) -> int:
+        """Load current-revision silver segments into the cache (restart).
+
+        Every candidate segment is admitted only if its stamp equals the
+        host's current revision (adopted at :meth:`attach_store`, plus
+        any drift bumps since) — keyed by revision, never by eviction
+        order, so an entry persisted before a later bump can never
+        resurface (the invariant the store satellite pins).  Returns the
+        number of entries loaded.
+        """
+        if self.store is None or not self.policy.enabled:
+            return 0
+        loaded = 0
+        with self._lock:
+            now = self._clock()
+            for entry in self.store.warm_entries():
+                key = (entry.relation, entry.key)
+                if key in self._cache:
+                    continue
+                if entry.revision != self._revisions.get(entry.host, 0):
+                    continue
+                ttl = self.policy.ttl_for(entry.relation)
+                self._cache[key] = CacheEntry(
+                    value=entry.value,
+                    relation=entry.relation,
+                    host=entry.host,
+                    revision=entry.revision,
+                    stored_at=now,
+                    expires_at=None if ttl is None else now + ttl,
+                    warmed=True,
+                )
+                if len(self._cache) > self.policy.max_entries:
+                    self._cache.popitem(last=False)
+                    self.metrics.counter("cache.evictions").inc()
+                loaded += 1
+            if loaded:
+                self.metrics.gauge("cache.entries").set(len(self._cache))
+        if loaded:
+            self.metrics.counter("store.warm_loads").inc(loaded)
+        return loaded
 
     def _evict_host(self, host: str, counter: str) -> int:
         """Drop every entry of one host (caller holds the lock)."""
@@ -294,21 +371,26 @@ class ResultCache:
             return None
         return entry
 
-    def _record_hit(self, name: str, host: str, context: Any, stale: bool) -> None:
+    def _record_hit(
+        self, name: str, host: str, context: Any, stale: bool, warmed: bool = False
+    ) -> None:
         if stale:
             self.metrics.counter("cache.stale_serves").inc()
         else:
             self.metrics.counter("cache.hits").inc()
+        if warmed:
+            self.metrics.counter("store.warm_hits").inc()
         if context is not None:
             with context.span("fetch", name, host=host, layer="cache") as span:
                 span.cache = "stale" if stale else "hit"
 
-    def _store(self, key: tuple, name: str, host: str, revision: int, value: Relation) -> None:
+    def _store(self, key: tuple, name: str, host: str, revision: int, value: Relation) -> bool:
         """Insert one fetched result (caller holds the lock); skipped when
         the host's revision moved mid-fetch — the result may straddle the
-        change, so it cannot be trusted across queries."""
+        change, so it cannot be trusted across queries.  Returns whether
+        the entry was stored (callers mirror stored entries to silver)."""
         if revision != self._revisions.get(host, 0):
-            return
+            return False
         now = self._clock()
         ttl = self.policy.ttl_for(name)
         self._cache[key] = CacheEntry(
@@ -323,6 +405,18 @@ class ResultCache:
             self._cache.popitem(last=False)
             self.metrics.counter("cache.evictions").inc()
         self.metrics.gauge("cache.entries").set(len(self._cache))
+        return True
+
+    def _persist_silver(self, key: tuple, name: str, host: str, revision: int, value: Relation) -> None:
+        """Mirror one freshly stored entry to the silver tier (outside the
+        cache lock — persistence must never serialize the fetch path)."""
+        if self.store is not None:
+            self.store.persist_result(name, host, revision, key[1], value)
+
+    def _record_intent(self, key: tuple, host: str, revision: int) -> None:
+        """Write-ahead note that an upstream fetch is about to run."""
+        if self.store is not None:
+            self.store.record_intent(key[0], host, revision, key[1])
 
     def fetch(
         self, name: str, given: dict[str, Any], context: Any = None
@@ -336,13 +430,17 @@ class ResultCache:
         # Quarantined host: serve flagged-stale or bypass, never silently.
         if host and host in self.quarantined_hosts():
             if self.policy.stale_mode == "serve_stale":
+                # Lookup and LRU touch under ONE lock hold: a concurrent
+                # bump_revision between a lookup and a separate touch could
+                # evict the key and make move_to_end raise — pinned by
+                # tests/test_store_recovery.py (revision-bump regression).
                 with self._lock:
                     entry = self._stale_entry(key, host)
-                if entry is not None:
-                    with self._lock:
+                    if entry is not None:
                         self.hits += 1
                         self._cache.move_to_end(key)
-                    self._record_hit(name, host, context, stale=True)
+                if entry is not None:
+                    self._record_hit(name, host, context, stale=True, warmed=entry.warmed)
                     return entry.value
             self.metrics.counter("cache.quarantine_bypass").inc()
             return self._fetch_inner(name, given, context)
@@ -370,9 +468,10 @@ class ResultCache:
                         self.misses += 1
                         self.metrics.counter("cache.misses").inc()
             if entry is not None:
-                self._record_hit(name, host, context, stale=False)
+                self._record_hit(name, host, context, stale=False, warmed=entry.warmed)
                 return entry.value
             if leader:
+                self._record_intent(key, host, revision)
                 try:
                     result = self._fetch_inner(name, given, context)
                 except BaseException as exc:
@@ -383,8 +482,10 @@ class ResultCache:
                     flight.event.set()
                     raise
                 with self._lock:
-                    self._store(key, name, host, revision, result)
+                    stored = self._store(key, name, host, revision, result)
                     self._inflight.pop(key, None)
+                if stored:
+                    self._persist_silver(key, name, host, revision, result)
                 flight.result = result
                 flight.event.set()
                 return result
@@ -452,7 +553,7 @@ class ResultCache:
                     self.hits += 1
                     self._cache.move_to_end(key)
                     results[key] = entry.value
-                    hit_keys.append(key)
+                    hit_keys.append((key, entry.warmed))
                 elif key not in self._inflight:
                     self.metrics.counter("cache.requests").inc()
                     flight = self._inflight[key] = InFlight()
@@ -465,9 +566,11 @@ class ResultCache:
                 # per-key path, which waits, shares, and does its own
                 # request/hit accounting (counting here too would double
                 # count the lookup).
-        for key in hit_keys:
-            self._record_hit(name, host, context, stale=False)
+        for key, warmed in hit_keys:
+            self._record_hit(name, host, context, stale=False, warmed=warmed)
         if lead_keys:
+            for key in lead_keys:
+                self._record_intent(key, host, revision)
             try:
                 fetched = self._fetch_inner_batch(name, lead_givens, context)
             except BaseException as exc:
@@ -478,10 +581,14 @@ class ResultCache:
                     flights[key].error = exc
                     flights[key].event.set()
                 raise
+            stored_keys = []
             with self._lock:
                 for key, value in zip(lead_keys, fetched):
-                    self._store(key, name, host, revision, value)
+                    if self._store(key, name, host, revision, value):
+                        stored_keys.append((key, value))
                     self._inflight.pop(key, None)
+            for key, value in stored_keys:
+                self._persist_silver(key, name, host, revision, value)
             for key, value in zip(lead_keys, fetched):
                 flights[key].result = value
                 flights[key].event.set()

@@ -13,7 +13,7 @@ import random
 import threading
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.web.clock import LatencyModel
 from repro.web.html import Element, RenderStyle
@@ -158,6 +158,10 @@ class WebServer:
         self.fault_plan: FaultPlan | None = None
         self._fault_ordinal: dict[str, int] = {}
         self._fault_streak: dict[str, int] = {}
+        # Optional observer for every served page: the tiered store's
+        # bronze log hooks in here, making this the single choke point
+        # through which all durable raw content flows.  Must not raise.
+        self.page_sink: Any = None
 
     def install_faults(self, plan: FaultPlan | None) -> None:
         """Install (or, with ``None``, remove) a deterministic fault plan.
@@ -203,6 +207,8 @@ class WebServer:
             response.extra_latency += spike
         with self._stats_lock:
             self.stats[site.host].record(response)
+        if self.page_sink is not None:
+            self.page_sink(request, response)
         return response
 
     def _apply_faults(self, host: str) -> float:
