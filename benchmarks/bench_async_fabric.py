@@ -1,0 +1,165 @@
+"""Ablation A5 — the async navigation fabric vs the bundle-capped pool.
+
+A dependent join that probes one site with 64 distinct bindings is
+exactly the workload the thread-per-bundle pool caps: ``max_workers``
+lanes each walk their chunk serially, so the simulated makespan is the
+busiest lane's serial latency.  The async fabric multiplexes every
+binding as a coroutine on one virtual-time loop, bounded only by the
+per-host connection semaphore — the same 64 bindings overlap their
+navigation latency and the makespan collapses toward
+``waves × per-binding latency``.
+
+The workload binds ``make × zip_code`` on autoweb: every pair submits a
+*distinct* form (distinct result URL), so the query-scoped page cache
+cannot collapse the batch into a handful of shared pages — each binding
+drives live navigation, which is what the fabric exists to overlap.
+
+Acceptance: byte-identical per-binding rows, identical live fetch and
+server page counts, identical total simulated network seconds (the work
+is the same; only the overlap differs), and ≥ 2× lower simulated
+makespan (threaded critical lane vs fabric window).  Results land in
+``BENCH_async_fabric.json``; CI's perf-smoke re-runs this and fails if
+the fabric makespan regresses more than 10% above the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import emit
+
+from repro.core.execution import WebBaseConfig
+from repro.core.webbase import WebBase
+from repro.sites.dataset import MAKES, NY_ZIPCODES, OTHER_ZIPCODES
+
+#: The small world: enough ads that several bindings return rows, small
+#: enough for CI's perf-smoke.
+ADS_PER_HOST = 24
+#: The bundle-capped pool under test (both configs share it; only the
+#: fabric differs, so the comparison isolates the concurrency model).
+MAX_WORKERS = 4
+SEED = 1999
+#: 64+ concurrent bindings, every one a distinct form submission.
+BINDINGS = 64
+RELATION = "autoweb"
+
+TARGET_RATIO = 2.0
+#: CI fails when the fabric makespan exceeds the committed baseline by
+#: more than this.
+REGRESSION_HEADROOM = 1.10
+
+
+def _givens() -> list[dict[str, str]]:
+    zips = sorted(set(NY_ZIPCODES) | set(OTHER_ZIPCODES))
+    pairs = itertools.product(sorted(MAKES), zips)
+    return [{"make": m, "zip_code": z} for m, z in pairs][:BINDINGS]
+
+
+def _run(fabric: str) -> dict:
+    webbase = WebBase.create(
+        WebBaseConfig(
+            seed=SEED,
+            ads_per_host=ADS_PER_HOST,
+            max_workers=MAX_WORKERS,
+            batch=True,
+            fabric=fabric,
+        )
+    )
+    relation = webbase.vps.relation(RELATION)
+    context = webbase.execution_context(label="bench-fabric-%s" % fabric)
+    results = context.run_fetch_batch(relation, _givens()).results()
+    counters = webbase.metrics.snapshot()["counters"]
+    # The simulated makespan: threaded = busiest lane's serial network
+    # seconds; async = the fabric window (virtual loop time from first
+    # submission to last completion).  Both are purely simulated, so a
+    # re-run emits byte-identical numbers.
+    makespan = max(
+        context.network_seconds_critical, context.fabric_window_seconds
+    )
+    return {
+        "rows": [sorted(map(tuple, r.rows)) for r in results],
+        "makespan_seconds": round(makespan, 3),
+        "network_seconds_total": round(context.network_seconds_total, 3),
+        "fetches": int(counters.get("engine.fetches", 0)),
+        "pages": sum(s.requests for s in webbase.world.server.stats.values()),
+    }
+
+
+def test_async_fabric_ablation(benchmark):
+    threaded = _run("thread")
+    fabric = _run("async")
+
+    print("\nAblation — async navigation fabric vs the bundle-capped pool")
+    print(
+        "  workload: %d distinct bindings on %s, %d-worker pool"
+        % (BINDINGS, RELATION, MAX_WORKERS)
+    )
+    print(
+        "  thread: makespan %7.2fs  (%.1fs network total, %d fetches, %d pages)"
+        % (
+            threaded["makespan_seconds"],
+            threaded["network_seconds_total"],
+            threaded["fetches"],
+            threaded["pages"],
+        )
+    )
+    print(
+        "  async:  makespan %7.2fs  (%.1fs network total, %d fetches, %d pages)"
+        % (
+            fabric["makespan_seconds"],
+            fabric["network_seconds_total"],
+            fabric["fetches"],
+            fabric["pages"],
+        )
+    )
+    ratio = threaded["makespan_seconds"] / fabric["makespan_seconds"]
+    rows = sum(len(r) for r in fabric["rows"])
+    print("  ratio: %.2fx lower simulated makespan, %d row(s) either way" % (ratio, rows))
+
+    # Correctness first: byte-identical per-binding answers, identical
+    # live work — the fabric only reorders the waiting.
+    assert fabric["rows"] == threaded["rows"]
+    assert rows > 0
+    assert fabric["fetches"] == threaded["fetches"] == BINDINGS
+    assert fabric["pages"] == threaded["pages"]
+    assert fabric["network_seconds_total"] == threaded["network_seconds_total"]
+
+    # The perf claim: a multiplicative drop in simulated makespan.
+    assert ratio >= TARGET_RATIO
+
+    # Perf-smoke gate: no silent regression against the committed numbers.
+    baseline = emit.load_baseline("async_fabric")
+    if baseline is not None:
+        budget = baseline["async"]["makespan_seconds"] * REGRESSION_HEADROOM
+        assert fabric["makespan_seconds"] <= budget, (
+            "fabric makespan regressed: %.3f > %.3f (baseline %.3f + %d%% headroom)"
+            % (
+                fabric["makespan_seconds"],
+                budget,
+                baseline["async"]["makespan_seconds"],
+                round((REGRESSION_HEADROOM - 1) * 100),
+            )
+        )
+
+    emit.emit(
+        "async_fabric",
+        {
+            "benchmark": "async_fabric",
+            "config": {
+                "seed": SEED,
+                "ads_per_host": ADS_PER_HOST,
+                "max_workers": MAX_WORKERS,
+                "bindings": BINDINGS,
+                "relation": RELATION,
+            },
+            "thread": {k: v for k, v in threaded.items() if k != "rows"},
+            "async": {k: v for k, v in fabric.items() if k != "rows"},
+            "makespan_ratio": round(ratio, 2),
+            "rows": rows,
+        },
+    )
+
+    # Steady state under the timer: the fabric session.
+    timed = benchmark(_run, "async")
+    assert timed["rows"] == fabric["rows"]

@@ -41,9 +41,20 @@ def load_baseline(name: str) -> dict[str, Any] | None:
 
 
 def emit(name: str, payload: dict[str, Any]) -> str:
-    """Write one benchmark's results; returns the file path."""
+    """Write one benchmark's results *atomically*; returns the file path.
+
+    The payload lands in a temp file beside the target and is renamed
+    into place, so an interrupted benchmark (ctrl-C, OOM, a crashing
+    assertion after partial write) can never leave a truncated
+    ``BENCH_*.json`` for the next CI run to trip over."""
     path = result_path(name)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return path

@@ -1,0 +1,254 @@
+"""Deterministic simulated time for the async navigation fabric.
+
+The fabric multiplexes thousands of in-flight page navigations on one
+event loop.  Testing (and benchmarking) that kind of concurrency with
+real wall-clock sleeps would be slow *and* flaky, so the fabric never
+runs on a real clock: it runs on a :class:`SimLoop`, a selector-driven
+``asyncio`` event loop whose clock is **virtual**.
+
+The trick is the selector.  ``asyncio``'s loop asks its selector to wait
+``timeout`` seconds for I/O, where ``timeout`` is the gap to the next
+scheduled timer.  :class:`_VirtualTimeSelector` never actually waits for
+a timer: it *advances the virtual clock by the gap* and polls.  The
+consequences:
+
+* ``await asyncio.sleep(latency)`` costs zero real time but exactly
+  ``latency`` virtual seconds — so simulated network waits overlap
+  across every in-flight task, and the loop's elapsed virtual time *is*
+  the workload's simulated makespan;
+* callback ordering is the loop's deterministic FIFO/heap order, so a
+  run is reproducible: same submissions, same virtual timestamps, same
+  interleaving, run after run — which is what lets a failing seed be
+  replayed and shrunk;
+* when the loop is idle (no timers, no ready callbacks) the selector
+  really blocks, so a :class:`FabricRuntime` thread parks cheaply until
+  ``call_soon_threadsafe`` wakes it with new work.
+
+:class:`SimulationPlan` packages the *other* half of a deterministic
+concurrency test: every random choice — fault plans, host latency
+spikes, cancellation points, binding sets — derived from one seed via
+named streams, so ``REPRO_TEST_SEED=1234`` replays a failure exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import random
+import selectors
+import threading
+from typing import Any, Callable, Coroutine, Mapping, Sequence
+
+
+class VirtualClock:
+    """A monotonic virtual-time counter (seconds, starts at zero)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now.  Time never rewinds."""
+        if seconds < 0:
+            raise ValueError("cannot advance time by %r" % seconds)
+        self._now += seconds
+        return self._now
+
+
+class _VirtualTimeSelector(selectors.BaseSelector):
+    """A selector that converts timer waits into virtual-time advances.
+
+    Wraps a real selector for the file-descriptor plumbing the loop
+    needs (its self-pipe, in particular, which is how other threads wake
+    it).  A ``select(timeout)`` with a positive timeout means "the next
+    timer is ``timeout`` seconds away and there is nothing ready": the
+    wrapper advances the loop's virtual clock by exactly that gap and
+    polls instead of sleeping.  A ``select(None)`` means the loop is
+    truly idle, so it really blocks until woken.
+    """
+
+    def __init__(self, loop: "SimLoop") -> None:
+        self._loop = loop
+        self._real = selectors.DefaultSelector()
+
+    def register(self, fileobj, events, data=None):
+        return self._real.register(fileobj, events, data)
+
+    def unregister(self, fileobj):
+        return self._real.unregister(fileobj)
+
+    def modify(self, fileobj, events, data=None):
+        return self._real.modify(fileobj, events, data)
+
+    def select(self, timeout=None):
+        if timeout is not None and timeout > 0:
+            self._loop.clock.advance(timeout)
+            timeout = 0
+        return self._real.select(timeout)
+
+    def close(self):
+        return self._real.close()
+
+    def get_key(self, fileobj):
+        return self._real.get_key(fileobj)
+
+    def get_map(self):
+        return self._real.get_map()
+
+
+class SimLoop(asyncio.SelectorEventLoop):
+    """A selector event loop running on virtual time.
+
+    ``loop.time()`` reads a :class:`VirtualClock` that only moves when
+    the loop would otherwise wait for a timer, so sleeps are free in
+    real time and additive only along the simulated critical path.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = VirtualClock(start)
+        super().__init__(_VirtualTimeSelector(self))
+
+    def time(self) -> float:
+        return self.clock.now
+
+
+class FabricRuntime:
+    """One :class:`SimLoop` on a dedicated daemon thread.
+
+    The execution engine's client threads stay synchronous: they
+    :meth:`submit` coroutines and block on ordinary futures while the
+    loop multiplexes every in-flight navigation in virtual time.  Since
+    virtual waits cost no real time, submitted work completes promptly
+    in wall-clock terms no matter how much simulated latency it spans.
+
+    Shared across queries (one runtime per webbase): virtual time is
+    monotone across the webbase's life, like a real deployment's clock.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.loop = SimLoop(start)
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="fabric-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._started.set)
+        try:
+            self.loop.run_forever()
+            self.loop.run_until_complete(self.loop.shutdown_asyncgens())
+        finally:
+            self.loop.close()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds since the runtime started)."""
+        return self.loop.time()
+
+    def submit(self, coro: Coroutine[Any, Any, Any]) -> concurrent.futures.Future:
+        """Schedule ``coro`` on the fabric loop; returns a waitable future."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def run(self, coro: Coroutine[Any, Any, Any], timeout: float | None = None) -> Any:
+        """Submit and wait.  ``timeout`` is *real* seconds — virtual waits
+        are free, so a healthy fabric returns promptly and a generous
+        real-time bound only ever fires on a genuine deadlock."""
+        return self.submit(coro).result(timeout)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout)
+
+
+class SimulationPlan:
+    """Every random choice of one simulation scenario, from one seed.
+
+    Streams are named, so adding a new random decision to a test never
+    perturbs the existing ones (``plan.rng("faults")`` is independent of
+    ``plan.rng("bindings")``), and a failure report that prints the seed
+    is a complete reproduction recipe.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:
+        return "SimulationPlan(seed=%d)" % self.seed
+
+    def rng(self, stream: str) -> random.Random:
+        """An independent, deterministic RNG for one named stream."""
+        return random.Random("%d:%s" % (self.seed, stream))
+
+    def derive(self, stream: str) -> "SimulationPlan":
+        """A sub-plan (its streams independent of this plan's)."""
+        return SimulationPlan(self.rng(stream).randrange(2**31))
+
+    def fault_plan(
+        self,
+        error_rates: Sequence[float] = (0.0, 0.1, 0.25),
+        spike_rates: Sequence[float] = (0.0, 0.2),
+        spike_seconds: float = 4.0,
+        hosts: Sequence[str] | None = None,
+    ) -> Any:
+        """A seeded :class:`~repro.web.server.FaultPlan` drawn from the
+        given rate menus (import deferred: core must not require web at
+        module load)."""
+        from repro.web.server import FaultPlan
+
+        rng = self.rng("faults")
+        return FaultPlan(
+            seed=rng.randrange(2**31),
+            error_rate=rng.choice(list(error_rates)),
+            spike_rate=rng.choice(list(spike_rates)),
+            spike_seconds=spike_seconds,
+            hosts=tuple(hosts) if hosts is not None else None,
+        )
+
+    def latencies(
+        self,
+        hosts: Sequence[str],
+        rtt_range: tuple[float, float] = (0.1, 0.8),
+        per_kilobyte: float = 0.012,
+    ) -> Mapping[str, Any]:
+        """A per-host latency table (each host's RTT drawn independently)."""
+        from repro.web.clock import LatencyModel
+
+        rng = self.rng("latencies")
+        return {
+            host: LatencyModel(
+                rtt=round(rng.uniform(*rtt_range), 3), per_kilobyte=per_kilobyte
+            )
+            for host in sorted(hosts)
+        }
+
+    def cancel_point(self, checkpoints: int) -> int:
+        """Which cooperative checkpoint a cancellation test fires at."""
+        if checkpoints <= 0:
+            return 0
+        return self.rng("cancel").randrange(checkpoints)
+
+
+def checkpoint_injector(
+    fire_at: int, action: Callable[[], None]
+) -> Callable[[int], None]:
+    """A fabric checkpoint hook that runs ``action`` exactly once, at the
+    ``fire_at``-th checkpoint — the interleaving-sweep harness's way of
+    driving ``cancel()`` at every await point of a batch, one run per
+    point, deterministically."""
+    fired = [False]
+
+    def hook(ordinal: int) -> None:
+        if not fired[0] and ordinal >= fire_at:
+            fired[0] = True
+            action()
+
+    return hook

@@ -16,6 +16,7 @@ earlier pages.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 
 from dataclasses import dataclass
@@ -120,6 +121,13 @@ class PrefixPageCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        # Entries fetched *speculatively* (ahead of demand).  The first
+        # demand hit on one "consumes" it — reported to ``budget`` (a
+        # :class:`~repro.navigation.prefetch.SpeculationBudget`, when the
+        # execution engine wires one) so a page that turned out useful
+        # stops counting against the host's wasted-pages allowance.
+        self._speculative: set[tuple] = set()
+        self.budget: Any = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -128,6 +136,23 @@ class PrefixPageCache:
     def _count(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc()
+
+    def _consumed_locked(self, host: str, key: tuple) -> None:
+        """A demand hit landed on a speculatively fetched page (caller
+        holds the lock): settle it with the speculation budget."""
+        if (host, key) in self._speculative:
+            self._speculative.discard((host, key))
+            self._count("nav.speculation_consumed")
+            if self.budget is not None:
+                self.budget.consumed(host)
+
+    def _dropped_locked(self, host: str, key: tuple) -> None:
+        """A stale entry was dropped (caller holds the lock): a
+        speculative one never paid off, so report it wasted."""
+        if (host, key) in self._speculative:
+            self._speculative.discard((host, key))
+            if self.budget is not None:
+                self.budget.wasted(host)
 
     def lookup(self, host: str, key: tuple) -> WebPage | None:
         """The cached page under ``key``, or ``None`` — dropping (and not
@@ -140,7 +165,9 @@ class PrefixPageCache:
             stored_revision, page = entry
             if stored_revision != revision:
                 del self._pages[(host, key)]
+                self._dropped_locked(host, key)
                 return None
+            self._consumed_locked(host, key)
             return page
 
     def get(self, host: str, request: Request) -> WebPage | None:
@@ -160,8 +187,10 @@ class PrefixPageCache:
                 if entry[0] == revision:
                     self.hits += 1
                     self._count("nav.prefix_hits")
+                    self._consumed_locked(host, key)
                     return ("hit", entry[1], None)
                 del self._pages[(host, key)]
+                self._dropped_locked(host, key)
             flight = self._flights.get((host, key))
             if flight is not None:
                 self._count("nav.prefix_coalesced")
@@ -189,12 +218,26 @@ class PrefixPageCache:
             self._count("nav.prefix_misses")
             return (flight, revision)
 
-    def fulfill(self, host: str, key: tuple, flight: Any, page: WebPage, revision: int) -> None:
+    def fulfill(
+        self,
+        host: str,
+        key: tuple,
+        flight: Any,
+        page: WebPage,
+        revision: int,
+        speculative: bool = False,
+    ) -> None:
         """Store a leader's fetched page (unless the revision moved while
-        it was in flight) and release the waiters."""
+        it was in flight) and release the waiters.  ``speculative`` marks
+        the entry as fetched ahead of demand: its first demand hit settles
+        it with the speculation budget."""
         with self._lock:
             if revision == self._revision_of(host):
                 self._pages[(host, key)] = (revision, page)
+                if speculative:
+                    self._speculative.add((host, key))
+            elif speculative and self.budget is not None:
+                self.budget.wasted(host)
             self._flights.pop((host, key), None)
         flight.result = page
         flight.event.set()
@@ -381,3 +424,120 @@ class Browser:
     def _emit_action(self, event: ActionEvent) -> None:
         for observer in self._observers:
             observer.on_action(event)
+
+
+class AsyncBrowser:
+    """The browser's coroutine twin, for the async navigation fabric.
+
+    Where :class:`Browser` charges network latency to a
+    :class:`~repro.web.clock.SimClock` (serializing fetches on a worker's
+    simulated connection), the async browser *awaits* it —
+    ``asyncio.sleep(latency)`` on the fabric's virtual-time loop — so
+    latencies of concurrent page fetches overlap instead of adding up.
+    ``network_seconds`` accumulates what this browser awaited (the
+    per-fetch accounting the trace records); the loop's elapsed virtual
+    time is the makespan.
+
+    One instance per in-flight binding: the browser is as stateful as its
+    sync twin (``pages_fetched``), and per-binding instances keep
+    interleaved fetches from seeing each other's counters.
+    """
+
+    MAX_REDIRECTS = Browser.MAX_REDIRECTS
+
+    def __init__(self, server: WebServer) -> None:
+        self.server = server
+        self.pages_fetched = 0
+        self.network_seconds = 0.0
+
+    async def _charge(self, seconds: float) -> None:
+        self.network_seconds += seconds
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+
+    async def _fetch_following_redirects(self, request: Request) -> Response:
+        from repro.web.http import parse_url
+
+        for _ in range(self.MAX_REDIRECTS + 1):
+            latency = self.server.latency_for(request.url.host)
+            try:
+                response = self.server.fetch(request)
+            except TransientHttpError as exc:
+                # The connection was made and dropped: the round trip is spent.
+                await self._charge(latency.rtt)
+                raise TransientNetworkError(str(exc)) from exc
+            except HttpError as exc:
+                raise NavigationError(str(exc)) from exc
+            await self._charge(latency.cost(len(response)) + response.extra_latency)
+            if response.status in (301, 302, 303, 307) and response.location:
+                try:
+                    target = parse_url(response.location, base=request.url)
+                except ValueError as exc:
+                    raise NavigationError(
+                        "bad redirect %r from %s" % (response.location, request.url)
+                    ) from exc
+                request = Request("GET", target)
+                continue
+            return response
+        raise NavigationError("too many redirects from %s" % request.url)
+
+    async def request(self, request: Request) -> WebPage:
+        """Issue a raw request; awaits the simulated transfer time."""
+        response = await self._fetch_following_redirects(request)
+        if not response.ok:
+            raise NavigationError(
+                "HTTP %d fetching %s" % (response.status, request.url)
+            )
+        page = parse_page(response.final_url or request.url, response.body)
+        self.pages_fetched += 1
+        return page
+
+    async def request_cached(
+        self,
+        request: Request,
+        cache: PrefixPageCache,
+        on_live: Callable[[], None] | None = None,
+        poll: Callable[[], None] | None = None,
+        gate: "asyncio.Semaphore | None" = None,
+    ) -> tuple[WebPage, bool]:
+        """Async twin of :meth:`Browser.request_cached`, sharing the same
+        :class:`PrefixPageCache` and single-flight protocol.
+
+        A coalesced wait polls the leader's flight event with *virtual*
+        sleeps — free in real time, deterministic in order — running
+        ``poll`` (the fabric's cancellation checkpoint) each round so a
+        cancelled access stops waiting.  On the fabric every leader is a
+        coroutine on the same loop, so the wait always resolves within the
+        loop's own schedule.  ``gate`` (the fabric's per-host connection
+        semaphore) is held only across a *live* navigation — never while
+        waiting on another caller's flight, which could starve the very
+        leader being waited on.
+        """
+        key = request_key(request)
+        host = request.url.host
+        while True:
+            outcome, payload, revision = cache.acquire(host, key)
+            if outcome == "hit":
+                return payload, False
+            if outcome == "wait":
+                while not payload.event.is_set():
+                    if poll is not None:
+                        poll()
+                    await asyncio.sleep(0.02)
+                if payload.error is None and payload.result is not None:
+                    return payload.result, False
+                continue  # the leader failed; try to lead ourselves
+            flight = payload
+            try:
+                if on_live is not None:
+                    on_live()
+                if gate is None:
+                    page = await self.request(request)
+                else:
+                    async with gate:
+                        page = await self.request(request)
+            except BaseException as exc:
+                cache.abandon(host, key, flight, error=exc)
+                raise
+            cache.fulfill(host, key, flight, page, revision)
+            return page, True

@@ -1,0 +1,305 @@
+"""The async navigation fabric: equivalence, cancellation races, budgets.
+
+Three contracts, each exercised under the deterministic simulation
+harness (:mod:`repro.core.simclock`):
+
+* **Byte-identical rows** — for seeded random binding batches, under
+  seeded fault plans, with the result cache on and off and batching on
+  and off, the async fabric returns exactly the rows the threaded
+  engine returns, binding for binding.
+* **Cancellation safety at every await point** — an interleaving sweep
+  replays the same batch many times, firing ``cancel()`` at the Nth
+  cooperative checkpoint for every sampled N; whatever the
+  interleaving, every handle reaches a terminal state and the
+  cancelled-access / reclaimed-page accounting reconciles.
+* **Resilience and speculation semantics survive the fabric** —
+  breakers shed speculative accesses, bulkheads bound per-host
+  concurrency (with waits counted), and the speculation budget's
+  adaptive wasted-pages allowance behaves identically to the threaded
+  prefetcher's.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.execution import (
+    ACCESS_CANCELLED,
+    ACCESS_DONE,
+    ACCESS_SHED,
+    ACCESS_TERMINAL,
+    AccessCancelled,
+    DeadlineExceeded,
+    FanoutError,
+    RetryPolicy,
+    WebBaseConfig,
+)
+from repro.core.resilience import CircuitOpenError, ResiliencePolicy
+from repro.core.simclock import SimulationPlan, checkpoint_injector
+from repro.core.webbase import WebBase
+from repro.navigation.prefetch import SpeculationBudget
+from repro.vps.cache import CachePolicy
+from tests.conftest import derive_seeds
+
+MAKES = ["saab", "ford", "honda", "jaguar", "bmw", "toyota", "volvo"]
+RELATIONS = ["newsday", "autoweb"]
+
+
+def _rows(relation) -> list[tuple]:
+    return sorted(map(tuple, relation.rows))
+
+
+def _build(
+    fabric: str,
+    seed_plan: SimulationPlan | None = None,
+    cache: str = "noop",
+    batch: bool = True,
+    resilience: ResiliencePolicy | None = None,
+) -> WebBase:
+    return WebBase.create(
+        WebBaseConfig(
+            cache=CachePolicy.lru() if cache == "lru" else CachePolicy.noop(),
+            max_workers=4,
+            batch=batch,
+            fabric=fabric,
+            faults=(
+                seed_plan.fault_plan(error_rates=(0.0, 0.15), spike_rates=(0.0, 0.2))
+                if seed_plan is not None
+                else None
+            ),
+            retry=RetryPolicy(max_attempts=6),
+            resilience=resilience or ResiliencePolicy(),
+        )
+    )
+
+
+def _scenario(seed: int) -> tuple[SimulationPlan, str, list[dict]]:
+    """One seeded batch scenario: relation, bindings (with a duplicate)."""
+    plan = SimulationPlan(seed)
+    rng = plan.rng("bindings")
+    relation = rng.choice(RELATIONS)
+    givens = [{"make": rng.choice(MAKES)} for _ in range(rng.randint(4, 8))]
+    givens.append(dict(givens[0]))  # a guaranteed duplicate binding
+    return plan, relation, givens
+
+
+class TestThreadAsyncEquivalence:
+    """Property: the fabric is a concurrency mechanism, not a semantics
+    change — rows are byte-identical to the threaded path across fault
+    plans × cache modes × batching modes."""
+
+    @pytest.mark.parametrize("cache", ["noop", "lru"])
+    @pytest.mark.parametrize("seed", derive_seeds("fabric-equivalence", 3))
+    def test_batched_rows_identical(self, seed, cache):
+        plan, relation, givens = _scenario(seed)
+
+        threaded_wb = _build("thread", plan, cache=cache)
+        tctx = threaded_wb.execution_context(label="equiv-thread")
+        threaded = threaded_wb.cache.fetch_batch(
+            relation, [dict(g) for g in givens], context=tctx
+        )
+        assert not tctx.failures
+
+        async_wb = _build("async", plan, cache=cache)
+        actx = async_wb.execution_context(label="equiv-async")
+        fabric = async_wb.cache.fetch_batch(
+            relation, [dict(g) for g in givens], context=actx
+        )
+        assert not actx.failures
+
+        assert [_rows(r) for r in fabric] == [_rows(r) for r in threaded]
+
+    @pytest.mark.parametrize("seed", derive_seeds("fabric-equivalence-nobatch", 2))
+    def test_unbatched_rows_identical(self, seed):
+        plan, relation, givens = _scenario(seed)
+
+        threaded_wb = _build("thread", plan, batch=False)
+        threaded = [threaded_wb.fetch_vps(relation, dict(g)) for g in givens]
+
+        async_wb = _build("async", plan, batch=False)
+        fabric = [async_wb.fetch_vps(relation, dict(g)) for g in givens]
+
+        assert [_rows(r) for r in fabric] == [_rows(r) for r in threaded]
+
+    def test_full_query_identical(self):
+        query = "SELECT make, model, price WHERE make = 'jaguar'"
+        threaded = _build("thread").query(query)
+        fabric = _build("async").query(query)
+        assert _rows(fabric) == _rows(threaded)
+
+
+class TestInterleavingSweep:
+    """Drive ``cancel()`` at every sampled cooperative checkpoint of a
+    batch session; terminal-state and accounting invariants must hold at
+    every single interleaving."""
+
+    SEED = derive_seeds("fabric-sweep", 1)[0]
+
+    def _run_batch(self, fire_at: int | None):
+        plan, relation, givens = _scenario(self.SEED)
+        wb = _build("async", plan)
+        ctx = wb.execution_context(label="sweep")
+        if fire_at is not None:
+            ctx.checkpoint_hook = checkpoint_injector(
+                fire_at, lambda: ctx.cancel("sweep cancel")
+            )
+        rel = wb.vps.relation(relation)
+        batch = ctx.run_fetch_batch(rel, [dict(g) for g in givens])
+        return wb, ctx, batch
+
+    def test_cancel_at_every_sampled_checkpoint(self):
+        # A clean run measures the checkpoint space...
+        wb, ctx, batch = self._run_batch(None)
+        total = ctx._checkpoints
+        assert total > 0
+        assert all(h.state == ACCESS_DONE for h in batch)
+
+        # ...then the sweep revisits it: first, last, and a seeded sample.
+        rng = SimulationPlan(self.SEED).rng("sweep-points")
+        points = {1, total}
+        while len(points) < min(10, total):
+            points.add(rng.randrange(1, total + 1))
+
+        for fire_at in sorted(points):
+            wb, ctx, batch = self._run_batch(fire_at)
+            states = [h.state for h in batch]
+            # Every handle reached a terminal state — nothing hangs, and
+            # nothing lands outside DONE/CANCELLED.
+            assert all(s in ACCESS_TERMINAL for s in states), (fire_at, states)
+            assert set(states) <= {ACCESS_DONE, ACCESS_CANCELLED}, (fire_at, states)
+            distinct = {id(h): h for h in batch}.values()
+            cancelled = [h for h in distinct if h.state == ACCESS_CANCELLED]
+            assert cancelled, "checkpoint %d fired but nothing cancelled" % fire_at
+            for handle in cancelled:
+                assert isinstance(
+                    handle.error, (AccessCancelled, DeadlineExceeded)
+                ), (fire_at, handle.error)
+                assert handle.pages >= 0
+            # Accounting reconciles: one resilience.cancelled event per
+            # cancelled handle, and reclaimed pages never negative.
+            counted = wb.metrics.counter("resilience.cancelled").value
+            assert counted == len(cancelled), (fire_at, counted, len(cancelled))
+            assert wb.metrics.counter("resilience.reclaimed_pages").value >= 0
+            with pytest.raises((AccessCancelled, DeadlineExceeded, FanoutError)):
+                batch.results()
+
+    def test_checkpoint_count_is_deterministic(self):
+        _, ctx_a, batch_a = self._run_batch(None)
+        _, ctx_b, batch_b = self._run_batch(None)
+        assert ctx_a._checkpoints == ctx_b._checkpoints
+        assert ctx_a.fabric_window_seconds == ctx_b.fabric_window_seconds
+        assert [
+            _rows(h.result()) for h in batch_a
+        ] == [_rows(h.result()) for h in batch_b]
+
+
+class TestFabricResilience:
+    def test_bulkhead_bounds_and_counts_waits(self):
+        wb = _build(
+            "async", resilience=ResiliencePolicy(bulkhead_per_host=1)
+        )
+        ctx = wb.execution_context(label="bulkhead")
+        rel = wb.vps.relation("newsday")
+        batch = ctx.run_fetch_batch(rel, [{"make": m} for m in MAKES])
+        assert all(h.state == ACCESS_DONE for h in batch)
+        # Seven concurrent bindings through a one-slot bulkhead: someone
+        # waited, and the wait was counted like the threaded gate counts.
+        assert wb.metrics.counter("resilience.bulkhead_waits").value >= 1
+
+    def test_open_breaker_sheds_speculative_access(self):
+        wb = _build("async")
+        ctx = wb.execution_context(label="breaker")
+        rel = wb.vps.relation("newsday")
+        for _ in range(wb.config.resilience.failure_threshold):
+            wb.resilience.record_failure(rel.host)
+        assert not wb.resilience.allows_speculation(rel.host)
+        handle = ctx.run_fetch(rel, {"make": "saab"}, speculative=True)
+        assert handle.state == ACCESS_SHED
+        assert isinstance(handle.error, CircuitOpenError)
+        # A *required* access still passes through the open breaker.
+        required = ctx.run_fetch(rel, {"make": "saab"})
+        assert required.state == ACCESS_DONE
+        assert wb.metrics.counter("resilience.pass_throughs").value >= 1
+
+
+class TestSpeculationBudget:
+    def test_allowance_caps_outstanding(self):
+        budget = SpeculationBudget(wasted_pages=2)
+        assert budget.try_issue("h")
+        assert budget.try_issue("h")
+        assert not budget.try_issue("h")  # at the cap
+        assert budget.outstanding("h") == 2
+
+    def test_consumption_grows_allowance(self):
+        budget = SpeculationBudget(wasted_pages=2, max_allowance=4)
+        for _ in range(2):
+            assert budget.try_issue("h")
+        budget.consumed("h")
+        budget.consumed("h")
+        assert budget.allowance("h") == 4
+        assert budget.outstanding("h") == 0
+        budget.consumed("h")  # capped at max_allowance
+        assert budget.allowance("h") == 4
+        assert budget.consumed_total == 3
+
+    def test_waste_shrinks_allowance(self):
+        budget = SpeculationBudget(wasted_pages=4, min_allowance=2)
+        assert budget.try_issue("h")
+        budget.wasted("h")
+        assert budget.allowance("h") == 3
+        budget.wasted("h")
+        budget.wasted("h")
+        assert budget.allowance("h") == 2  # floored at min_allowance
+        assert budget.wasted_total == 3
+
+    def test_release_is_neutral(self):
+        budget = SpeculationBudget(wasted_pages=2)
+        assert budget.try_issue("h")
+        budget.release("h")
+        assert budget.allowance("h") == 2
+        assert budget.outstanding("h") == 0
+
+    def test_hosts_are_independent(self):
+        budget = SpeculationBudget(wasted_pages=1)
+        assert budget.try_issue("a")
+        assert not budget.try_issue("a")
+        assert budget.try_issue("b")
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            SpeculationBudget(wasted_pages=0)
+
+    def test_fabric_settles_reservations(self):
+        """After an async batch with speculation, the budget's books
+        balance: nothing stays reserved beyond the cache's speculative
+        entries, and consumed + wasted never exceeds what was issued."""
+        plan, relation, _ = _scenario(derive_seeds("fabric-budget", 1)[0])
+        wb = _build("async")
+        ctx = wb.execution_context(label="budget")
+        rel = wb.vps.relation(relation)
+        batch = ctx.run_fetch_batch(rel, [{"make": m} for m in MAKES[:5]])
+        assert all(h.state == ACCESS_DONE for h in batch)
+        budget = ctx.speculation_budget
+        assert budget is not None
+        issued = wb.metrics.counter("nav.prefetch_issued").value
+        assert budget.consumed_total + budget.wasted_total <= max(issued, 0) + 1
+        for host in [rel.host]:
+            assert 0 <= budget.outstanding(host) <= budget.max_allowance
+
+
+class TestFabricTimingModel:
+    def test_window_reflects_overlap(self):
+        """64 bindings on the fabric: the virtual-time window is far
+        below the sum of per-fetch network seconds (the whole point)."""
+        rng = random.Random(derive_seeds("fabric-window", 1)[0])
+        givens = [{"make": rng.choice(MAKES)} for _ in range(64)]
+        wb = _build("async")
+        ctx = wb.execution_context(label="window")
+        rel = wb.vps.relation("newsday")
+        batch = ctx.run_fetch_batch(rel, givens)
+        assert all(h.state == ACCESS_DONE for h in batch)
+        assert ctx.fabric_window_seconds > 0
+        assert ctx.fabric_window_seconds < ctx.network_seconds_total
+        assert ctx.elapsed_seconds >= ctx.fabric_window_seconds

@@ -24,6 +24,7 @@ from repro.vps.cache import CachePolicy
 from repro.web.browser import Browser, PrefixPageCache, request_key
 from repro.web.http import Request, Url
 from repro.web.server import FaultPlan
+from tests.conftest import derive_seeds
 
 JAGUAR_QUERY = (
     "SELECT make, model, year, price, bb_price, safety, contact "
@@ -184,7 +185,7 @@ class TestBatchEquivalenceProperty:
         )
 
     @pytest.mark.parametrize("policy", ["noop", "lru"])
-    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("seed", derive_seeds("batch-equivalence", 3))
     def test_fetch_batch_matches_per_binding_fetch(self, seed, policy):
         rng = random.Random(seed)
         relation = rng.choice(["newsday", "autoweb"])

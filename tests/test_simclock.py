@@ -1,0 +1,174 @@
+"""The virtual-time loop and the deterministic simulation plan.
+
+What makes the fabric testable at all: ``await asyncio.sleep(x)`` on a
+:class:`~repro.core.simclock.SimLoop` costs zero real time and exactly
+``x`` virtual seconds, overlapping sleeps cost their *makespan* (not
+their sum), and a seeded :class:`~repro.core.simclock.SimulationPlan`
+replays every random choice — so the same seed produces the same
+virtual timestamps, run after run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.simclock import (
+    FabricRuntime,
+    SimulationPlan,
+    VirtualClock,
+    checkpoint_injector,
+)
+
+
+@pytest.fixture()
+def runtime():
+    rt = FabricRuntime()
+    yield rt
+    rt.shutdown()
+
+
+class TestVirtualClock:
+    def test_advances_monotonically(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+
+    def test_rejects_rewind(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestVirtualTime:
+    def test_sleep_costs_virtual_not_real_time(self, runtime):
+        async def slow():
+            start = asyncio.get_running_loop().time()
+            await asyncio.sleep(1000.0)
+            return asyncio.get_running_loop().time() - start
+
+        real_start = time.monotonic()
+        virtual = runtime.run(slow(), timeout=30)
+        real = time.monotonic() - real_start
+        assert virtual >= 1000.0
+        assert real < 10.0  # a thousand simulated seconds, near-free for real
+
+    def test_overlapping_sleeps_cost_their_makespan(self, runtime):
+        async def workload():
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await asyncio.gather(*(asyncio.sleep(5.0) for _ in range(50)))
+            return loop.time() - start
+
+        elapsed = runtime.run(workload(), timeout=30)
+        # 50 concurrent 5s sleeps: makespan ~5s, nowhere near the 250s sum.
+        assert 5.0 <= elapsed < 6.0
+
+    def test_sequential_sleeps_add_up(self, runtime):
+        async def workload():
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            for _ in range(4):
+                await asyncio.sleep(2.0)
+            return loop.time() - start
+
+        elapsed = runtime.run(workload(), timeout=30)
+        assert 8.0 <= elapsed < 9.0
+
+    def test_cross_thread_submit_returns_values(self, runtime):
+        async def answer(x):
+            await asyncio.sleep(0.1)
+            return x * 2
+
+        futures = [runtime.submit(answer(i)) for i in range(10)]
+        assert [f.result(timeout=30) for f in futures] == [i * 2 for i in range(10)]
+
+    def test_shutdown_is_idempotent(self):
+        rt = FabricRuntime()
+        rt.shutdown()
+        rt.shutdown()
+
+    def test_replay_same_schedule_same_timestamps(self):
+        """The determinism contract: an identical seeded workload on a
+        fresh loop completes with identical virtual timestamps."""
+
+        def trace(seed: int) -> list[tuple[str, float]]:
+            plan = SimulationPlan(seed)
+            rng = plan.rng("delays")
+            delays = {name: round(rng.uniform(0.1, 3.0), 3) for name in "abcdef"}
+            events: list[tuple[str, float]] = []
+            rt = FabricRuntime()
+            try:
+                async def task(name, delay):
+                    await asyncio.sleep(delay)
+                    events.append((name, asyncio.get_running_loop().time()))
+
+                async def workload():
+                    await asyncio.gather(
+                        *(task(n, d) for n, d in sorted(delays.items()))
+                    )
+
+                rt.run(workload(), timeout=30)
+            finally:
+                rt.shutdown()
+            return events
+
+        assert trace(1234) == trace(1234)
+        assert trace(1234) != trace(4321)
+
+
+class TestSimulationPlan:
+    def test_streams_are_independent(self):
+        plan = SimulationPlan(7)
+        first = plan.rng("faults").random()
+        # Drawing from another stream never perturbs this one.
+        plan.rng("latencies").random()
+        assert plan.rng("faults").random() == first
+
+    def test_derive_changes_streams(self):
+        plan = SimulationPlan(7)
+        child = plan.derive("sub")
+        assert child.seed != plan.seed
+        assert child.rng("faults").random() != plan.rng("faults").random()
+
+    def test_fault_plan_is_reproducible(self):
+        a = SimulationPlan(99).fault_plan()
+        b = SimulationPlan(99).fault_plan()
+        assert (a.seed, a.error_rate, a.spike_rate) == (
+            b.seed,
+            b.error_rate,
+            b.spike_rate,
+        )
+
+    def test_latencies_cover_hosts_deterministically(self):
+        hosts = ["a.example", "b.example"]
+        a = SimulationPlan(5).latencies(hosts)
+        b = SimulationPlan(5).latencies(hosts)
+        assert sorted(a) == hosts
+        assert [a[h].rtt for h in hosts] == [b[h].rtt for h in hosts]
+
+    def test_cancel_point_in_range(self):
+        for seed in range(20):
+            point = SimulationPlan(seed).cancel_point(17)
+            assert 0 <= point < 17
+        assert SimulationPlan(3).cancel_point(0) == 0
+
+
+class TestCheckpointInjector:
+    def test_fires_exactly_once_at_threshold(self):
+        fired: list[int] = []
+        hook = checkpoint_injector(5, lambda: fired.append(1))
+        for ordinal in range(1, 10):
+            hook(ordinal)
+        assert fired == [1]
+
+    def test_fires_on_first_ordinal_past_threshold(self):
+        fired: list[int] = []
+        hook = checkpoint_injector(3, lambda: fired.append(1))
+        hook(1)
+        assert not fired
+        hook(7)  # jumped past 3: still fires (once)
+        hook(8)
+        assert fired == [1]
