@@ -17,6 +17,9 @@
     python -m repro serve [--port N] [--queue-limit N] [--service-workers N]
     python -m repro client "SELECT ..." [--port N] [--deadline-ms MS]
     python -m repro --store DIR store inspect|compact|rebuild
+    python -m repro cluster serve --store-root DIR [--shards N] [--port N]
+    python -m repro cluster status [--port N] [--metrics]
+    python -m repro cluster drain [--port N]
 
 Every invocation builds the simulated Web and maps it by example (fast
 and deterministic); ``--seed`` and ``--ads-per-host`` change the world,
@@ -339,6 +342,83 @@ def _build_parser() -> argparse.ArgumentParser:
         "server maps its world by example before it listens)",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="the sharded multi-process tier: router + N worker processes "
+        "with host-affinity routing and cross-shard cache federation",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cserve = cluster_sub.add_parser(
+        "serve", help="run a router and spawn its worker processes"
+    )
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument("--port", type=int, default=8570, help="0 = ephemeral")
+    cserve.add_argument("--shards", type=int, default=3)
+    cserve.add_argument(
+        "--store-root",
+        required=True,
+        metavar="DIR",
+        help="per-shard store directories are created under here",
+    )
+    cserve.add_argument(
+        "--queue-limit", type=int, default=16, help="per-worker admission bound"
+    )
+    cserve.add_argument(
+        "--service-workers", type=int, default=4, help="threads per worker"
+    )
+    cserve.add_argument(
+        "--max-inflight", type=int, default=64, help="router admission bound"
+    )
+    cserve.add_argument(
+        "--federation",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="the cross-shard cache federation bus",
+    )
+    cserve.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="worker health-check ping period",
+    )
+
+    cstatus = cluster_sub.add_parser(
+        "status", help="topology and health of a running cluster router"
+    )
+    cstatus.add_argument("--host", default="127.0.0.1")
+    cstatus.add_argument("--port", type=int, default=8570)
+    cstatus.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the merged cross-shard metrics snapshot",
+    )
+
+    cdrain = cluster_sub.add_parser(
+        "drain", help="gracefully drain a running cluster (workers first)"
+    )
+    cdrain.add_argument("--host", default="127.0.0.1")
+    cdrain.add_argument("--port", type=int, default=8570)
+
+    cworker = cluster_sub.add_parser(
+        "worker", help="one shard worker process (spawned by 'cluster serve')"
+    )
+    cworker.add_argument("--shard-id", required=True)
+    cworker.add_argument("--store-dir", required=True)
+    cworker.add_argument("--addr-file", default="")
+    cworker.add_argument("--host", default="127.0.0.1")
+    cworker.add_argument("--port", type=int, default=0)
+    cworker.add_argument("--seed", type=int, default=1999)
+    cworker.add_argument("--ads-per-host", type=int, default=120)
+    cworker.add_argument("--queue-limit", type=int, default=16)
+    cworker.add_argument("--threads", type=int, default=4)
+    cworker.add_argument(
+        "--federation", default="", metavar="HOST:PORT",
+        help="federation bus address (empty = no federation)",
+    )
+    cworker.add_argument("--allow-mutation", action="store_true")
+
     store = sub.add_parser(
         "store",
         help="inspect, compact, or rebuild a tiered store directory "
@@ -361,8 +441,87 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cluster_main(args: argparse.Namespace) -> int:
+    if args.cluster_command == "worker":
+        from repro.cluster.worker import worker_main
+
+        return worker_main(args)
+
+    if args.cluster_command == "serve":
+        import threading
+
+        from repro.cluster.router import ClusterConfig, LocalCluster
+
+        cluster = LocalCluster(
+            ClusterConfig(
+                store_root=args.store_root,
+                host=args.host,
+                port=args.port,
+                shards=args.shards,
+                seed=args.seed,
+                ads_per_host=args.ads_per_host,
+                worker_queue_limit=args.queue_limit,
+                worker_threads=args.service_workers,
+                federation=args.federation,
+                max_inflight=args.max_inflight,
+                health_interval_seconds=args.health_interval,
+            )
+        )
+        host, port = cluster.start()
+        print(
+            "cluster router on %s:%d (%d worker processes under %s, "
+            "federation=%s)"
+            % (
+                host,
+                port,
+                args.shards,
+                args.store_root,
+                "on" if args.federation else "off",
+            ),
+            flush=True,
+        )
+        try:
+            # Serve until a remote `cluster drain` stops the router ...
+            cluster.router.wait_stopped()
+            print("\ncluster drained")
+        except KeyboardInterrupt:  # ... or the operator interrupts us.
+            print("\ndraining cluster ...")
+        snapshot = cluster.stop()
+        print("final router metrics:")
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            if name.startswith("cluster."):
+                print("  %-28s %d" % (name, value))
+        return 0
+
+    # status / drain: pure network client against a running router.
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(
+            host=args.host, port=args.port, connect_timeout=5.0
+        ) as client:
+            if args.cluster_command == "drain":
+                print(json.dumps(client.drain(), indent=2, sort_keys=True))
+                return 0
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            if args.metrics:
+                merged = client.metrics()
+                print("merged cross-shard metrics:")
+                print(json.dumps(merged, indent=2, sort_keys=True))
+    except ServiceError as exc:
+        print("cluster error [%s]: %s" % (exc.code, exc))
+        return 2
+    except OSError as exc:
+        print("cannot reach %s:%d: %s" % (args.host, args.port, exc))
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "cluster":
+        return _cluster_main(args)
 
     if args.command == "client":
         # Pure network client: no webbase is built on this side.

@@ -1,0 +1,78 @@
+"""Rendezvous (highest-random-weight) hashing for host-affinity sharding.
+
+Every (shard, key) pair gets a deterministic pseudo-random score from a
+cryptographic digest; a key is owned by the live shard with the highest
+score.  Two properties make HRW the right fit for the cluster tier:
+
+* **minimal reshuffle** — removing a shard only moves the keys *it*
+  owned (each surviving shard's scores are untouched, so every other
+  key keeps its owner); adding a shard only steals the keys it now wins.
+  The property test in ``tests/test_hashring.py`` pins both directions.
+* **derived successor order** — :meth:`HashRing.ranked` gives the full
+  preference list per key, so "the successor in the HRW order adopts a
+  dead shard's hosts" needs no extra coordination state: everyone who
+  knows the member list computes the same takeover plan.
+
+Scores are SHA-1 based, so they are stable across processes and Python
+hash randomization — a router and its workers always agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def score(node: str, key: str) -> int:
+    """The deterministic HRW weight of ``node`` for ``key``."""
+    digest = hashlib.sha1(
+        ("%s|%s" % (node, key)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """The live membership set plus HRW ownership queries."""
+
+    def __init__(self, nodes: Iterable[str] = ()) -> None:
+        self._nodes: set[str] = set(nodes)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        self._nodes.add(node)
+
+    def remove(self, node: str) -> None:
+        self._nodes.discard(node)
+
+    # -- ownership -----------------------------------------------------------
+
+    def ranked(self, key: str) -> list[str]:
+        """Every live node, highest score first (ties broken by name so
+        the order is total and identical on every peer)."""
+        return sorted(self._nodes, key=lambda node: (-score(node, key), node))
+
+    def owner(self, key: str) -> str:
+        """The live node owning ``key``; raises on an empty ring."""
+        if not self._nodes:
+            raise LookupError("hash ring has no live nodes")
+        return self.ranked(key)[0]
+
+    def successor(self, key: str, dead: str) -> str | None:
+        """Who owns ``key`` once ``dead`` is gone — the takeover target."""
+        survivors = [node for node in self.ranked(key) if node != dead]
+        return survivors[0] if survivors else None
+
+    def assignment(self, keys: Iterable[str]) -> dict[str, str]:
+        """key → owning node for a whole key set."""
+        return {key: self.owner(key) for key in keys}

@@ -630,6 +630,7 @@ class ExecutionContext:
         wall_clock: Callable[[], float] = monotonic,
         batch_enabled: bool = False,
         page_revisions: Callable[[str], int] | None = None,
+        page_stamp_sink: Callable[[str, int], None] | None = None,
         resilience: ResilienceManager | None = None,
         fabric: str = "thread",
         fabric_runtime: "FabricRuntime | None" = None,
@@ -680,7 +681,9 @@ class ExecutionContext:
         self.speculation_budget: SpeculationBudget | None = None
         if self.batch_enabled:
             self.page_cache = PrefixPageCache(
-                revision_of=page_revisions, metrics=self.metrics
+                revision_of=page_revisions,
+                metrics=self.metrics,
+                stamp_sink=page_stamp_sink,
             )
             self.speculation_budget = SpeculationBudget(metrics=self.metrics)
             if self.fabric == "async":

@@ -98,6 +98,8 @@ class WebBase:
         from repro.store.cdc import DeltaFeed
 
         self.cdc = DeltaFeed()
+        # Optional cluster cache federation (attach_federation).
+        self.federation: Any = None
         # Optional tiered persistence underneath the whole stack.
         self.store: Any = None
         if config.store_dir:
@@ -138,6 +140,47 @@ class WebBase:
         if warm:
             self.cache.warm_from_store()
 
+    def attach_federation(self, federation: Any) -> None:
+        """Join a cluster's cross-shard cache federation: this webbase's
+        result cache consults it before live fetches and publishes its
+        fills and revision bumps to it (see
+        :mod:`repro.cluster.federation`).  Strictly fail-open — a dead
+        federation degrades to the local cache, never to an error."""
+        self.federation = federation
+        self.cache.federation = federation
+
+    def adopt_store_dir(self, store_dir: str) -> dict[str, Any]:
+        """Shard takeover: warm this webbase from a *dead sibling's*
+        tiered store directory.
+
+        Adopts the sibling's navigation-map revisions (max-merge — never
+        backwards), warms its current-revision silver segments into the
+        result cache, and returns its persisted standing queries for the
+        service layer to merge (``"standing"`` in the result).  The
+        foreign store is opened read-only-in-spirit and closed again; its
+        logs are never adopted as this webbase's own write path."""
+        from repro.store.tiered import TieredStore
+
+        foreign = TieredStore(store_dir, fsync=False)
+        try:
+            revisions = foreign.revisions()
+            adopted = 0
+            for host, revision in sorted(revisions.items()):
+                if self.cache.adopt_revision(host, revision):
+                    adopted += 1
+            for host in sorted(foreign.quarantined()):
+                self.cache.quarantine(host)
+            warmed = self.cache.warm_from_store(store=foreign)
+            standing = foreign.standing_queries()
+        finally:
+            foreign.close()
+        return {
+            "store_dir": store_dir,
+            "revisions_adopted": adopted,
+            "warmed": warmed,
+            "standing": standing,
+        }
+
     @classmethod
     def create(cls, config: WebBaseConfig | None = None) -> "WebBase":
         """Build the simulated Web per ``config`` and assemble the webbase
@@ -174,6 +217,11 @@ class WebBase:
             deadline_seconds=deadline_seconds,
             batch_enabled=config.batch,
             page_revisions=self.cache.revision,
+            page_stamp_sink=(
+                None
+                if self.federation is None
+                else getattr(self.federation, "page_stamp", None)
+            ),
             resilience=self.resilience,
             fabric=config.fabric,
             fabric_runtime=self._fabric_runtime(),

@@ -22,11 +22,23 @@ from repro.service.protocol import ProtocolError
 
 
 class ServiceError(WebBaseError):
-    """A structured error frame from the server."""
+    """A structured error frame from the server.
+
+    ``retry_after_ms`` carries a router's admission-control hint (when
+    to retry an ``OVERLOADED`` shed); ``address`` carries a ``REDIRECT``
+    target.  Both default to absent — a pre-cluster server never sends
+    them, and the client tolerates that skew by construction."""
 
     code = protocol.E_INTERNAL
 
-    def __init__(self, message: str, code: str | None = None, retriable: bool | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        code: str | None = None,
+        retriable: bool | None = None,
+        retry_after_ms: float | None = None,
+        address: tuple[str, int] | None = None,
+    ) -> None:
         super().__init__(message)
         if code is not None:
             self.code = code
@@ -35,6 +47,8 @@ class ServiceError(WebBaseError):
             if retriable is not None
             else self.code in protocol.RETRIABLE_CODES
         )
+        self.retry_after_ms = retry_after_ms
+        self.address = address
 
 
 class Overloaded(ServiceError):
@@ -61,16 +75,60 @@ class DeadlineExceededError(ServiceError):
     code = protocol.E_DEADLINE_EXCEEDED
 
 
+class Redirected(ServiceError):
+    """The router wants us to ask ``address`` directly.  Retriable there."""
+
+    code = protocol.E_REDIRECT
+
+
 _ERROR_TYPES = {
     cls.code: cls
-    for cls in (Overloaded, ClientLimited, ServiceShuttingDown, DeadlineExceededError)
+    for cls in (
+        Overloaded,
+        ClientLimited,
+        ServiceShuttingDown,
+        DeadlineExceededError,
+        Redirected,
+    )
 }
 
 
-def error_for(code: str, message: str, retriable: bool) -> ServiceError:
+def error_for(
+    code: str,
+    message: str,
+    retriable: bool,
+    retry_after_ms: float | None = None,
+    address: tuple[str, int] | None = None,
+) -> ServiceError:
     """The typed exception for one wire error frame."""
     cls = _ERROR_TYPES.get(code, ServiceError)
-    return cls(message, code=code, retriable=retriable)
+    return cls(
+        message,
+        code=code,
+        retriable=retriable,
+        retry_after_ms=retry_after_ms,
+        address=address,
+    )
+
+
+def error_from_frame(frame: dict[str, Any]) -> ServiceError:
+    """Decode one wire ``error`` frame into its typed exception,
+    tolerating absent (older peer) and unknown (newer peer) fields."""
+    retry_after = frame.get("retry_after_ms")
+    address = frame.get("address")
+    return error_for(
+        str(frame.get("code", protocol.E_INTERNAL)),
+        str(frame.get("message", "")),
+        bool(frame.get("retriable", False)),
+        retry_after_ms=(
+            float(retry_after) if isinstance(retry_after, (int, float)) else None
+        ),
+        address=(
+            (str(address[0]), int(address[1]))
+            if isinstance(address, (list, tuple)) and len(address) == 2
+            else None
+        ),
+    )
 
 
 @dataclass
@@ -137,24 +195,32 @@ class ServiceClient:
         port: int = 8571,
         timeout: float = 60.0,
         connect_timeout: float = 5.0,
+        clock: Any = None,
+        sleep: Any = None,
     ) -> None:
         self.host = host
         self.port = port
         self._next_id = 0
+        # The backoff clock is injectable so retry tests never sleep real
+        # wall time: ``clock`` replaces ``time.monotonic`` and ``sleep``
+        # replaces ``time.sleep`` in the connect loop and in
+        # :meth:`query_retry`'s backoff.
+        self._clock = clock or time.monotonic
+        self._sleep = sleep or time.sleep
         # Push frames for live subscriptions that arrive while another
         # request is being awaited on this connection are parked here
         # (frames for abandoned ids are still dropped).
         self._subscribed_ids: set[int] = set()
         self._parked: dict[int, list[dict[str, Any]]] = {}
-        deadline = time.monotonic() + max(0.0, connect_timeout)
+        deadline = self._clock() + max(0.0, connect_timeout)
         while True:
             try:
                 self._sock = socket.create_connection((host, port), timeout=timeout)
                 break
             except OSError:
-                if time.monotonic() >= deadline:
+                if self._clock() >= deadline:
                     raise
-                time.sleep(0.1)
+                self._sleep(0.1)
         self._sock.settimeout(timeout)
         self._timeout = timeout
         # Hand-rolled line buffering instead of sock.makefile: a timed-out
@@ -269,11 +335,74 @@ class ServiceClient:
             raise ProtocolError("expected metrics, got %r" % frame.get("type"))
         return frame["metrics"]
 
+    def hello(self) -> dict[str, Any]:
+        """Identify the peer: its protocol version, shard id, and role.
+
+        A pre-cluster server does not know the op and answers with a
+        ``BAD_REQUEST`` error — that skew is folded into a synthetic
+        version-1 welcome instead of an exception, so callers can probe
+        any generation of server with one call."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "hello"})
+        frame = self._recv(request_id)
+        if frame.get("type") == "error":
+            return {"protocol_version": 1, "shard_id": "", "role": "service"}
+        if frame.get("type") != "welcome":
+            raise ProtocolError("expected welcome, got %r" % frame.get("type"))
+        return {k: v for k, v in frame.items() if k not in ("id", "type")}
+
+    def status(self) -> dict[str, Any]:
+        """The peer's status object (cluster topology when it's a router)."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "status"})
+        frame = self._recv(request_id)
+        if frame.get("type") == "error":
+            raise error_from_frame(frame)
+        if frame.get("type") != "status":
+            raise ProtocolError("expected status, got %r" % frame.get("type"))
+        return dict(frame.get("status") or {})
+
+    def adopt(self, store_dir: str) -> dict[str, Any]:
+        """Ask a worker to warm itself from a dead sibling's store
+        directory (shard takeover).  Returns the adoption stats."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "adopt", "text": store_dir})
+        frame = self._recv(request_id)
+        if frame.get("type") == "error":
+            raise error_from_frame(frame)
+        if frame.get("type") != "result":
+            raise ProtocolError("expected result, got %r" % frame.get("type"))
+        return {k: v for k, v in frame.items() if k not in ("id", "type")}
+
+    def mutate(self, spec: str) -> dict[str, Any]:
+        """Apply a simulated-Web churn mutation server-side (gated behind
+        ``ServiceConfig.allow_world_mutation``; test/bench harness only)."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "mutate", "text": spec})
+        frame = self._recv(request_id)
+        if frame.get("type") == "error":
+            raise error_from_frame(frame)
+        if frame.get("type") != "result":
+            raise ProtocolError("expected result, got %r" % frame.get("type"))
+        return {k: v for k, v in frame.items() if k not in ("id", "type")}
+
+    def drain(self) -> dict[str, Any]:
+        """Ask the peer to drain gracefully; returns its final status."""
+        request_id = self._request_id()
+        self._send({"id": request_id, "op": "drain"})
+        frame = self._recv(request_id)
+        if frame.get("type") == "error":
+            raise error_from_frame(frame)
+        if frame.get("type") != "status":
+            raise ProtocolError("expected status, got %r" % frame.get("type"))
+        return dict(frame.get("status") or {})
+
     def stream(
         self,
         text: str,
         deadline_ms: float | None = None,
         page_size: int | None = None,
+        redirect_ok: bool = False,
     ) -> Iterator[Page]:
         """Issue one query and yield its pages as the server streams them.
 
@@ -281,6 +410,8 @@ class ServiceClient:
         error frame (pages already yielded remain valid partial results).
         The generator ends after the terminal ``result`` frame; its stats
         land on the generator's ``StopIteration`` value via :meth:`query`.
+        With ``redirect_ok`` a cluster router may answer with a
+        :class:`Redirected` naming the owning shard instead of proxying.
         """
         request_id = self._request_id()
         payload: dict[str, Any] = {"id": request_id, "op": "query", "text": text}
@@ -288,6 +419,8 @@ class ServiceClient:
             payload["deadline_ms"] = deadline_ms
         if page_size is not None:
             payload["page_size"] = page_size
+        if redirect_ok:
+            payload["redirect_ok"] = True
         self._send(payload)
         while True:
             frame = self._recv(request_id)
@@ -305,11 +438,7 @@ class ServiceClient:
                 }
                 return stats  # noqa: B901 - surfaced via StopIteration.value
             elif kind == "error":
-                raise error_for(
-                    str(frame.get("code", protocol.E_INTERNAL)),
-                    str(frame.get("message", "")),
-                    bool(frame.get("retriable", False)),
-                )
+                raise error_from_frame(frame)
             else:
                 raise ProtocolError("unexpected frame type %r" % kind)
 
@@ -356,11 +485,7 @@ class ServiceClient:
                     resumed=bool(frame["resumed"]),
                 )
             elif kind == "error":
-                raise error_for(
-                    str(frame.get("code", protocol.E_INTERNAL)),
-                    str(frame.get("message", "")),
-                    bool(frame.get("retriable", False)),
-                )
+                raise error_from_frame(frame)
             else:
                 raise ProtocolError("unexpected frame type %r" % kind)
 
@@ -375,11 +500,7 @@ class ServiceClient:
             return None
         kind = frame.get("type")
         if kind == "error":
-            raise error_for(
-                str(frame.get("code", protocol.E_INTERNAL)),
-                str(frame.get("message", "")),
-                bool(frame.get("retriable", False)),
-            )
+            raise error_from_frame(frame)
         if kind != "delta":
             raise ProtocolError("expected delta, got %r" % kind)
         delta = Delta(
@@ -420,11 +541,7 @@ class ServiceClient:
         frame = self._recv(request_id)
         kind = frame.get("type")
         if kind == "error":
-            raise error_for(
-                str(frame.get("code", protocol.E_INTERNAL)),
-                str(frame.get("message", "")),
-                bool(frame.get("retriable", False)),
-            )
+            raise error_from_frame(frame)
         if kind != "result":
             raise ProtocolError("expected result, got %r" % kind)
         return {k: v for k, v in frame.items() if k not in ("id", "type")}
@@ -434,12 +551,18 @@ class ServiceClient:
         text: str,
         deadline_ms: float | None = None,
         page_size: int | None = None,
+        redirect_ok: bool = False,
     ) -> QueryOutcome:
         """Issue one query and collect the full streamed answer."""
         schema: list[str] = []
         rows: list[tuple] = []
         pages = 0
-        stream = self.stream(text, deadline_ms=deadline_ms, page_size=page_size)
+        stream = self.stream(
+            text,
+            deadline_ms=deadline_ms,
+            page_size=page_size,
+            redirect_ok=redirect_ok,
+        )
         while True:
             try:
                 page = next(stream)
@@ -450,3 +573,53 @@ class ServiceClient:
             rows.extend(page.rows)
             pages += 1
         return QueryOutcome(schema=schema, rows=rows, pages=pages, stats=stats)
+
+    def query_retry(
+        self,
+        text: str,
+        deadline_ms: float | None = None,
+        page_size: int | None = None,
+        retries: int = 5,
+        backoff_seconds: float = 0.05,
+        follow_redirects: bool = True,
+    ) -> QueryOutcome:
+        """:meth:`query` with typed-retriable retry.
+
+        An ``OVERLOADED``/``CLIENT_LIMIT``/``SHUTTING_DOWN`` shed is
+        retried up to ``retries`` times; when the error frame carries a
+        ``retry_after_ms`` admission hint the client honors it exactly,
+        otherwise the backoff doubles from ``backoff_seconds``.  Both
+        paths go through the injectable ``sleep`` so tests never pay
+        real wall time.  A :class:`Redirected` answer is followed by
+        opening a direct connection to the named shard (once per
+        attempt); the redirect itself consumes no retry budget."""
+        attempt = 0
+        while True:
+            try:
+                return self.query(
+                    text,
+                    deadline_ms=deadline_ms,
+                    page_size=page_size,
+                    redirect_ok=follow_redirects,
+                )
+            except Redirected as exc:
+                if not follow_redirects or exc.address is None:
+                    raise
+                with ServiceClient(
+                    exc.address[0],
+                    exc.address[1],
+                    timeout=self._timeout,
+                    clock=self._clock,
+                    sleep=self._sleep,
+                ) as direct:
+                    return direct.query(
+                        text, deadline_ms=deadline_ms, page_size=page_size
+                    )
+            except ServiceError as exc:
+                if not exc.retriable or attempt >= retries:
+                    raise
+                if exc.retry_after_ms is not None:
+                    self._sleep(max(0.0, exc.retry_after_ms / 1000.0))
+                else:
+                    self._sleep(backoff_seconds * (2.0 ** attempt))
+                attempt += 1

@@ -47,6 +47,12 @@ from typing import Any
 # A line longer than this is a protocol violation, not a big query.
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
+#: The wire protocol generation.  Routers and workers may skew one
+#: version apart during a rolling restart, so every peer must tolerate
+#: unknown frame fields (and unknown response types it did not ask for)
+#: rather than reject them — the skew test pins exactly that.
+PROTOCOL_VERSION = 2
+
 # -- error codes -------------------------------------------------------------------
 
 E_OVERLOADED = "OVERLOADED"  # admission queue full; shed — retry later
@@ -55,8 +61,11 @@ E_SHUTTING_DOWN = "SHUTTING_DOWN"  # server is draining; try another replica
 E_DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"  # the request's deadline expired
 E_BAD_REQUEST = "BAD_REQUEST"  # malformed frame, unknown op, unparsable query
 E_INTERNAL = "INTERNAL"  # unexpected server-side failure
+E_REDIRECT = "REDIRECT"  # ask the shard at error['address'] directly
 
-RETRIABLE_CODES = frozenset({E_OVERLOADED, E_CLIENT_LIMIT, E_SHUTTING_DOWN})
+RETRIABLE_CODES = frozenset(
+    {E_OVERLOADED, E_CLIENT_LIMIT, E_SHUTTING_DOWN, E_REDIRECT}
+)
 
 
 class ProtocolError(Exception):
@@ -76,9 +85,30 @@ class Request:
     # was delivered (a reconnect), so the snapshot need not be resent —
     # only the diff against the persisted snapshot.
     resume: bool = False
+    # query only: the client can follow a REDIRECT error to the named
+    # shard itself — a cluster router may then answer with a redirect
+    # instead of proxying the stream.
+    redirect_ok: bool = False
 
 
-OPS = ("query", "ping", "metrics", "subscribe", "unsubscribe", "sweep")
+#: Cluster-era ops: ``hello`` (peer identification), ``status`` (role,
+#: shard id, and topology for routers), ``adopt`` (warm this worker from
+#: a dead sibling's store directory — shard takeover), ``drain``
+#: (graceful cluster shutdown), ``mutate`` (simulated-Web churn control,
+#: gated behind ``ServiceConfig.allow_world_mutation``).
+OPS = (
+    "query",
+    "ping",
+    "metrics",
+    "subscribe",
+    "unsubscribe",
+    "sweep",
+    "hello",
+    "status",
+    "adopt",
+    "drain",
+    "mutate",
+)
 
 
 def parse_request(payload: dict[str, Any]) -> Request:
@@ -94,7 +124,7 @@ def parse_request(payload: dict[str, Any]) -> Request:
     text = payload.get("text", "")
     if not isinstance(text, str):
         raise ProtocolError("'text' must be a string")
-    if op in ("query", "subscribe", "unsubscribe") and not text.strip():
+    if op in ("query", "subscribe", "unsubscribe", "adopt", "mutate") and not text.strip():
         raise ProtocolError("a %s request needs a non-empty 'text'" % op)
     deadline_ms = payload.get("deadline_ms")
     if deadline_ms is not None:
@@ -107,6 +137,13 @@ def parse_request(payload: dict[str, Any]) -> Request:
     resume = payload.get("resume", False)
     if not isinstance(resume, bool):
         raise ProtocolError("'resume' must be a boolean")
+    redirect_ok = payload.get("redirect_ok", False)
+    if not isinstance(redirect_ok, bool):
+        raise ProtocolError("'redirect_ok' must be a boolean")
+    # Any *other* field is deliberately ignored: a newer peer may stamp
+    # requests with fields this version has never heard of (rolling
+    # restarts skew the router and its workers), and skew must degrade to
+    # "feature unused", never to BAD_REQUEST.
     return Request(
         id=request_id,
         op=op,
@@ -114,6 +151,7 @@ def parse_request(payload: dict[str, Any]) -> Request:
         deadline_ms=deadline_ms,
         page_size=page_size,
         resume=resume,
+        redirect_ok=redirect_ok,
     )
 
 
@@ -162,24 +200,73 @@ def page_frame(
     }
 
 
-def result_frame(request_id: int, stats: dict[str, Any]) -> dict[str, Any]:
-    """The terminal success frame, carrying the request's stats."""
-    return {"id": request_id, "type": "result", **stats}
+def result_frame(
+    request_id: int, stats: dict[str, Any], shard_id: str = ""
+) -> dict[str, Any]:
+    """The terminal success frame, carrying the request's stats.
+
+    A cluster member stamps its ``shard_id`` (and the protocol version)
+    onto the frame so clients and routers can see which shard actually
+    served the request; old clients fold both into the stats dict —
+    unknown fields are tolerated by construction."""
+    frame = {"id": request_id, "type": "result", **stats}
+    if shard_id:
+        frame["shard_id"] = shard_id
+        frame["protocol_version"] = PROTOCOL_VERSION
+    return frame
 
 
-def error_frame(request_id: int, code: str, message: str) -> dict[str, Any]:
-    """The terminal failure frame — structured, with the retriable flag."""
-    return {
+def error_frame(
+    request_id: int,
+    code: str,
+    message: str,
+    retry_after_ms: float | None = None,
+    address: tuple[str, int] | None = None,
+) -> dict[str, Any]:
+    """The terminal failure frame — structured, with the retriable flag.
+
+    ``retry_after_ms`` is the router's admission-control hint: an
+    ``OVERLOADED`` shed carrying it tells the client *when* backing off
+    is worth it instead of leaving the backoff curve to guesswork.
+    ``address`` rides on ``REDIRECT``: the ``(host, port)`` of the shard
+    that owns the request, for clients that asked with ``redirect_ok``.
+    """
+    frame = {
         "id": request_id,
         "type": "error",
         "code": code,
         "message": message,
         "retriable": code in RETRIABLE_CODES,
     }
+    if retry_after_ms is not None:
+        frame["retry_after_ms"] = retry_after_ms
+    if address is not None:
+        frame["address"] = [address[0], address[1]]
+    return frame
 
 
 def pong_frame(request_id: int) -> dict[str, Any]:
     return {"id": request_id, "type": "pong"}
+
+
+def welcome_frame(request_id: int, shard_id: str, role: str) -> dict[str, Any]:
+    """The answer to ``hello``: who am I talking to, and which protocol
+    generation does it speak?  Routers answer with ``role="router"``,
+    shard workers with ``role="worker"``, a plain service with
+    ``role="service"``."""
+    return {
+        "id": request_id,
+        "type": "welcome",
+        "protocol_version": PROTOCOL_VERSION,
+        "shard_id": shard_id,
+        "role": role,
+    }
+
+
+def status_frame(request_id: int, status: dict[str, Any]) -> dict[str, Any]:
+    """The answer to ``status``: one JSON object describing the peer
+    (and, for a router, the whole cluster topology)."""
+    return {"id": request_id, "type": "status", "status": status}
 
 
 def subscribed_frame(

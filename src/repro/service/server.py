@@ -68,6 +68,10 @@ from repro.ur.planner import PlanError
 from repro.ur.query import QueryParseError
 
 
+class OperationRejected(Exception):
+    """An op the service refuses by policy (maps to ``BAD_REQUEST``)."""
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Sizing and policy knobs of one service instance."""
@@ -80,6 +84,14 @@ class ServiceConfig:
     default_deadline_ms: float | None = None  # applied when a request has none
     page_size: int = 50  # rows per streamed page (request may override)
     drain_timeout_seconds: float = 30.0  # graceful-drain wait bound
+    # Cluster membership: a non-empty shard id is stamped onto result
+    # frames so clients and routers can see which shard served them.
+    shard_id: str = ""
+    # Whether the `mutate` op (simulated-Web churn control, used by the
+    # cluster test/bench harness to keep every worker's world identical)
+    # is accepted.  Off by default: a public-facing service must not let
+    # clients edit the world.
+    allow_world_mutation: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -260,6 +272,44 @@ class StandingQueryRegistry:
                     (h, rid) for h, rid in standing.subscribers if h is not handler
                 ]
 
+    def adopt(self, snapshots: dict[str, dict[str, Any] | None]) -> int:
+        """Shard takeover: merge a dead sibling's persisted standing
+        queries (text → snapshot) into this registry.
+
+        Adopted queries arrive subscriber-less — their delivered state is
+        whatever the dead shard last persisted, frozen until the client
+        resubscribes with ``resume=True`` here (routed by the cluster
+        router) and picks up exactly the diff.  Queries this registry
+        already tracks keep their own state.  Returns how many were
+        newly adopted."""
+        store = self._webbase.store
+        adopted = 0
+        with self._lock:
+            for text, snapshot in sorted(snapshots.items()):
+                if text in self._queries:
+                    continue
+                standing = StandingQuery(text)
+                if snapshot is not None:
+                    standing.schema = list(snapshot["schema"])
+                    standing.rows = {tuple(row) for row in snapshot["rows"]}
+                    standing.seq = int(snapshot["seq"])
+                    standing.has_state = True
+                self._queries[text] = standing
+                adopted += 1
+                if store is not None:
+                    store.record_standing(text, active=True)
+                    if snapshot is not None:
+                        store.persist_snapshot(
+                            text,
+                            standing.schema,
+                            sorted(standing.rows),
+                            dict(snapshot.get("revisions", {})),
+                            standing.seq,
+                        )
+        if adopted:
+            self._metrics.gauge("service.standing_active").set(len(self._queries))
+        return adopted
+
     def on_change(self, event: Any) -> None:
         """One CDC event from a maintenance sweep: re-evaluate the
         affected, subscribed standing queries and push their deltas."""
@@ -391,6 +441,26 @@ class _ClientHandler(socketserver.StreamRequestHandler):
                 self.send(
                     protocol.metrics_frame(request.id, service.metrics.snapshot())
                 )
+            elif request.op == "hello":
+                self.send(
+                    protocol.welcome_frame(
+                        request.id, service.config.shard_id, service.role
+                    )
+                )
+            elif request.op == "status":
+                self.send(
+                    protocol.status_frame(request.id, service.describe_status())
+                )
+            elif request.op == "drain":
+                # Ack with the pre-drain status, then drain off-thread:
+                # shutdown() joins the executor pool, and this handler
+                # thread must stay free to flush the ack first.
+                self.send(
+                    protocol.status_frame(request.id, service.describe_status())
+                )
+                threading.Thread(
+                    target=service.shutdown, name="service-drain", daemon=True
+                ).start()
             elif request.op == "unsubscribe":
                 service.standing.unsubscribe(self, request)
                 self.send(protocol.unsubscribed_frame(request.id))
@@ -415,6 +485,10 @@ class _TcpServer(socketserver.ThreadingTCPServer):
 
 class WebBaseService:
     """A multi-client query service over one shared webbase."""
+
+    #: What this peer answers to ``hello`` — the cluster worker wrapper
+    #: overrides it to ``"worker"``; the router speaks for itself.
+    role = "service"
 
     def __init__(self, webbase: WebBase, config: ServiceConfig | None = None) -> None:
         self.webbase = webbase
@@ -491,6 +565,19 @@ class WebBaseService:
         self.metrics.gauge("service.queue_depth").set(self._queue.qsize())
         self.metrics.counter("service.drains").inc()
         return self.metrics.snapshot()
+
+    def describe_status(self) -> dict[str, Any]:
+        """One JSON object describing this peer (the ``status`` answer)."""
+        return {
+            "role": self.role,
+            "shard_id": self.config.shard_id,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "draining": self._draining.is_set(),
+            "inflight": self._inflight,
+            "queue_depth": self._queue.qsize(),
+            "standing": len(self.standing._queries),
+            "store_dir": getattr(self.webbase.store, "root", None),
+        }
 
     def sweep(self, host: str | None = None) -> dict[str, Any]:
         """One server-side maintenance cycle (all hosts, or just ``host``).
@@ -611,6 +698,10 @@ class WebBaseService:
                 stats = {}
             elif request.op == "sweep":
                 stats = self.sweep(request.text or None)
+            elif request.op == "adopt":
+                stats = self._adopt(request.text)
+            elif request.op == "mutate":
+                stats = self._mutate(request.text)
             else:
                 stats = self._execute(job)
         except DeadlineExceeded as exc:
@@ -618,7 +709,7 @@ class WebBaseService:
             job.handler.send(
                 protocol.error_frame(request.id, E_DEADLINE_EXCEEDED, str(exc))
             )
-        except (PlanError, QueryParseError) as exc:
+        except (PlanError, QueryParseError, OperationRejected) as exc:
             self.metrics.counter("service.bad_requests").inc()
             job.handler.send(protocol.error_frame(request.id, E_BAD_REQUEST, str(exc)))
         except Exception as exc:  # noqa: BLE001 - the server must not die
@@ -631,13 +722,66 @@ class WebBaseService:
         else:
             self.metrics.counter("service.completed").inc()
             if terminal:
-                job.handler.send(protocol.result_frame(request.id, stats))
+                job.handler.send(
+                    protocol.result_frame(
+                        request.id, stats, shard_id=self.config.shard_id
+                    )
+                )
         finally:
             finished = monotonic()
             self.metrics.histogram("service.exec_seconds").observe(finished - started)
             self.metrics.histogram("service.total_seconds").observe(
                 finished - job.admitted_at
             )
+
+    def _adopt(self, store_dir: str) -> dict[str, Any]:
+        """Shard takeover: warm from a dead sibling's store directory and
+        merge its persisted standing queries into this registry."""
+        result = self.webbase.adopt_store_dir(store_dir)
+        snapshots = result.pop("standing")
+        result["standing_adopted"] = self.standing.adopt(snapshots)
+        self.metrics.counter("cluster.adoptions").inc()
+        self.metrics.gauge("service.standing_active").set(
+            len(self.standing._queries)
+        )
+        return result
+
+    def _mutate(self, spec_text: str) -> dict[str, Any]:
+        """Apply one simulated-Web churn mutation (harness-only op).
+
+        ``spec_text`` is a JSON object for
+        :func:`repro.sites.world.mutate_site_listings` — the cluster
+        harness scatters the same spec to every worker so their
+        per-process worlds stay identical (otherwise a takeover would
+        surface spurious row deltas)."""
+        if not self.config.allow_world_mutation:
+            raise OperationRejected(
+                "world mutation is disabled on this service "
+                "(ServiceConfig.allow_world_mutation)"
+            )
+        import json as json_mod
+
+        from repro.sites.world import mutate_site_listings
+
+        try:
+            spec = json_mod.loads(spec_text)
+        except ValueError as exc:
+            raise OperationRejected("mutate spec is not valid JSON: %s" % exc)
+        if not isinstance(spec, dict) or not spec.get("host"):
+            raise OperationRejected("mutate spec needs at least a 'host'")
+        try:
+            added = mutate_site_listings(
+                self.webbase.world,
+                host=str(spec["host"]),
+                make=str(spec.get("make", "ford")),
+                model=str(spec.get("model", "escort")),
+                count=int(spec.get("count", 3)),
+                seed=int(spec.get("seed", 0)),
+                change=str(spec.get("change", "auto")),
+            )
+        except ValueError as exc:
+            raise OperationRejected(str(exc))
+        return {"mutated": str(spec["host"]), "ads_added": len(added)}
 
     def _execute(self, job: _Job) -> dict[str, Any]:
         """Run one query on the shared webbase, streaming pages as maximal

@@ -174,6 +174,16 @@ class ResultCache:
         # results are mirrored to silver, revision bumps and quarantines to
         # bronze, and a restart warms from the store instead of refetching.
         self.store: Any = None
+        # Optional cluster federation (repro.cluster.federation): flight
+        # leaders consult the cross-shard cache before fetching live, and
+        # publish their fills so sibling shards amortize the same prefix
+        # walk.  Claims extend local single-flight across shards: when a
+        # sibling already holds the fill claim, this shard polls for the
+        # published result (up to ``federation_wait_seconds``) instead of
+        # duplicating the walk.  Strictly fail-open: a federation error is
+        # a miss, a denied-then-timed-out claim falls back to fetching.
+        self.federation: Any = None
+        self.federation_wait_seconds = 30.0
 
     @property
     def max_entries(self) -> int:
@@ -208,6 +218,7 @@ class ResultCache:
             evicted = self._evict_host(host, "cache.invalidations")
         if self.store is not None:
             self.store.record_revision(host, revision)
+        self._federation_stamp(host, revision)
         return evicted
 
     def quarantine(self, host: str) -> int:
@@ -235,11 +246,30 @@ class ResultCache:
             self.store.record_quarantine(host, False)
             if revision is not None:
                 self.store.record_revision(host, revision)
+        if revision is not None:
+            self._federation_stamp(host, revision)
         return evicted
 
     def quarantined_hosts(self) -> frozenset[str]:
         with self._lock:
             return frozenset(self._quarantined)
+
+    def adopt_revision(self, host: str, revision: int) -> bool:
+        """Shard takeover: adopt a (higher) revision observed elsewhere.
+
+        Entries stamped with the old revision die lazily at their next
+        lookup (:meth:`_live_entry`'s revision check), exactly as after a
+        :meth:`bump_revision`.  Never moves a revision backwards."""
+        moved = False
+        with self._lock:
+            if revision > self._revisions.get(host, 0):
+                self._revisions[host] = revision
+                moved = True
+        if moved and self.store is not None:
+            self.store.record_revision(host, revision)
+        if moved:
+            self._federation_stamp(host, revision)
+        return moved
 
     # -- persistence ---------------------------------------------------------
 
@@ -259,7 +289,7 @@ class ResultCache:
                     self._revisions[host] = revision
             self._quarantined.update(store.quarantined())
 
-    def warm_from_store(self) -> int:
+    def warm_from_store(self, store: Any = None) -> int:
         """Load current-revision silver segments into the cache (restart).
 
         Every candidate segment is admitted only if its stamp equals the
@@ -268,13 +298,18 @@ class ResultCache:
         order, so an entry persisted before a later bump can never
         resurface (the invariant the store satellite pins).  Returns the
         number of entries loaded.
+
+        ``store`` warms from a *foreign* store instead of the attached
+        one — shard takeover reads the dead sibling's silver tier under
+        the revisions adopted from it, without adopting its logs.
         """
-        if self.store is None or not self.policy.enabled:
+        source = store if store is not None else self.store
+        if source is None or not self.policy.enabled:
             return 0
         loaded = 0
         with self._lock:
             now = self._clock()
-            for entry in self.store.warm_entries():
+            for entry in source.warm_entries():
                 key = (entry.relation, entry.key)
                 if key in self._cache:
                     continue
@@ -418,6 +453,117 @@ class ResultCache:
         if self.store is not None:
             self.store.record_intent(key[0], host, revision, key[1])
 
+    def _federation_stamp(self, host: str, revision: int) -> None:
+        """Tell the cluster federation this host's revision moved, so
+        sibling shards stop being offered fills captured under the old
+        navigation map (fail-open, like every federation call)."""
+        fed = self.federation
+        if fed is None:
+            return
+        try:
+            fed.publish_revision(host, revision)
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _federation_lookup(
+        self, name: str, host: str, key: tuple, revision: int
+    ) -> Relation | None:
+        """Ask the cluster federation for this fill (fail-open: any
+        transport error, revision mismatch, or absence is just a miss)."""
+        fed = self.federation
+        if fed is None:
+            return None
+        try:
+            return fed.lookup(name, host, key[1], revision)
+        except Exception:  # noqa: BLE001 - the federation must never break a fetch
+            return None
+
+    def _federation_publish(
+        self, name: str, host: str, key: tuple, revision: int, value: Relation
+    ) -> None:
+        """Offer one freshly stored fill to the cluster federation."""
+        fed = self.federation
+        if fed is None:
+            return
+        try:
+            fed.publish(name, host, key[1], revision, value)
+        except Exception:  # noqa: BLE001 - fail-open, same as lookup
+            pass
+
+    def _federation_claim(self, name: str, key: tuple) -> bool:
+        """Try to become the cluster-wide fetcher for this fill.  True
+        means fetch (claim won, no federation, an older federation without
+        claims, or a bus error — never let coordination block a fetch)."""
+        fed = self.federation
+        claim = getattr(fed, "claim", None)
+        if claim is None:
+            return True
+        try:
+            return bool(claim(name, key[1]))
+        except Exception:  # noqa: BLE001 - fail-open
+            return True
+
+    def _federation_release(self, name: str, key: tuple) -> None:
+        """Give up a claim whose fill failed or was not stored, so waiters
+        contend for it instead of running out their wait budget."""
+        fed = self.federation
+        release = getattr(fed, "release", None)
+        if release is None:
+            return
+        try:
+            release(name, key[1])
+        except Exception:  # noqa: BLE001 - fail-open
+            pass
+
+    def _federation_await(
+        self, name: str, host: str, key: tuple, revision: int, context: Any
+    ) -> Relation | None:
+        """A sibling shard holds the fill claim: poll for its publish,
+        periodically re-contending for the claim so an expired holder's
+        key is adopted rather than orphaned.  Returns the published fill,
+        or None when this shard should fetch after all (claim won, or the
+        wait budget lapsed).  Honors cancellation like a coalesced wait.
+        """
+        poll = getattr(context, "check_cancelled", None)
+        deadline = time.monotonic() + self.federation_wait_seconds
+        next_claim = time.monotonic() + 0.25
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+            if poll is not None:
+                poll("federated:%s" % name)
+            value = self._federation_lookup(name, host, key, revision)
+            if value is not None:
+                return value
+            now = time.monotonic()
+            if now >= next_claim:
+                next_claim = now + 0.25
+                if self._federation_claim(name, key):
+                    return None
+        return None
+
+    def _resolve_fed_hit(
+        self,
+        name: str,
+        host: str,
+        key: tuple,
+        revision: int,
+        flight: "InFlight",
+        value: Relation,
+        context: Any,
+    ) -> None:
+        """A federation lookup satisfied this flight: store, account the
+        hit, and wake the local coalesced waiters."""
+        with self._lock:
+            self.hits += 1
+            stored = self._store(key, name, host, revision, value)
+            self._inflight.pop(key, None)
+        self.metrics.counter("cluster.fed_hits").inc()
+        if stored:
+            self._persist_silver(key, name, host, revision, value)
+        self._record_hit(name, host, context, stale=False)
+        flight.result = value
+        flight.event.set()
+
     def fetch(
         self, name: str, given: dict[str, Any], context: Any = None
     ) -> Relation:
@@ -465,12 +611,43 @@ class ResultCache:
                         # failed flight counts a fresh miss — correct, because
                         # its retry is a second upstream fetch.  Pinned by
                         # tests/test_metrics.py::TestSingleFlightMissAccounting.
-                        self.misses += 1
-                        self.metrics.counter("cache.misses").inc()
+                        # With a federation attached the verdict waits until
+                        # the federation answers: a cross-shard hit is a hit
+                        # (span and counter), not a miss that fetched nothing.
+                        if self.federation is None:
+                            self.misses += 1
+                            self.metrics.counter("cache.misses").inc()
             if entry is not None:
                 self._record_hit(name, host, context, stale=False, warmed=entry.warmed)
                 return entry.value
             if leader:
+                if self.federation is not None:
+                    try:
+                        value = self._federation_lookup(name, host, key, revision)
+                        if value is None and not self._federation_claim(name, key):
+                            # A sibling shard is already walking this fill:
+                            # wait for its publish instead of duplicating it.
+                            self.metrics.counter("cluster.fed_waits").inc()
+                            value = self._federation_await(
+                                name, host, key, revision, context
+                            )
+                    except BaseException as exc:
+                        # Cancellation raised out of the wait: fail the
+                        # flight so local waiters retry themselves.
+                        with self._lock:
+                            self._inflight.pop(key, None)
+                        flight.error = exc
+                        flight.event.set()
+                        raise
+                    if value is not None:
+                        self._resolve_fed_hit(
+                            name, host, key, revision, flight, value, context
+                        )
+                        return value
+                    with self._lock:
+                        self.misses += 1
+                    self.metrics.counter("cache.misses").inc()
+                    self.metrics.counter("cluster.fed_misses").inc()
                 self._record_intent(key, host, revision)
                 try:
                     result = self._fetch_inner(name, given, context)
@@ -478,6 +655,8 @@ class ResultCache:
                     # Never store or share a failure: waiters retry themselves.
                     with self._lock:
                         self._inflight.pop(key, None)
+                    if self.federation is not None:
+                        self._federation_release(name, key)
                     flight.error = exc
                     flight.event.set()
                     raise
@@ -486,6 +665,10 @@ class ResultCache:
                     self._inflight.pop(key, None)
                 if stored:
                     self._persist_silver(key, name, host, revision, result)
+                    self._federation_publish(name, host, key, revision, result)
+                elif self.federation is not None:
+                    # Not stored means not published: free the claim.
+                    self._federation_release(name, key)
                 flight.result = result
                 flight.event.set()
                 return result
@@ -560,14 +743,44 @@ class ResultCache:
                     flights[key] = flight
                     lead_keys.append(key)
                     lead_givens.append(given)
-                    self.misses += 1
-                    self.metrics.counter("cache.misses").inc()
+                    if self.federation is None:
+                        self.misses += 1
+                        self.metrics.counter("cache.misses").inc()
                 # else: a foreign flight owns it — resolved below by the
                 # per-key path, which waits, shares, and does its own
                 # request/hit accounting (counting here too would double
                 # count the lookup).
         for key, warmed in hit_keys:
             self._record_hit(name, host, context, stale=False, warmed=warmed)
+        awaited_keys: list[tuple] = []
+        awaited_givens: list[dict[str, Any]] = []
+        if lead_keys and self.federation is not None:
+            # Resolve as many lead keys as the federation holds before
+            # paying for the inner batch fetch (same hit-vs-miss verdict
+            # deferral as the single-key path).  Keys a sibling shard has
+            # claimed are set aside: they resolve after our own batch
+            # fetch, by which time the sibling has likely published.
+            remaining_keys: list[tuple] = []
+            remaining_givens: list[dict[str, Any]] = []
+            for key, given in zip(lead_keys, lead_givens):
+                value = self._federation_lookup(name, host, key, revision)
+                if value is not None:
+                    self._resolve_fed_hit(
+                        name, host, key, revision, flights[key], value, context
+                    )
+                    results[key] = value
+                elif not self._federation_claim(name, key):
+                    self.metrics.counter("cluster.fed_waits").inc()
+                    awaited_keys.append(key)
+                    awaited_givens.append(given)
+                else:
+                    with self._lock:
+                        self.misses += 1
+                    self.metrics.counter("cache.misses").inc()
+                    self.metrics.counter("cluster.fed_misses").inc()
+                    remaining_keys.append(key)
+                    remaining_givens.append(given)
+            lead_keys, lead_givens = remaining_keys, remaining_givens
         if lead_keys:
             for key in lead_keys:
                 self._record_intent(key, host, revision)
@@ -575,24 +788,75 @@ class ResultCache:
                 fetched = self._fetch_inner_batch(name, lead_givens, context)
             except BaseException as exc:
                 with self._lock:
-                    for key in lead_keys:
+                    for key in lead_keys + awaited_keys:
                         self._inflight.pop(key, None)
-                for key in lead_keys:
+                if self.federation is not None:
+                    for key in lead_keys:
+                        self._federation_release(name, key)
+                for key in lead_keys + awaited_keys:
                     flights[key].error = exc
                     flights[key].event.set()
                 raise
             stored_keys = []
+            unstored_keys = []
             with self._lock:
                 for key, value in zip(lead_keys, fetched):
                     if self._store(key, name, host, revision, value):
                         stored_keys.append((key, value))
+                    else:
+                        unstored_keys.append(key)
                     self._inflight.pop(key, None)
             for key, value in stored_keys:
                 self._persist_silver(key, name, host, revision, value)
+                self._federation_publish(name, host, key, revision, value)
+            if self.federation is not None:
+                for key in unstored_keys:
+                    self._federation_release(name, key)
             for key, value in zip(lead_keys, fetched):
                 flights[key].result = value
                 flights[key].event.set()
                 results[key] = value
+        for index, (key, given) in enumerate(zip(awaited_keys, awaited_givens)):
+            # A sibling shard claimed these fills; by now (after our own
+            # batch fetch ran) most are published.  Any that are not get
+            # the same wait-then-fetch treatment as the single-key path.
+            try:
+                value = self._federation_await(name, host, key, revision, context)
+                if value is None:
+                    with self._lock:
+                        self.misses += 1
+                    self.metrics.counter("cache.misses").inc()
+                    self.metrics.counter("cluster.fed_misses").inc()
+                    self._record_intent(key, host, revision)
+                    value = self._fetch_inner(name, given, context)
+                    with self._lock:
+                        stored = self._store(key, name, host, revision, value)
+                        self._inflight.pop(key, None)
+                    if stored:
+                        self._persist_silver(key, name, host, revision, value)
+                        self._federation_publish(name, host, key, revision, value)
+                    else:
+                        self._federation_release(name, key)
+                    flights[key].result = value
+                    flights[key].event.set()
+                    results[key] = value
+                else:
+                    self._resolve_fed_hit(
+                        name, host, key, revision, flights[key], value, context
+                    )
+                    results[key] = value
+            except BaseException as exc:
+                # Fail this flight and every awaited one behind it —
+                # leaving a registered flight unset would hang its waiters.
+                failed = awaited_keys[index:]
+                with self._lock:
+                    for k in failed:
+                        self._inflight.pop(k, None)
+                self._federation_release(name, key)
+                for k in failed:
+                    flights[k].error = exc
+                    flights[k].event.set()
+                raise
         return [
             results[key]
             if key in results

@@ -113,9 +113,14 @@ class PrefixPageCache:
         self,
         revision_of: Callable[[str], int] | None = None,
         metrics: Any = None,
+        stamp_sink: Callable[[str, int], None] | None = None,
     ) -> None:
         self._revision_of = revision_of or (lambda host: 0)
         self.metrics = metrics
+        # Cluster federation hook: called (host, revision) whenever a
+        # leader stores a freshly walked page, so the worker can report
+        # which hosts it holds warm prefixes for (fail-open, best effort).
+        self._stamp_sink = stamp_sink
         self._pages: dict[tuple, tuple[int, WebPage]] = {}
         self._flights: dict[tuple, Any] = {}
         self._lock = threading.Lock()
@@ -231,9 +236,11 @@ class PrefixPageCache:
         it was in flight) and release the waiters.  ``speculative`` marks
         the entry as fetched ahead of demand: its first demand hit settles
         it with the speculation budget."""
+        stored = False
         with self._lock:
             if revision == self._revision_of(host):
                 self._pages[(host, key)] = (revision, page)
+                stored = True
                 if speculative:
                     self._speculative.add((host, key))
             elif speculative and self.budget is not None:
@@ -241,6 +248,11 @@ class PrefixPageCache:
             self._flights.pop((host, key), None)
         flight.result = page
         flight.event.set()
+        if stored and self._stamp_sink is not None:
+            try:
+                self._stamp_sink(host, revision)
+            except Exception:  # noqa: BLE001 - the sink must never break a fetch
+                pass
 
     def abandon(self, host: str, key: tuple, flight: Any, error: BaseException | None = None) -> None:
         """A leader's fetch failed: nothing is stored, waiters retry."""

@@ -1,0 +1,120 @@
+"""Rendezvous-hashing properties: determinism, minimal reshuffle,
+successor agreement.
+
+The cluster's takeover plan is *derived* from the HRW order, not stored,
+so these properties are load-bearing: if removal moved keys between
+surviving shards, a takeover would invalidate caches on shards that
+never touched the dead worker's hosts.  Keys are drawn from the
+suite-wide ``REPRO_TEST_SEED`` stream, so a failing draw replays with
+one env var.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.hashring import HashRing, score
+from tests.conftest import derive_seeds
+
+HOSTS = [
+    "www.autoweb.com",
+    "www.caranddriver.com",
+    "www.carfinance.com",
+    "www.carpoint.com",
+    "www.kbb.com",
+    "www.newsday.com",
+    "www.nytimes.com",
+]
+
+
+def _random_keys(count: int) -> list[str]:
+    (seed,) = derive_seeds("hashring-keys", 1)
+    rng = random.Random(seed)
+    return ["key-%d-%d" % (i, rng.randrange(2**31)) for i in range(count)]
+
+
+class TestDeterminism:
+    def test_score_is_stable_across_calls(self):
+        assert score("shard-0", "www.kbb.com") == score("shard-0", "www.kbb.com")
+
+    def test_two_rings_agree_regardless_of_insertion_order(self):
+        a = HashRing(["shard-0", "shard-1", "shard-2"])
+        b = HashRing()
+        for node in ["shard-2", "shard-0", "shard-1"]:
+            b.add(node)
+        for key in HOSTS + _random_keys(50):
+            assert a.owner(key) == b.owner(key)
+            assert a.ranked(key) == b.ranked(key)
+
+    def test_ranked_is_a_total_order_over_members(self):
+        ring = HashRing(["shard-%d" % i for i in range(5)])
+        for key in HOSTS:
+            order = ring.ranked(key)
+            assert sorted(order) == sorted(ring.nodes)
+
+
+class TestMinimalReshuffle:
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        nodes = ["shard-%d" % i for i in range(5)]
+        ring = HashRing(nodes)
+        keys = HOSTS + _random_keys(300)
+        before = ring.assignment(keys)
+        dead = nodes[2]
+        ring.remove(dead)
+        after = ring.assignment(keys)
+        for key in keys:
+            if before[key] != dead:
+                assert after[key] == before[key], (
+                    "key %r moved from a surviving node" % key
+                )
+
+    def test_addition_only_steals_keys_the_new_node_wins(self):
+        nodes = ["shard-%d" % i for i in range(4)]
+        ring = HashRing(nodes)
+        keys = HOSTS + _random_keys(300)
+        before = ring.assignment(keys)
+        ring.add("shard-new")
+        after = ring.assignment(keys)
+        for key in keys:
+            if after[key] != before[key]:
+                assert after[key] == "shard-new", (
+                    "key %r moved between pre-existing nodes" % key
+                )
+
+    def test_successor_matches_post_removal_owner(self):
+        nodes = ["shard-%d" % i for i in range(4)]
+        keys = HOSTS + _random_keys(100)
+        for dead in nodes:
+            ring = HashRing(nodes)
+            takeover = {
+                key: ring.successor(key, dead)
+                for key in keys
+                if ring.owner(key) == dead
+            }
+            ring.remove(dead)
+            for key, successor in takeover.items():
+                assert ring.owner(key) == successor
+
+
+class TestDistribution:
+    def test_every_shard_owns_some_keys(self):
+        ring = HashRing(["shard-%d" % i for i in range(3)])
+        keys = _random_keys(600)
+        counts: dict[str, int] = {}
+        for key in keys:
+            owner = ring.owner(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        assert set(counts) == set(ring.nodes)
+        # HRW over a cryptographic digest is close to uniform; a shard
+        # below a sixth of its fair share would mean a broken score.
+        for owned in counts.values():
+            assert owned > len(keys) / (3 * 6)
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        try:
+            ring.owner("anything")
+        except LookupError:
+            pass
+        else:
+            raise AssertionError("expected LookupError on an empty ring")
