@@ -8,14 +8,19 @@ job reloads the committed file with :func:`load_baseline` *before*
 re-running the benchmark and fails the run if a tracked measure
 regressed beyond its headroom — so a perf win stays won.
 
-The payloads are deterministic (seeded world, simulated clock), so a
-re-run that changes nothing produces a byte-identical file and no diff.
+The payloads are deterministic (seeded world, simulated clock); every
+file also carries a ``provenance`` stamp (git SHA, ``REPRO_TEST_SEED``,
+python version) so a number in a committed baseline can always be traced
+back to the exact tree and toolchain that produced it.  Measures stay
+byte-identical run to run — only the stamp moves with the commit.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 from typing import Any
 
 #: Repository root — result files sit next to README.md, not inside
@@ -40,13 +45,41 @@ def load_baseline(name: str) -> dict[str, Any] | None:
         return json.load(handle)
 
 
+def _git_sha() -> str:
+    """The current commit, or ``""`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return out.stdout.decode("ascii", errors="replace").strip() if out.returncode == 0 else ""
+
+
+def provenance() -> dict[str, str]:
+    """The run's traceability stamp: tree, seed override, toolchain."""
+    return {
+        "git_sha": _git_sha(),
+        "repro_test_seed": os.environ.get("REPRO_TEST_SEED", ""),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+    }
+
+
 def emit(name: str, payload: dict[str, Any]) -> str:
     """Write one benchmark's results *atomically*; returns the file path.
 
-    The payload lands in a temp file beside the target and is renamed
-    into place, so an interrupted benchmark (ctrl-C, OOM, a crashing
-    assertion after partial write) can never leave a truncated
-    ``BENCH_*.json`` for the next CI run to trip over."""
+    A ``provenance`` stamp (:func:`provenance`) is added to the payload
+    unless the benchmark already supplied one.  The payload lands in a
+    temp file beside the target and is renamed into place, so an
+    interrupted benchmark (ctrl-C, OOM, a crashing assertion after
+    partial write) can never leave a truncated ``BENCH_*.json`` for the
+    next CI run to trip over."""
+    payload = dict(payload)
+    payload.setdefault("provenance", provenance())
     path = result_path(name)
     tmp = path + ".tmp"
     try:

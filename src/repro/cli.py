@@ -217,6 +217,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="runtime relevance pruning: revoke in-flight and queued "
         "accesses whose justifying bindings the outer side disproved",
     )
+    parser.add_argument(
+        "--mqo",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="multi-query optimization: shared subplan execution across "
+        "concurrent identical-fingerprint queries, plus containment-based "
+        "reuse of revision-current gold answers (needs --store for reuse)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query", help="answer a universal-relation query")
@@ -325,6 +333,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="deadline applied to requests that carry none",
     )
+    serve.add_argument(
+        "--mqo-window-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="with --mqo: hold each query this long at admission so "
+        "concurrent identical-fingerprint arrivals share one execution "
+        "(0 = no batching window)",
+    )
 
     client = sub.add_parser("client", help="query a running service")
     client.add_argument("text", help="SELECT attrs WHERE conditions")
@@ -383,6 +400,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="worker health-check ping period",
     )
+    cserve.add_argument(
+        "--mqo",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="multi-query optimization on every worker, plus "
+        "fingerprint-sticky co-routing at the router",
+    )
+    cserve.add_argument(
+        "--mqo-window-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="per-worker admission batching window for shared execution",
+    )
 
     cstatus = cluster_sub.add_parser(
         "status", help="topology and health of a running cluster router"
@@ -418,6 +449,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="federation bus address (empty = no federation)",
     )
     cworker.add_argument("--allow-mutation", action="store_true")
+    cworker.add_argument("--mqo", action="store_true")
+    cworker.add_argument("--mqo-window-ms", type=float, default=0.0)
 
     store = sub.add_parser(
         "store",
@@ -465,6 +498,8 @@ def _cluster_main(args: argparse.Namespace) -> int:
                 federation=args.federation,
                 max_inflight=args.max_inflight,
                 health_interval_seconds=args.health_interval,
+                mqo=args.mqo,
+                mqo_window_ms=args.mqo_window_ms,
             )
         )
         host, port = cluster.start()
@@ -666,6 +701,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             store_dir=args.store,
             store_fsync=args.store_fsync,
             store_warm=args.store_warm,
+            mqo=args.mqo,
         )
     )
 
@@ -699,6 +735,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 per_client_limit=args.per_client,
                 default_deadline_ms=args.default_deadline_ms,
                 page_size=args.page_size,
+                mqo_window_ms=args.mqo_window_ms,
             ),
         )
         host, port = service.start()

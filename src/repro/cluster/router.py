@@ -96,6 +96,12 @@ class ClusterConfig:
     misses_before_dead: int = 2
     allow_world_mutation: bool = True  # harness churn ops, scattered
     forward_timeout_seconds: float = 120.0
+    #: Multi-query optimization: when on, every worker runs with
+    #: ``WebBaseConfig.mqo`` (shared subplans + containment reuse) and
+    #: the router co-routes identical in-flight plan fingerprints onto
+    #: the same shard so their evaluations can actually collapse.
+    mqo: bool = False
+    mqo_window_ms: float = 0.0  # worker-side batching window
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -104,6 +110,8 @@ class ClusterConfig:
             raise ValueError("max_inflight must be >= 1")
         if self.spill_margin is not None and self.spill_margin <= 0:
             raise ValueError("spill_margin must be > 0 seconds or None")
+        if self.mqo_window_ms < 0:
+            raise ValueError("mqo_window_ms must be >= 0")
 
 
 @dataclass
@@ -261,6 +269,14 @@ class ClusterRouter:
         )
         self._plan_cache: dict[str, dict[str, int]] = {}
         self._plan_lock = threading.Lock()
+        # Fingerprint-sticky co-routing (``config.mqo``): while a query
+        # with fingerprint F is in flight on shard S, identical arrivals
+        # are routed to S too — they land inside that worker's
+        # SubplanRegistry and share its evaluation instead of running
+        # the same plan on a sibling.  fp → [shard_id, refcount].
+        self._fp_routes: dict[str, list] = {}
+        self._fp_cache: dict[str, str] = {}
+        self._fp_lock = threading.Lock()
         self.all_hosts = sorted(self._planner.builders)
         self.federation_server: Any = None
         if config.federation:
@@ -474,6 +490,73 @@ class ClusterRouter:
             self._shard_busy[shard] *= factor
         self._busy_stamp = now
 
+    # -- fingerprint-sticky co-routing -----------------------------------------
+
+    def query_fingerprint(self, text: str) -> str:
+        """The whole-query plan fingerprint used for fingerprint-sticky
+        co-routing (cached by text; ``""`` when MQO is off or the query
+        cannot be planned — no stickiness, normal routing applies)."""
+        if not self.config.mqo:
+            return ""
+        with self._fp_lock:
+            cached = self._fp_cache.get(text)
+        if cached is not None:
+            return cached
+        try:
+            fingerprint = self._planner.ur.plan(text).query_fingerprint()
+        except Exception:  # noqa: BLE001 - unplannable: no stickiness
+            fingerprint = ""
+        with self._fp_lock:
+            if len(self._fp_cache) > 512:
+                self._fp_cache.clear()
+            self._fp_cache[text] = fingerprint
+        return fingerprint
+
+    def _fp_target(self, fingerprint: str) -> str | None:
+        """The live shard already running this fingerprint, if any."""
+        if not fingerprint:
+            return None
+        with self._fp_lock:
+            entry = self._fp_routes.get(fingerprint)
+            if entry is None:
+                return None
+            shard_id = entry[0]
+        with self._topology_lock:
+            info = self.workers.get(shard_id)
+            if info is None or not info.alive:
+                return None
+        return shard_id
+
+    def _fp_acquire(self, fingerprint: str, shard_id: str) -> None:
+        if not fingerprint:
+            return
+        with self._fp_lock:
+            entry = self._fp_routes.setdefault(fingerprint, [shard_id, 0])
+            entry[1] += 1
+
+    def _fp_release(self, fingerprint: str) -> None:
+        if not fingerprint:
+            return
+        with self._fp_lock:
+            entry = self._fp_routes.get(fingerprint)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._fp_routes.pop(fingerprint, None)
+
+    def _fp_drop_shard(self, shard_id: str) -> None:
+        """Forget sticky routes into a dead shard (its in-flight relays
+        are being retried elsewhere; stickiness must not follow them)."""
+        with self._fp_lock:
+            stale = [
+                fp
+                for fp, entry in self._fp_routes.items()
+                if entry[0] == shard_id
+            ]
+            for fp in stale:
+                self._fp_routes.pop(fp, None)
+
     # -- dispatch ------------------------------------------------------------
 
     def dispatch(self, handler: Any, request: Request) -> None:
@@ -565,6 +648,13 @@ class ClusterRouter:
                 protocol.error_frame(request.id, protocol.E_BAD_REQUEST, str(exc))
             )
             return
+        # The co-routing fingerprint: trust a client/router stamp, else
+        # compute (and cache) it here.  "" disables stickiness.
+        fingerprint = (
+            request.mqo_fp or self.query_fingerprint(request.text)
+            if self.config.mqo
+            else ""
+        )
         seen: set[tuple] = set()
         seq = 0
         shard_stats: dict[str, dict[str, Any]] = {}
@@ -599,7 +689,16 @@ class ClusterRouter:
             spilled = False
             reserved: float | None = None
             if kind == "affinity":
-                target, reserved = self._maybe_spill(targets[0])
+                sticky = self._fp_target(fingerprint)
+                if sticky is not None:
+                    # An identical fingerprint is in flight on ``sticky``:
+                    # co-route there so the worker's SubplanRegistry can
+                    # collapse the evaluations (load balance defers to
+                    # sharing — the shared run costs ~nothing extra).
+                    self.metrics.counter("cluster.fp_sticky").inc()
+                    target = sticky
+                else:
+                    target, reserved = self._maybe_spill(targets[0])
                 spilled = target != targets[0]
                 targets = [target]
             try:
@@ -610,9 +709,21 @@ class ClusterRouter:
                         if take is not None:
                             self._unreserve(shard_id, take)
                         continue
-                    stats, seq = self._relay_query(
-                        shard_id, handler, request, seen, seq, reserved=take
-                    )
+                    if kind == "affinity":
+                        self._fp_acquire(fingerprint, shard_id)
+                    try:
+                        stats, seq = self._relay_query(
+                            shard_id,
+                            handler,
+                            request,
+                            seen,
+                            seq,
+                            reserved=take,
+                            mqo_fp=fingerprint,
+                        )
+                    finally:
+                        if kind == "affinity":
+                            self._fp_release(fingerprint)
                     shard_stats[shard_id] = stats
                 break
             except _ShardLost as exc:
@@ -685,6 +796,7 @@ class ClusterRouter:
         seen: set[tuple],
         seq: int,
         reserved: float | None = None,
+        mqo_fp: str = "",
     ) -> tuple[dict[str, Any], int]:
         """Stream one worker's answer through to the client, forwarding
         only rows not already delivered (exactly-once across scatter
@@ -712,6 +824,7 @@ class ClusterRouter:
                     request.text,
                     deadline_ms=request.deadline_ms,
                     page_size=request.page_size,
+                    mqo_fp=mqo_fp,
                 )
                 while True:
                     try:
@@ -1041,6 +1154,7 @@ class ClusterRouter:
                 else set()
             )
         self.health.unwatch(shard_id)
+        self._fp_drop_shard(shard_id)
         if not from_health:
             self.health.report_failure(shard_id)
         self.metrics.counter("cluster.worker_deaths").inc()
@@ -1171,6 +1285,8 @@ class LocalCluster:
                 queue_limit=self.config.worker_queue_limit,
                 threads=self.config.worker_threads,
                 allow_mutation=self.config.allow_world_mutation,
+                mqo=self.config.mqo,
+                mqo_window_ms=self.config.mqo_window_ms,
             )
             self.handles[shard_id] = handle
             self.router.register_worker(

@@ -54,6 +54,8 @@ def build_worker_service(
     queue_limit: int = 16,
     threads: int = 4,
     allow_mutation: bool = True,
+    mqo: bool = False,
+    mqo_window_ms: float = 0.0,
 ) -> WebBaseService:
     """Assemble one shard's webbase + service (shared by the process
     entry point and by in-process tests)."""
@@ -64,6 +66,7 @@ def build_worker_service(
         ads_per_host=ads_per_host,
         store_dir=store_dir,
         cache=CachePolicy.lru(),
+        mqo=mqo,
     )
     webbase = WebBase.create(config)
     if federation is not None:
@@ -84,6 +87,7 @@ def build_worker_service(
             per_client_limit=max(16, queue_limit),
             shard_id=shard_id,
             allow_world_mutation=allow_mutation,
+            mqo_window_ms=mqo_window_ms,
         ),
     )
     service.role = "worker"
@@ -108,6 +112,8 @@ def worker_main(args: Any) -> int:
         queue_limit=args.queue_limit,
         threads=args.threads,
         allow_mutation=args.allow_mutation,
+        mqo=args.mqo,
+        mqo_window_ms=args.mqo_window_ms,
     )
     address = service.start()
     if args.addr_file:
@@ -172,6 +178,8 @@ def spawn_worker(
     queue_limit: int = 16,
     threads: int = 4,
     allow_mutation: bool = True,
+    mqo: bool = False,
+    mqo_window_ms: float = 0.0,
     startup_timeout: float = 60.0,
 ) -> WorkerHandle:
     """Launch one worker process and wait for its address file."""
@@ -211,6 +219,10 @@ def spawn_worker(
         cmd += ["--federation", "%s:%d" % federation]
     if allow_mutation:
         cmd += ["--allow-mutation"]
+    if mqo:
+        cmd += ["--mqo"]
+    if mqo_window_ms > 0:
+        cmd += ["--mqo-window-ms", str(mqo_window_ms)]
     log = open(os.path.join(store_dir, "worker.log"), "ab")
     process = subprocess.Popen(
         cmd, env=env, stdout=log, stderr=log, stdin=subprocess.DEVNULL

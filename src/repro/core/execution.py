@@ -128,6 +128,12 @@ class WebBaseConfig:
     store_dir: str | None = None
     store_fsync: bool = False
     store_warm: bool = True
+    # Multi-query optimization (repro.mqo): identical in-flight subplans
+    # execute once and fan out (fingerprint single-flight), and a query
+    # subsumed by a revision-current gold answer is served by filtering
+    # stored rows with zero fetches.  Off by default: single-query runs
+    # gain nothing, and benchmarks A/B against ``--no-mqo`` cleanly.
+    mqo: bool = False
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("cost", "off"):

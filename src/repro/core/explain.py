@@ -83,6 +83,11 @@ class ExplainObject:
     strategy: str
     nodes: list[ExplainNode] = field(default_factory=list)
     skipped: str = ""
+    # Multi-query optimizer annotations (when ``--mqo`` is on): the
+    # object's plan fingerprint prefix, and how the run obtained the
+    # object ("lead" ran it, "hit" shared another query's in-flight run).
+    fingerprint: str = ""
+    shared: str = ""
 
     @property
     def est_fetches(self) -> float:
@@ -102,6 +107,9 @@ class ExplainReport:
     objects: list[ExplainObject] = field(default_factory=list)
     rows: int = 0
     trace: TraceSpan | None = field(default=None, repr=False)
+    # Containment verdict: the gold query whose revision-current answer
+    # subsumed this one (zero fetches), or "" when it ran normally.
+    subsumed_by: str = ""
 
     @property
     def est_fetches(self) -> float:
@@ -116,6 +124,11 @@ class ExplainReport:
             "explain: %s" % self.query_text,
             "optimizer=%s, %d answer row(s)" % (self.optimizer, self.rows),
         ]
+        if self.subsumed_by:
+            lines.append(
+                "subsumed by gold answer %r — served by filtering "
+                "materialized rows, 0 live fetches" % self.subsumed_by
+            )
         for obj in self.objects:
             if obj.skipped:
                 lines.append(
@@ -123,11 +136,16 @@ class ExplainReport:
                     % (" ⋈ ".join(obj.relations), obj.skipped)
                 )
                 continue
+            tags = [obj.strategy]
+            if obj.fingerprint:
+                tags.append("fp %s" % obj.fingerprint)
+            if obj.shared:
+                tags.append("shared %s" % obj.shared)
             lines.append(
                 "object %s  [%s, est %.1f fetches, actual %d]"
                 % (
                     " ⋈ ".join(obj.relations),
-                    obj.strategy,
+                    ", ".join(tags),
                     obj.est_fetches,
                     obj.actual_fetches,
                 )
@@ -159,6 +177,35 @@ def _actuals(object_span: TraceSpan, relation: str) -> tuple[int, int, int]:
 def explain(webbase: "WebBase", text: str) -> ExplainReport:
     """Plan ``text``, run it, and pair every plan node's estimate with the
     measured access/fetch counts from the run's trace."""
+    if webbase.mqo is not None:
+        subsumed = webbase.mqo.subsume(text)
+        if subsumed is not None:
+            # The MQO decision ladder short-circuited execution entirely:
+            # report the plan (with fingerprints) and the zero-fetch serve.
+            plan = webbase.ur.plan(text)
+            report = ExplainReport(
+                query_text=text,
+                optimizer=plan.optimizer,
+                rows=len(subsumed),
+                subsumed_by=webbase.mqo.last_subsumed_by,
+            )
+            for obj in plan.objects:
+                if not obj.feasible:
+                    report.objects.append(
+                        ExplainObject(obj.relations, strategy="-", skipped=obj.note)
+                    )
+                    continue
+                strategy = (
+                    obj.estimate.strategy if obj.estimate is not None else "fixed"
+                )
+                report.objects.append(
+                    ExplainObject(
+                        obj.relations,
+                        strategy=strategy,
+                        fingerprint=obj.fingerprint[:12],
+                    )
+                )
+            return report
     ctx = webbase.execution_context(label="explain:%s" % text)
     webbase.last_context = ctx
     with ctx.accounted(), ctx.span("query", text):
@@ -185,8 +232,14 @@ def explain(webbase: "WebBase", text: str) -> ExplainReport:
             )
             continue
         strategy = obj.estimate.strategy if obj.estimate is not None else "fixed"
-        explained = ExplainObject(obj.relations, strategy=strategy)
+        explained = ExplainObject(
+            obj.relations,
+            strategy=strategy,
+            fingerprint=obj.fingerprint[:12] if webbase.mqo is not None else "",
+        )
         span = object_spans.get(" ⋈ ".join(obj.relations))
+        if span is not None:
+            explained.shared = str(span.attrs.get("mqo", ""))
         steps = list(obj.estimate.steps) if obj.estimate is not None else []
         for position, relation in enumerate(obj.relations):
             step = steps[position] if position < len(steps) else None

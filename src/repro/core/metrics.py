@@ -30,7 +30,7 @@ from typing import Any
 #: one of the fixed prefixes below and further dotted segments are allowed
 #: for per-entity families (``planner.observed.pages.<relation>``).
 NAME_PATTERN = re.compile(
-    r"^(nav|cache|engine|service|planner|resilience|store|cluster)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
+    r"^(nav|cache|engine|service|planner|resilience|store|cluster|mqo)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
 )
 
 

@@ -100,6 +100,13 @@ class WebBase:
         self.cdc = DeltaFeed()
         # Optional cluster cache federation (attach_federation).
         self.federation: Any = None
+        # Multi-query optimization (repro.mqo): in-flight subplan sharing
+        # plus containment reuse of gold answers.  ``None`` when off.
+        self.mqo: Any = None
+        if config.mqo:
+            from repro.mqo.optimizer import MultiQueryOptimizer
+
+            self.mqo = MultiQueryOptimizer(self)
         # Optional tiered persistence underneath the whole stack.
         self.store: Any = None
         if config.store_dir:
@@ -205,7 +212,7 @@ class WebBase:
         between retries).  Pass the same context to several facade calls
         to pool their workers, per-context cache, accounting and trace."""
         config = self.config
-        return ExecutionContext(
+        ctx = ExecutionContext(
             self.pool,
             max_workers=config.max_workers if max_workers is None else max_workers,
             retry=retry or config.retry,
@@ -226,6 +233,10 @@ class WebBase:
             fabric=config.fabric,
             fabric_runtime=self._fabric_runtime(),
         )
+        # Plan-level single-flight: the UR evaluator routes each maximal
+        # object through the shared registry when one is attached.
+        ctx.mqo_registry = None if self.mqo is None else self.mqo.registry
+        return ctx
 
     def _fabric_runtime(self):
         """The webbase's one virtual-time loop (``None`` in thread mode)."""
@@ -271,6 +282,12 @@ class WebBase:
 
     def query(self, text: str, context: ExecutionContext | None = None) -> Relation:
         """Answer an end-user query against the universal relation."""
+        if context is None and self.mqo is not None:
+            # Containment first: a revision-current gold answer that
+            # subsumes this query serves it with zero fetches.
+            subsumed = self.mqo.subsume(text)
+            if subsumed is not None:
+                return subsumed
         ctx = context or self.execution_context(label=text)
         self.last_context = ctx
         with ctx.accounted(), ctx.span("query", text):

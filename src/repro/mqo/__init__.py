@@ -1,0 +1,35 @@
+"""Multi-query optimization: cross-query sharing and answer reuse.
+
+The layers below this one answer ONE query well; ``repro.mqo`` makes
+*concurrent* queries cheaper than the sum of their parts, three ways:
+
+* **plan fingerprinting** — canonical identity for logical plan subtrees
+  (computed in :mod:`repro.relational.planner`, carried on
+  :class:`~repro.ur.planner.ObjectPlan`);
+* **shared subplan execution** — in-flight fingerprints coalesce onto a
+  single evaluation (:class:`~repro.mqo.registry.SubplanRegistry`), with
+  a service-side :class:`~repro.mqo.registry.BatchGate` that releases
+  near-simultaneous arrivals together so they actually overlap;
+* **containment-based answer reuse** — a query subsumed by a
+  revision-current gold-tier answer is served by filtering materialized
+  rows with zero fetches (:mod:`repro.mqo.containment`, applied by
+  :class:`~repro.mqo.optimizer.MultiQueryOptimizer`).
+
+Enabled per webbase via ``WebBaseConfig(mqo=True)`` / the ``--mqo`` CLI
+flag; the service and cluster tiers layer their admission batching and
+fingerprint-sticky routing on top.
+"""
+
+from repro.mqo.containment import Decomposition, Domain, decompose, implies
+from repro.mqo.optimizer import MultiQueryOptimizer
+from repro.mqo.registry import BatchGate, SubplanRegistry
+
+__all__ = [
+    "BatchGate",
+    "Decomposition",
+    "Domain",
+    "MultiQueryOptimizer",
+    "SubplanRegistry",
+    "decompose",
+    "implies",
+]

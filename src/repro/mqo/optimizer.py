@@ -1,0 +1,154 @@
+"""The multi-query optimizer facade: fingerprint → share → subsume.
+
+One :class:`MultiQueryOptimizer` attaches to a webbase when
+``WebBaseConfig.mqo`` is on.  It owns the two cross-query mechanisms and
+applies them in a fixed decision ladder:
+
+1. **Subsume** (:meth:`subsume`): before executing at all, look for a
+   revision-current gold-tier answer that *contains* the query — same
+   join core, all needed attributes retained, predicate implied
+   (:mod:`repro.mqo.containment`).  A hit is answered by filtering the
+   materialized rows: zero fetches, zero plan executions.
+2. **Share** (:attr:`registry`): failing that, execute — but every
+   maximal object's evaluation runs through the
+   :class:`~repro.mqo.registry.SubplanRegistry`, so identical in-flight
+   fingerprints across concurrent queries collapse onto one evaluation.
+
+Staleness can never leak through either path: sharing is strictly
+in-flight, and subsumption revalidates the stored answer's full revision
+vector against the LIVE cache revisions at answer time — one maintenance
+bump on any contributing host and the gold answer is skipped.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.mqo.containment import implies
+from repro.mqo.registry import SubplanRegistry
+from repro.relational.relation import Relation
+from repro.ur.query import QueryParseError, URQuery, parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.webbase import WebBase
+
+
+class MultiQueryOptimizer:
+    """Cross-query sharing and reuse for one webbase."""
+
+    def __init__(self, webbase: "WebBase") -> None:
+        self.webbase = webbase
+        self.registry = SubplanRegistry(metrics=webbase.metrics)
+        # Gold queries replan identically every time (planning is pure
+        # CPU over the catalog), so cache their join cores by text.
+        self._cores: dict[str, frozenset[frozenset[str]]] = {}
+        self._cores_lock = threading.Lock()
+        #: The gold query text behind the most recent :meth:`subsume` hit
+        #: on this thread's behalf (display only — EXPLAIN reads it).
+        self.last_subsumed_by: str = ""
+
+    # -- containment-based reuse ---------------------------------------------
+
+    def subsume(self, text: str) -> Relation | None:
+        """Answer ``text`` from a containing gold answer, or ``None``.
+
+        A non-``None`` return is the complete, current answer — produced
+        with zero fetches.  Every ``None`` is silent: the caller falls
+        through to normal (shared) execution.
+        """
+        store = getattr(self.webbase, "store", None)
+        if store is None:
+            return None
+        try:
+            query = parse_query(text)
+        except QueryParseError:
+            return None  # normal execution surfaces the real error
+        candidates = store.current_answers()
+        if not candidates:
+            return None
+        needed = {name.lower() for name in query.attributes()}
+        for record in candidates:
+            if not self._revisions_current(record):
+                continue
+            if record["query"] == text:
+                return self._finish(record, query, exact=True)
+            if not needed <= set(record["schema"]):
+                continue
+            try:
+                gold_query = parse_query(record["query"])
+            except QueryParseError:
+                continue
+            if self._join_core(text) != self._join_core(record["query"]):
+                continue
+            if not implies(query.condition, gold_query.condition):
+                continue
+            return self._finish(record, query, exact=False)
+        return None
+
+    def _finish(
+        self, record: dict[str, Any], query: URQuery, exact: bool
+    ) -> Relation | None:
+        try:
+            answer = Relation(
+                record["schema"], [tuple(row) for row in record["rows"]]
+            )
+            if not exact:
+                if query.condition is not None:
+                    condition = query.condition
+                    answer = answer.select(
+                        lambda row: condition.evaluate(row)
+                    )
+                answer = answer.project(query.outputs)
+        except Exception:  # noqa: BLE001 - malformed record: fall through
+            return None
+        self.webbase.metrics.counter("mqo.subsumed").inc()
+        self.last_subsumed_by = record["query"]
+        return answer
+
+    def _revisions_current(self, record: dict[str, Any]) -> bool:
+        """The stored answer's full revision vector matches the LIVE
+        cache revisions (stricter than the store's own currency check:
+        the cache is bumped first on maintenance)."""
+        cache = self.webbase.cache
+        revisions = record.get("revisions", {})
+        return all(
+            cache.revision(host) == revision
+            for host, revision in revisions.items()
+        )
+
+    def _join_core(self, text: str) -> frozenset[frozenset[str]] | None:
+        """The query's feasible maximal objects, as a set of relation
+        sets — the "same join core" precondition of containment."""
+        with self._cores_lock:
+            core = self._cores.get(text)
+        if core is not None:
+            return core
+        try:
+            plan = self.webbase.ur.plan(text)
+        except Exception:  # noqa: BLE001 - unplannable: not containable
+            return None
+        core = frozenset(
+            frozenset(obj.relations) for obj in plan.feasible_objects
+        )
+        with self._cores_lock:
+            if len(self._cores) > 512:
+                self._cores.clear()
+            self._cores[text] = core
+        return core
+
+    # -- gold persistence (the service streaming path) -----------------------
+
+    def record_answer(
+        self, text: str, answer: Relation, hosts: set[str]
+    ) -> bool:
+        """Persist a completed streamed answer to the gold tier with its
+        live revision vector, so later overlapping queries can subsume."""
+        store = getattr(self.webbase, "store", None)
+        if store is None:
+            return False
+        cache = self.webbase.cache
+        revisions = {
+            host: cache.revision(host) for host in sorted(hosts) if host
+        }
+        return store.persist_answer(text, answer, revisions)

@@ -1,0 +1,187 @@
+"""Shared subplan execution: single-flight over plan fingerprints.
+
+The :class:`SubplanRegistry` is the runtime half of the multi-query
+optimizer.  Concurrent queries whose maximal objects canonicalize to the
+same fingerprint (:func:`repro.relational.planner.plan_fingerprint`)
+coalesce onto ONE evaluation: the first arrival becomes the *leader* and
+runs the subplan under its own execution context; every later arrival
+becomes a *subscriber* that waits on the leader's flight and shares the
+resulting :class:`~repro.relational.relation.Relation` (immutable, so
+sharing the object is safe).  This piggybacks on the same leader/waiter
+protocol as the engine's per-``(relation, bindings)`` fetch single-flight
+in :mod:`repro.core.execution` — one level up, at plan granularity.
+
+Cancellation safety mirrors the ``AccessHandle`` watcher pattern:
+
+* a **subscriber** cancelling (deadline, client gone) detaches — its
+  refcount drops and its own wait raises, but the shared node keeps
+  running for the remaining subscribers;
+* the **leader** failing or cancelling fails the node: the flight is
+  popped, survivors observe the error and loop — the first survivor
+  promotes itself to leader and re-runs the subplan, so shared work is
+  never lost to queries that still want it;
+* results are fanned out only on success — a failure is never shared, so
+  one query's transient fault cannot poison its neighbors.
+
+The registry holds no results beyond the flight itself: sharing is
+strictly *in-flight*, so staleness never outlives the queries being
+answered (cross-time reuse is the containment layer's job, which carries
+revision-vector validation).
+
+:class:`BatchGate` is the admission-side companion: a short batching
+window that releases near-simultaneous arrivals together, turning
+"16 clients asked within a few milliseconds" into "16 queries in flight
+at once" so their identical fingerprints actually overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.relational.relation import Relation
+
+
+class _SharedNode:
+    """One in-flight shared subplan evaluation."""
+
+    __slots__ = ("event", "result", "error", "subscribers", "lock")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Relation | None = None
+        self.error: BaseException | None = None
+        self.subscribers = 1  # the leader counts
+        self.lock = threading.Lock()
+
+
+class SubplanRegistry:
+    """In-flight fingerprint → shared evaluation, with metrics."""
+
+    def __init__(self, metrics: Any = None) -> None:
+        self._lock = threading.Lock()
+        self._nodes: dict[str, _SharedNode] = {}
+        self.metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def inflight(self) -> int:
+        """How many distinct subplans are currently executing."""
+        with self._lock:
+            return len(self._nodes)
+
+    def run(
+        self,
+        fingerprint: str,
+        context: Any,
+        thunk: Callable[[], Relation | None],
+        span: Any = None,
+    ) -> Relation | None:
+        """Evaluate ``thunk`` once per in-flight ``fingerprint``.
+
+        The caller that finds no flight open becomes the leader and runs
+        ``thunk`` on its own thread/context; concurrent callers with the
+        same fingerprint wait (cancellably, via ``context.check_cancelled``)
+        and share the leader's result.  See the module docstring for the
+        failure and cancellation ladder.
+        """
+        while True:
+            with self._lock:
+                node = self._nodes.get(fingerprint)
+                if node is None:
+                    node = self._nodes[fingerprint] = _SharedNode()
+                    leader = True
+                else:
+                    leader = False
+                    with node.lock:
+                        node.subscribers += 1
+            if leader:
+                self._count("mqo.shared_leads")
+                if span is not None:
+                    span.attrs["mqo"] = "lead"
+                try:
+                    result = thunk()
+                except BaseException as exc:
+                    with self._lock:
+                        self._nodes.pop(fingerprint, None)
+                    node.error = exc
+                    node.event.set()
+                    raise
+                with self._lock:
+                    self._nodes.pop(fingerprint, None)
+                node.result = result
+                node.event.set()
+                return result
+            # Subscriber: wait out the leader, staying cancellable.
+            try:
+                poll = getattr(context, "check_cancelled", None)
+                if poll is None:
+                    node.event.wait()
+                else:
+                    while not node.event.wait(0.05):
+                        poll("mqo:%s" % fingerprint[:12])
+            except BaseException:
+                # This subscriber is gone; the node (and its other
+                # subscribers) live on — detach, don't kill.
+                with node.lock:
+                    node.subscribers -= 1
+                self._count("mqo.detached")
+                raise
+            if node.error is None:
+                self._count("mqo.shared_hits")
+                if span is not None:
+                    span.attrs["mqo"] = "hit"
+                return node.result
+            # The leader failed or was cancelled out from under us: its
+            # flight is already popped, so loop — whoever re-enters first
+            # promotes to leader and re-runs.
+            self._count("mqo.promotions")
+
+
+class BatchGate:
+    """A short admission batching window for the service dispatch path.
+
+    The first arrival opens a window of ``window_seconds``; every arrival
+    before it closes waits for the SAME deadline, so the batch releases
+    together and overlapping fingerprints coalesce in the registry.  The
+    wait is bounded by the window (observable via the caller's
+    ``mqo.window_wait_seconds`` histogram) and cancellable: ``admit``
+    polls ``context.check_cancelled`` while it sleeps.
+    """
+
+    def __init__(self, window_seconds: float, metrics: Any = None) -> None:
+        if window_seconds <= 0:
+            raise ValueError(
+                "window_seconds must be > 0; got %r" % window_seconds
+            )
+        self.window_seconds = window_seconds
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._deadline: float | None = None
+
+    def admit(self, context: Any = None) -> float:
+        """Hold the caller until the current window closes; returns the
+        seconds actually waited."""
+        start = time.monotonic()
+        with self._lock:
+            if self._deadline is None or start >= self._deadline:
+                self._deadline = start + self.window_seconds
+            deadline = self._deadline
+        poll = getattr(context, "check_cancelled", None) if context else None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(remaining, 0.02))
+            if poll is not None:
+                poll("mqo:batch-window")
+        with self._lock:
+            if self._deadline == deadline:
+                self._deadline = None
+        waited = time.monotonic() - start
+        if self.metrics is not None:
+            self.metrics.histogram("mqo.window_wait_seconds").observe(waited)
+        return waited

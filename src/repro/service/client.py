@@ -403,6 +403,7 @@ class ServiceClient:
         deadline_ms: float | None = None,
         page_size: int | None = None,
         redirect_ok: bool = False,
+        mqo_fp: str = "",
     ) -> Iterator[Page]:
         """Issue one query and yield its pages as the server streams them.
 
@@ -412,6 +413,9 @@ class ServiceClient:
         land on the generator's ``StopIteration`` value via :meth:`query`.
         With ``redirect_ok`` a cluster router may answer with a
         :class:`Redirected` naming the owning shard instead of proxying.
+        ``mqo_fp`` stamps a precomputed plan fingerprint onto the request
+        (a cluster router forwards it for fingerprint-sticky co-routing);
+        an old server ignores the field.
         """
         request_id = self._request_id()
         payload: dict[str, Any] = {"id": request_id, "op": "query", "text": text}
@@ -421,6 +425,8 @@ class ServiceClient:
             payload["page_size"] = page_size
         if redirect_ok:
             payload["redirect_ok"] = True
+        if mqo_fp:
+            payload["mqo_fp"] = mqo_fp
         self._send(payload)
         while True:
             frame = self._recv(request_id)

@@ -89,6 +89,12 @@ class Request:
     # shard itself — a cluster router may then answer with a redirect
     # instead of proxying the stream.
     redirect_ok: bool = False
+    # query only, stamped by the cluster router: the whole-query plan
+    # fingerprint (repro.relational.planner.plan_fingerprint over the
+    # query's maximal objects).  Routers use it for fingerprint-sticky
+    # co-routing so identical in-flight queries land on (and share on)
+    # the same shard; an old peer simply ignores it (skew-safe).
+    mqo_fp: str = ""
 
 
 #: Cluster-era ops: ``hello`` (peer identification), ``status`` (role,
@@ -140,6 +146,9 @@ def parse_request(payload: dict[str, Any]) -> Request:
     redirect_ok = payload.get("redirect_ok", False)
     if not isinstance(redirect_ok, bool):
         raise ProtocolError("'redirect_ok' must be a boolean")
+    mqo_fp = payload.get("mqo_fp", "")
+    if not isinstance(mqo_fp, str):
+        raise ProtocolError("'mqo_fp' must be a string")
     # Any *other* field is deliberately ignored: a newer peer may stamp
     # requests with fields this version has never heard of (rolling
     # restarts skew the router and its workers), and skew must degrade to
@@ -152,6 +161,7 @@ def parse_request(payload: dict[str, Any]) -> Request:
         page_size=page_size,
         resume=resume,
         redirect_ok=redirect_ok,
+        mqo_fp=mqo_fp,
     )
 
 

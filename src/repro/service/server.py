@@ -64,8 +64,9 @@ from repro.service.protocol import (
     ProtocolError,
     Request,
 )
+from repro.relational.relation import Relation
 from repro.ur.planner import PlanError
-from repro.ur.query import QueryParseError
+from repro.ur.query import QueryParseError, parse_query
 
 
 class OperationRejected(Exception):
@@ -92,6 +93,12 @@ class ServiceConfig:
     # is accepted.  Off by default: a public-facing service must not let
     # clients edit the world.
     allow_world_mutation: bool = False
+    # Multi-query batching window (milliseconds): with the webbase's MQO
+    # layer on, dispatched queries wait up to this long so that
+    # near-simultaneous arrivals release together and their identical
+    # subplan fingerprints coalesce in the shared registry.  0 disables
+    # the window (sharing still happens for naturally overlapping work).
+    mqo_window_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -104,6 +111,10 @@ class ServiceConfig:
             )
         if self.page_size < 1:
             raise ValueError("page_size must be >= 1; got %r" % self.page_size)
+        if self.mqo_window_ms < 0:
+            raise ValueError(
+                "mqo_window_ms must be >= 0; got %r" % self.mqo_window_ms
+            )
 
 
 @dataclass
@@ -508,6 +519,15 @@ class WebBaseService:
         # Maintenance sweeps (ours or anyone's on this webbase) publish
         # CDC events; the registry turns them into row deltas.
         webbase.cdc.subscribe(self.standing.on_change)
+        # MQO batching window: only meaningful when the webbase has the
+        # multi-query layer attached (shared fingerprints to coalesce).
+        self._gate = None
+        if self.config.mqo_window_ms > 0 and webbase.mqo is not None:
+            from repro.mqo.registry import BatchGate
+
+            self._gate = BatchGate(
+                self.config.mqo_window_ms / 1000.0, metrics=self.metrics
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -676,6 +696,10 @@ class WebBaseService:
         request = job.request
         waited = monotonic() - job.admitted_at
         self.metrics.histogram("service.queue_seconds").observe(waited)
+        # Admission-to-dispatch wait as its own histogram: the MQO
+        # batching window adds bounded latency *after* this point, so the
+        # two are separable in the metrics (queue_wait + window_wait).
+        self.metrics.histogram("service.queue_wait_seconds").observe(waited)
         if job.deadline_at is not None and monotonic() >= job.deadline_at:
             # Expired while queued: don't waste an executor on a lost cause.
             self.metrics.counter("service.deadline_exceeded").inc()
@@ -793,6 +817,18 @@ class WebBaseService:
         running ones abort at their next page boundary), instead of each
         worker discovering the expiry at its own next deadline poll."""
         request = job.request
+        page_size = request.page_size or self.config.page_size
+        mqo = self.webbase.mqo
+        if mqo is not None:
+            # MQO decision ladder, step 1: a revision-current gold answer
+            # that contains this query serves it with zero fetches.
+            subsumed = mqo.subsume(request.text)
+            if subsumed is not None:
+                return self._stream_subsumed(job, subsumed, page_size)
+            if self._gate is not None:
+                # Step 2: hold dispatch until the batching window closes,
+                # so overlapping arrivals share in-flight fingerprints.
+                self._gate.admit()
         remaining = (
             None if job.deadline_at is None else max(0.0, job.deadline_at - monotonic())
         )
@@ -806,13 +842,14 @@ class WebBaseService:
             )
             timer.daemon = True
             timer.start()
-        page_size = request.page_size or self.config.page_size
         seen: set[tuple] = set()
+        schema: list[str] = []
         seq = 0
         try:
             for obj, piece in self.webbase.query_stream(request.text, context=ctx):
                 fresh = [row for row in piece.rows if row not in seen]
                 seen.update(fresh)
+                schema = list(piece.schema)
                 source = " ⋈ ".join(obj.relations)
                 for start in range(0, len(fresh), page_size):
                     job.handler.send(
@@ -831,6 +868,11 @@ class WebBaseService:
         cache_hits = sum(
             1 for span in ctx.root.spans("fetch") if span.cache in ("hit", "stale")
         )
+        if mqo is not None and not ctx.failures:
+            # The streaming path never reaches webbase.query's gold
+            # persist; materialize here so later overlapping queries can
+            # subsume.  Partial answers (any failed fetch) never persist.
+            self._persist_streamed(request.text, schema, seen, ctx)
         return {
             "rows": len(seen),
             "pages": seq,
@@ -840,3 +882,56 @@ class WebBaseService:
             "modelled_seconds": round(ctx.elapsed_seconds, 4),
             "wall_ms": round(ctx.wall_elapsed_seconds * 1000.0, 3),
         }
+
+    def _stream_subsumed(
+        self, job: _Job, answer: Relation, page_size: int
+    ) -> dict[str, Any]:
+        """Serve a containment hit: page out the filtered gold rows.
+        Zero fetches by construction — nothing below the store ran."""
+        request = job.request
+        rows = list(answer.rows)
+        seq = 0
+        for start in range(0, len(rows), page_size):
+            job.handler.send(
+                protocol.page_frame(
+                    request.id,
+                    seq,
+                    list(answer.schema),
+                    rows[start : start + page_size],
+                    source="gold",
+                )
+            )
+            seq += 1
+        return {
+            "rows": len(rows),
+            "pages": seq,
+            "fetches": 0,
+            "cache_hits": 0,
+            "failures": 0,
+            "modelled_seconds": 0.0,
+            "wall_ms": 0.0,
+            "mqo": "subsumed",
+        }
+
+    def _persist_streamed(
+        self,
+        text: str,
+        schema: list[str],
+        seen: set[tuple],
+        ctx: ExecutionContext,
+    ) -> None:
+        mqo = self.webbase.mqo
+        if mqo is None or self.webbase.store is None:
+            return
+        if not schema:
+            try:
+                schema = list(parse_query(text).outputs)
+            except QueryParseError:
+                return
+        hosts = {
+            str(span.attrs.get("host", "")) for span in ctx.root.spans("fetch")
+        } - {""}
+        try:
+            mqo.record_answer(text, Relation(schema, seen), hosts)
+        except Exception:  # noqa: BLE001 - persistence is best-effort
+            self.metrics.counter("mqo.persist_errors").inc()

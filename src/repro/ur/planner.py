@@ -28,7 +28,7 @@ from repro.relational.bindings import BindingError, JoinPart, order_joins
 from repro.relational.conditions import equality_bindings
 from repro.relational.cost import CatalogStats, CostModel
 from repro.relational.optimize import optimize
-from repro.relational.planner import JoinOrderPlanner, JoinPlan
+from repro.relational.planner import JoinOrderPlanner, JoinPlan, plan_fingerprint
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.ur.compat import CompatibilityRule
@@ -51,6 +51,10 @@ class ObjectPlan:
     note: str = ""
     rewrites: tuple[str, ...] = ()
     estimate: JoinPlan | None = None  # cost-planner predictions, when used
+    #: Canonical identity of ``expression`` (see
+    #: :func:`repro.relational.planner.plan_fingerprint`); the sharing key
+    #: of the multi-query optimizer.  Empty for infeasible objects.
+    fingerprint: str = ""
 
 
 @dataclass
@@ -64,6 +68,16 @@ class URPlan:
     @property
     def feasible_objects(self) -> list[ObjectPlan]:
         return [o for o in self.objects if o.feasible]
+
+    def query_fingerprint(self) -> str:
+        """Whole-query identity: a hash over the sorted multiset of the
+        feasible objects' fingerprints.  Two queries with equal values
+        compute byte-identical answers (each object's fingerprint pins its
+        projection order, and the union over objects is commutative)."""
+        import hashlib
+
+        parts = sorted(o.fingerprint for o in self.feasible_objects)
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         lines = [
@@ -209,6 +223,7 @@ class StructuredUR:
                     feasible=True,
                     rewrites=rewrites,
                     estimate=estimate,
+                    fingerprint=plan_fingerprint(expr),
                 )
             )
         return plan
@@ -335,8 +350,17 @@ class StructuredUR:
         retries — the partial-failure path)."""
         from repro.core.execution import FanoutError, FetchFailedError
 
+        registry = getattr(context, "mqo_registry", None)
         with context.span("object", " ⋈ ".join(obj.relations)) as span:
             try:
+                if registry is not None and obj.fingerprint:
+                    span.attrs["fingerprint"] = obj.fingerprint[:12]
+                    return registry.run(
+                        obj.fingerprint,
+                        context,
+                        lambda: evaluate(obj.expression, self.logical, context=context),
+                        span=span,
+                    )
                 return evaluate(obj.expression, self.logical, context=context)
             except BindingError as exc:
                 span.status = "skipped"

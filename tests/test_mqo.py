@@ -1,0 +1,423 @@
+"""The multi-query optimizer: share in flight, subsume from gold.
+
+Covers the three rungs of the MQO ladder end to end:
+
+* **containment** (`repro.mqo.containment`): the conservative
+  predicate-implication check, unit-tested over UR-parsed conditions;
+* **sharing** (`repro.mqo.registry`): leader/subscriber single-flight
+  with cancellation detach and leader-failure promotion, driven
+  deterministically with events;
+* **subsumption**: a webbase with `mqo=True` answers a narrowed query
+  from a containing gold answer with *zero* side effects beyond the
+  `mqo.subsumed` counter — and a revision bump on any contributing host
+  makes the gold answer unusable (stale is never served);
+* the **service** path: batching window, `service.queue_wait_seconds`,
+  shared fingerprints across concurrent socket clients, and gold
+  persistence from the streaming executor.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.execution import WebBaseConfig
+from repro.core.webbase import WebBase
+from repro.mqo.containment import decompose, implies
+from repro.mqo.registry import BatchGate, SubplanRegistry
+from repro.relational.relation import Relation
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, WebBaseService
+from repro.ur.query import parse_query
+from repro.vps.cache import CachePolicy
+
+BROAD = "SELECT make, model, price, year WHERE make = 'saab'"
+NARROW = "SELECT make, model, price, year WHERE make = 'saab' AND year > 1995"
+
+
+def _cond(text: str):
+    return parse_query("SELECT make WHERE " + text).condition
+
+
+def _mqo_webbase(tmp_path) -> WebBase:
+    return WebBase.create(
+        WebBaseConfig(
+            ads_per_host=24,
+            cache=CachePolicy.lru(),
+            store_dir=str(tmp_path / "store"),
+            mqo=True,
+        )
+    )
+
+
+# -- containment ---------------------------------------------------------------
+
+
+class TestImplies:
+    def test_narrowing_conjunct_implies(self):
+        assert implies(_cond("make = 'saab' AND year > 1995"), _cond("make = 'saab'"))
+
+    def test_broader_does_not_imply_narrower(self):
+        assert not implies(_cond("make = 'saab'"), _cond("make = 'saab' AND year > 1995"))
+
+    def test_range_tightening(self):
+        assert implies(_cond("year > 1996"), _cond("year > 1995"))
+        assert implies(_cond("year > 1995"), _cond("year >= 1995"))
+        assert not implies(_cond("year >= 1995"), _cond("year > 1995"))
+        assert implies(_cond("year > 1995 AND year < 1999"), _cond("year > 1995"))
+
+    def test_membership_shapes(self):
+        assert implies(_cond("make = 'saab'"), _cond("make IN ('saab', 'honda')"))
+        assert not implies(_cond("make IN ('saab', 'ford')"), _cond("make IN ('saab', 'honda')"))
+
+    def test_exclusions(self):
+        assert implies(_cond("make = 'saab'"), _cond("make != 'ford'"))
+        assert implies(_cond("make != 'ford'"), _cond("make != 'ford'"))
+        assert not implies(_cond("make != 'honda'"), _cond("make != 'ford'"))
+
+    def test_opaque_atoms_must_match_exactly(self):
+        # attr-vs-attr comparisons decompose to opaque atoms: containment
+        # only holds when the gold atom literally appears in the query.
+        assert implies(_cond("price < bb_price"), _cond("price < bb_price"))
+        assert not implies(_cond("make = 'saab'"), _cond("price < bb_price"))
+        assert implies(
+            _cond("price < bb_price AND make = 'saab'"), _cond("price < bb_price")
+        )
+
+    def test_unconstrained_gold_contains_everything(self):
+        assert implies(_cond("make = 'saab'"), None)
+        assert implies(None, None)
+        assert not implies(None, _cond("make = 'saab'"))
+
+    def test_decompose_is_conservative(self):
+        # A disjunction across attributes is not a domain constraint; it
+        # must survive as an opaque atom, not silently widen a domain.
+        # (The UR grammar only spells OR via IN, which is single-attribute
+        # by construction — build the mixed disjunct directly.)
+        from repro.relational import conditions as C
+
+        mixed = decompose(
+            C.Or(
+                (
+                    C.Comparison(C.Attr("make"), "=", C.Const("saab")),
+                    C.Comparison(C.Attr("year"), ">", C.Const(1995)),
+                )
+            )
+        )
+        assert mixed.atoms
+        assert "make" not in mixed.domains
+
+
+# -- sharing (the single-flight registry) --------------------------------------
+
+
+class _PollContext:
+    """A stand-in execution context whose cancellation flag the test flips."""
+
+    def __init__(self) -> None:
+        self.cancelled = threading.Event()
+
+    def check_cancelled(self, where: str = "") -> None:
+        if self.cancelled.is_set():
+            raise RuntimeError("cancelled at %s" % where)
+
+
+class TestSubplanRegistry:
+    def test_concurrent_equal_fingerprints_run_once(self):
+        registry = SubplanRegistry()
+        runs = []
+        entered = threading.Event()
+        release = threading.Event()
+        answer = Relation(("a",), [("x",)])
+
+        def leader_thunk():
+            runs.append("lead")
+            entered.set()
+            assert release.wait(5.0)
+            return answer
+
+        results: list = []
+
+        def run(thunk):
+            results.append(registry.run("fp", None, thunk))
+
+        lead = threading.Thread(target=run, args=(leader_thunk,))
+        lead.start()
+        assert entered.wait(5.0)
+        follow = threading.Thread(
+            target=run, args=(lambda: pytest.fail("subscriber must not run"),)
+        )
+        follow.start()
+        while registry.inflight() != 1 or not follow.is_alive():
+            if not follow.is_alive():
+                break
+        release.set()
+        lead.join(5.0)
+        follow.join(5.0)
+        assert runs == ["lead"]
+        assert len(results) == 2
+        assert results[0] is answer and results[1] is answer
+        assert registry.inflight() == 0
+
+    def test_subscriber_cancellation_detaches(self):
+        registry = SubplanRegistry()
+        entered = threading.Event()
+        release = threading.Event()
+        answer = Relation(("a",), [("x",)])
+
+        def leader_thunk():
+            entered.set()
+            assert release.wait(5.0)
+            return answer
+
+        outcomes: list = []
+        lead = threading.Thread(
+            target=lambda: outcomes.append(registry.run("fp", None, leader_thunk))
+        )
+        lead.start()
+        assert entered.wait(5.0)
+        ctx = _PollContext()
+        errors: list = []
+
+        def subscriber():
+            try:
+                registry.run("fp", ctx, lambda: None)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        sub = threading.Thread(target=subscriber)
+        sub.start()
+        ctx.cancelled.set()  # the subscriber gives up ...
+        sub.join(5.0)
+        assert errors, "cancelled subscriber must raise"
+        release.set()  # ... but the leader's run is undisturbed
+        lead.join(5.0)
+        assert outcomes == [answer]
+
+    def test_leader_failure_promotes_a_survivor(self):
+        registry = SubplanRegistry()
+        entered = threading.Event()
+        fail = threading.Event()
+        answer = Relation(("a",), [("x",)])
+
+        def failing_leader():
+            entered.set()
+            assert fail.wait(5.0)
+            raise ConnectionError("leader died")
+
+        lead_error: list = []
+
+        def lead_run():
+            try:
+                registry.run("fp", None, failing_leader)
+            except ConnectionError as exc:
+                lead_error.append(exc)
+
+        lead = threading.Thread(target=lead_run)
+        lead.start()
+        assert entered.wait(5.0)
+        results: list = []
+        sub = threading.Thread(
+            target=lambda: results.append(registry.run("fp", None, lambda: answer))
+        )
+        sub.start()
+        fail.set()
+        lead.join(5.0)
+        sub.join(5.0)
+        assert lead_error, "the leader's own caller sees the failure"
+        assert results == [answer], "the survivor re-ran the subplan itself"
+
+
+class TestBatchGate:
+    def test_window_wait_is_bounded_and_observed(self):
+        from repro.core.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry(strict=True)
+        gate = BatchGate(0.05, metrics=metrics)
+        waits: list[float] = []
+        threads = [
+            threading.Thread(target=lambda: waits.append(gate.admit()))
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert len(waits) == 3
+        assert all(w <= 0.05 + 0.25 for w in waits)  # bounded by window + slack
+        summary = metrics.snapshot()["histograms"]["mqo.window_wait_seconds"]
+        assert summary["count"] == 3
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            BatchGate(0.0)
+
+
+# -- subsumption end to end ----------------------------------------------------
+
+
+class TestSubsume:
+    def test_contained_query_is_served_with_zero_side_effects(self, tmp_path):
+        wb = _mqo_webbase(tmp_path)
+        broad = wb.query(BROAD)
+        assert len(broad) > 0
+        before = wb.metrics.snapshot()["counters"]
+
+        narrow = wb.query(NARROW)
+
+        after = wb.metrics.snapshot()["counters"]
+        changed = {
+            name: after[name] - before.get(name, 0)
+            for name in after
+            if after[name] != before.get(name, 0)
+        }
+        # The ONLY thing that moved is the subsumption counter: no plan,
+        # no fetch, no cache traffic — the query never reached the engine.
+        assert changed == {"mqo.subsumed": 1}, changed
+        assert wb.mqo.last_subsumed_by == BROAD
+
+        control = WebBase.create(
+            WebBaseConfig(ads_per_host=24, cache=CachePolicy.lru())
+        )
+        fresh = control.query(NARROW)
+        assert sorted(narrow.rows) == sorted(fresh.rows)
+        assert list(narrow.schema) == list(fresh.schema)
+
+    def test_exact_text_reserves_from_gold(self, tmp_path):
+        wb = _mqo_webbase(tmp_path)
+        first = wb.query(BROAD)
+        again = wb.query(BROAD)
+        assert sorted(again.rows) == sorted(first.rows)
+        assert wb.metrics.value("mqo.subsumed") == 1
+
+    def test_revision_bump_invalidates_gold(self, tmp_path):
+        """Stale gold is never served: one maintenance bump on any
+        contributing host and subsumption refuses the record."""
+        wb = _mqo_webbase(tmp_path)
+        wb.query(BROAD)
+        assert wb.mqo.subsume(NARROW) is not None
+        record = wb.store.current_answers()[0]
+        host = sorted(record["revisions"])[0]
+        wb.cache.bump_revision(host)
+        assert wb.mqo.subsume(NARROW) is None
+        # The full query path falls through to live execution.
+        before = wb.metrics.value("mqo.subsumed")
+        answer = wb.query(NARROW)
+        assert len(answer) > 0
+        assert wb.metrics.value("mqo.subsumed") == before
+
+    def test_mismatched_attribute_set_refuses(self, tmp_path):
+        """A narrowed query that mentions a different attribute set can
+        have different maximal objects (and therefore rows the gold
+        answer never held) — containment must refuse, not guess."""
+        wb = _mqo_webbase(tmp_path)
+        wb.query("SELECT make, model, price WHERE make = 'saab'")
+        assert (
+            wb.mqo.subsume("SELECT make, model WHERE make = 'saab' AND year > 1995")
+            is None
+        )
+
+    def test_explain_reports_the_subsumption(self, tmp_path):
+        from repro.core.explain import explain
+
+        wb = _mqo_webbase(tmp_path)
+        wb.query(BROAD)
+        report = explain(wb, NARROW)
+        assert report.subsumed_by == BROAD
+        rendered = report.render()
+        assert "subsumed by gold answer" in rendered
+        assert "0 live fetches" in rendered
+
+    def test_mqo_off_is_the_null_optimizer(self, tmp_path):
+        wb = WebBase.create(
+            WebBaseConfig(
+                ads_per_host=24,
+                cache=CachePolicy.lru(),
+                store_dir=str(tmp_path / "store"),
+            )
+        )
+        assert wb.mqo is None
+        wb.query(BROAD)
+        counters = wb.metrics.snapshot()["counters"]
+        assert not any(name.startswith("mqo.") for name in counters)
+
+
+# -- the service path ----------------------------------------------------------
+
+
+class TestServiceMQO:
+    def test_streamed_answers_persist_gold_and_subsume(self, tmp_path):
+        webbase = _mqo_webbase(tmp_path)
+        svc = WebBaseService(webbase, ServiceConfig(port=0))
+        host, port = svc.start()
+        try:
+            with ServiceClient(host=host, port=port) as client:
+                first = client.query(BROAD)
+                assert first.stats["fetches"] > 0
+                second = client.query(NARROW)
+            assert second.stats["fetches"] == 0
+            assert second.stats.get("mqo") == "subsumed"
+            assert len(second.rows) > 0
+            control = WebBase.create(
+                WebBaseConfig(ads_per_host=24, cache=CachePolicy.lru())
+            )
+            fresh = control.query(NARROW)
+            assert sorted(second.rows) == sorted(set(fresh.rows))
+        finally:
+            svc.shutdown()
+
+    def test_queue_wait_histogram_is_observed_and_bounded(self, tmp_path):
+        webbase = _mqo_webbase(tmp_path)
+        svc = WebBaseService(webbase, ServiceConfig(port=0))
+        host, port = svc.start()
+        try:
+            with ServiceClient(host=host, port=port) as client:
+                client.query(BROAD)
+                client.query(BROAD)
+        finally:
+            svc.shutdown()
+        summary = webbase.metrics.snapshot()["histograms"][
+            "service.queue_wait_seconds"
+        ]
+        assert summary["count"] >= 2
+        assert 0.0 <= summary["max"] < 30.0
+
+    def test_batching_window_shares_concurrent_identical_queries(self, tmp_path):
+        """Four identical queries fired together under a batching window
+        collapse onto one evaluation: one set of leads, the rest hits."""
+        webbase = _mqo_webbase(tmp_path)
+        svc = WebBaseService(
+            webbase,
+            ServiceConfig(port=0, workers=4, mqo_window_ms=250.0),
+        )
+        host, port = svc.start()
+        rows: list = []
+        errors: list = []
+
+        def one_client():
+            try:
+                with ServiceClient(host=host, port=port) as client:
+                    outcome = client.query(BROAD)
+                rows.append(sorted(outcome.rows))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=one_client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60.0)
+        finally:
+            svc.shutdown()
+        assert not errors
+        assert len(rows) == 4
+        assert all(r == rows[0] for r in rows), "shared rows must be identical"
+        counters = webbase.metrics.snapshot()["counters"]
+        assert counters.get("mqo.shared_hits", 0) >= 1, counters
+        window = webbase.metrics.snapshot()["histograms"][
+            "mqo.window_wait_seconds"
+        ]
+        assert window["count"] >= 1
+        assert window["max"] <= 0.25 + 0.25  # bounded by the window + slack
